@@ -1,0 +1,49 @@
+package lbcast
+
+import (
+	"lbcast/internal/adversary"
+	"lbcast/internal/core"
+)
+
+// Byzantine strategy constructors, re-exported for fault-injection
+// experiments against the public API.
+
+// NewSilentFault returns a Byzantine node that never transmits (crash from
+// the start). Honest neighbors substitute the default message for it.
+func NewSilentFault(me NodeID) Node {
+	return &adversary.SilentNode{Me: me}
+}
+
+// NewTamperFault returns a Byzantine node that initiates arbitrary values
+// each phase and relays flood messages with values flipped, deterministic
+// in seed. phaseLen should be PhaseRounds(g) for the phase-based algorithms.
+func NewTamperFault(g *Graph, me NodeID, phaseLen int, seed int64) Node {
+	return adversary.NewTamper(g, me, phaseLen, seed)
+}
+
+// NewEquivocatorFault returns a Byzantine node that sends conflicting
+// values to different neighbors. Under the LocalBroadcast transport the
+// engine coerces the split to a broadcast (the model's physical guarantee);
+// under PointToPoint, or Hybrid with the node registered in
+// Config.Equivocators, the split personalities are delivered.
+func NewEquivocatorFault(g *Graph, me NodeID, phaseLen int) Node {
+	return &adversary.EquivocatorNode{G: g, Me: me, PhaseLen: phaseLen}
+}
+
+// PhaseRounds returns the number of engine rounds one flooding phase
+// occupies on g — the phase length to pass to phase-aware adversaries.
+func PhaseRounds(g *Graph) int { return core.PhaseRounds(g.N()) }
+
+// Algorithm round budgets, exposed for planning and for round-complexity
+// experiments.
+
+// Algorithm1Rounds returns the total rounds Algorithm 1 runs on an n-node
+// graph with fault bound f (exponential in f via the phase count).
+func Algorithm1Rounds(n, f int) int { return core.Algo1Rounds(n, f) }
+
+// Algorithm2Rounds returns the total rounds Algorithm 2 runs on an n-node
+// graph: 3(n+1), linear in n.
+func Algorithm2Rounds(n int) int { return core.EfficientRounds(n) }
+
+// Algorithm3Rounds returns the total rounds Algorithm 3 runs.
+func Algorithm3Rounds(n, f, t int) int { return core.HybridRounds(n, f, t) }

@@ -1,0 +1,65 @@
+// Command lbcattack automatically demonstrates the paper's impossibility
+// results: given a graph that violates the tight conditions for (f, t), it
+// finds the failing condition, builds the matching lemma construction
+// (A.1/A.2 under local broadcast, D.1/D.2 under the hybrid model), runs
+// the three scripted executions, and shows the consensus violation.
+//
+// Usage:
+//
+//	lbcattack -graph edges:4:0-1,1-2,0-2,0-3 -f 1      # degree attack
+//	lbcattack -graph edges:5:0-1,1-2,2-3,3-4,0-2 -f 1  # cut attack
+//	lbcattack -graph complete:6 -f 2 -t 2              # hybrid D.1 attack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lbcast/internal/eval"
+	"lbcast/internal/graph/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbcattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lbcattack", flag.ContinueOnError)
+	spec := fs.String("graph", "", "graph spec (required)")
+	f := fs.Int("f", 1, "fault bound f")
+	t := fs.Int("t", 0, "equivocation bound t (0 = pure local broadcast)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spec == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := gen.ParseSpec(*spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "graph: %s\n", g)
+
+	fa, err := eval.FindAttack(g, *f, *t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "violated condition: %s (Lemma %s construction)\n", fa.Reason, fa.Lemma)
+	fmt.Fprintf(w, "running the three scripted executions (%d rounds each)...\n\n", fa.Attack.Rounds)
+
+	table, violated, err := eval.RunFoundAttack(g, fa)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, table)
+	if !violated {
+		return fmt.Errorf("no violation observed (unexpected: the lemma guarantees one)")
+	}
+	fmt.Fprintln(w, "\nconsensus violated, as Theorem 4.1/6.1 predicts for this graph")
+	return nil
+}

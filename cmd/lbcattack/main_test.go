@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAttackFindsViolation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "edges:4:0-1,1-2,0-2,0-3", "-f", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "VIOLATED") || !strings.Contains(out, "Lemma A.1") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunAttackRejectsFeasible(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-f", "1"}, &buf); err == nil {
+		t.Fatal("feasible graph accepted")
+	}
+}
+
+func TestRunAttackRequiresGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing -graph accepted")
+	}
+}

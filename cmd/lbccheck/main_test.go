@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCheckFigure1a(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-f", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"connectivity=2",
+		"min degree >= 2f",
+		"max tolerable f: local-broadcast=1 point-to-point=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCheckBadSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "nope:3"}, &buf); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Command lbcexp regenerates the experiment suite indexed in DESIGN.md §4
+// and recorded in EXPERIMENTS.md: one table per paper artifact.
+//
+// Usage:
+//
+//	lbcexp            # run the fast experiments
+//	lbcexp -all       # include the slow ones
+//	lbcexp -id E4     # run a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lbcast/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbcexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lbcexp", flag.ContinueOnError)
+	all := fs.Bool("all", false, "include slow experiments")
+	id := fs.String("id", "", "run a single experiment by id (E1..E11)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := eval.All()
+	if *id != "" {
+		e, ok := eval.Find(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *id)
+		}
+		exps = []eval.Experiment{e}
+	}
+	for _, e := range exps {
+		if e.Slow && !*all && *id == "" {
+			fmt.Fprintf(w, "== %s: %s (skipped; pass -all) ==\n\n", e.ID, e.Title)
+			continue
+		}
+		start := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+		fmt.Fprintf(w, "paper artifact: %s\n\n%s", e.Paper, tab)
+		fmt.Fprintf(w, "(%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExpSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "E9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E9") || !strings.Contains(out, "LB-kappa") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunExpSkipsSlowByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", ""}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skipped; pass -all") {
+		t.Fatal("slow experiments not skipped")
+	}
+}
+
+func TestRunExpUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "E99"}, &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

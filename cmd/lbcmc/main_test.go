@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMCCleanSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-f", "1", "-trials", "10", "-seed", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "consensus held in 10/10 trials") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunMCAlgorithm2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-f", "1", "-algorithm", "2", "-trials", "6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMCErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "bogus"}, &buf); err == nil {
+		t.Fatal("bad graph accepted")
+	}
+	if err := run([]string{"-graph", "figure1a", "-algorithm", "7"}, &buf); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSimConsensus(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "figure1a", "-f", "1", "-faulty", "2", "-strategy", "tamper"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "agreement=true validity=true termination=true") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunSimWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "figure1a", "-faulty", "1", "-trace", trace}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "transmissions written") {
+		t.Fatalf("trace note missing:\n%s", buf.String())
+	}
+}
+
+func TestRunSimAlgorithm2And3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-algorithm", "2", "-faulty", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-graph", "complete:5", "-algorithm", "3", "-f", "1", "-t", "1",
+		"-faulty", "4", "-strategy", "equivocate"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-graph", "bogus"},
+		{"-graph", "figure1a", "-inputs", "01"},     // wrong length
+		{"-graph", "figure1a", "-inputs", "01012x"}, // length 6 on n=5
+		{"-graph", "figure1a", "-inputs", "0101x"},  // bad digit
+		{"-graph", "figure1a", "-strategy", "wat", "-faulty", "1"},
+		{"-graph", "figure1a", "-algorithm", "9"},
+		{"-graph", "figure1a", "-faulty", "a,b"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	in, err := parseInputs("", 3)
+	if err != nil || len(in) != 3 {
+		t.Fatalf("default inputs: %v %v", in, err)
+	}
+	ns, err := parseNodes("1, 2,3")
+	if err != nil || len(ns) != 3 {
+		t.Fatalf("nodes: %v %v", ns, err)
+	}
+	if ns, err := parseNodes(""); err != nil || ns != nil {
+		t.Fatal("empty node list")
+	}
+}

@@ -1,0 +1,75 @@
+// Faultid: the fault-identification tool behind the efficient Algorithm 2
+// (Section 5.3 / Appendix C). On a 2f-connected graph, every message a
+// faulty node transmits is reliably learned by every other node — its
+// neighbors all overhear it and relay reports along 2f vertex-disjoint
+// paths — so honest nodes can catch a tampering relay red-handed, become
+// "type A" (knowing the whole fault set), and finish consensus in O(n)
+// rounds instead of Algorithm 1's exponentially many phases.
+//
+// This example plants a deterministic tamperer on the 5-cycle, runs
+// Algorithm 2 via the low-level engine, and shows which nodes identified
+// the fault.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbcast/internal/adversary"
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+func main() {
+	g := gen.Figure1a() // 5-cycle: 2-connected = 2f-connected for f = 1
+	const f = 1
+	faulty := graph.NodeID(2)
+
+	// A deterministic tamperer: flips the value of every message it
+	// relays. All its neighbors overhear every lie.
+	tamper := adversary.NewTamper(g, faulty, core.PhaseRounds(g.N()), 7)
+	tamper.FlipProb = 1
+	tamper.DropProb = 0
+
+	inputs := []sim.Value{sim.One, sim.One, sim.Zero, sim.One, sim.One}
+	nodes := make([]sim.Node, g.N())
+	var honest []*core.EfficientNode
+	for i := range nodes {
+		u := graph.NodeID(i)
+		if u == faulty {
+			nodes[i] = tamper
+			continue
+		}
+		en := core.NewEfficientNode(g, f, u, inputs[i])
+		nodes[i] = en
+		honest = append(honest, en)
+	}
+
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Run(core.EfficientRounds(g.N()))
+
+	fmt.Printf("graph: %s, fault bound f=%d, tamperer at node %d\n\n", g, f, faulty)
+	fmt.Println("after phase 2 (transcript reports + identification walks):")
+	for _, h := range honest {
+		kind := "B (decides by majority of reliably received inputs)"
+		if h.TypeA() {
+			kind = "A (knows the full fault set, adopts a type B decision)"
+		}
+		dec, ok := h.Decision()
+		fmt.Printf("  node %d: identified=%v type %s\n", h.ID(), h.Identified(), kind)
+		if !ok {
+			log.Fatalf("node %d did not decide", h.ID())
+		}
+		fmt.Printf("          decided %s\n", dec)
+	}
+	m := eng.Metrics()
+	fmt.Printf("\nfinished in %d rounds (3 flooding phases), %d transmissions\n",
+		m.Rounds, m.Transmissions)
+	fmt.Printf("Algorithm 1 on the same instance would run %d rounds (%d phases)\n",
+		core.Algo1Rounds(g.N(), f), len(core.Algo1Phases(g.N(), f)))
+}

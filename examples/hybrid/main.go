@@ -1,0 +1,73 @@
+// Hybrid: the equivocation trade-off of Section 6. Some faulty nodes may
+// equivocate (behave like point-to-point attackers) while the rest are
+// pinned by local broadcast. The required connectivity interpolates
+// between the two models:
+//
+//	kappa >= floor(3(f-t)/2) + 2t + 1
+//
+// This example prints the interpolation for f = 3 and then runs
+// Algorithm 3 on K5 against one genuinely equivocating fault.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbcast"
+)
+
+func main() {
+	fmt.Println("connectivity required for f = 3, as t equivocators are allowed:")
+	fmt.Println("  t | required kappa")
+	for t := 0; t <= 3; t++ {
+		// Reproduce the Theorem 6.1(i) formula via the checker's view on
+		// complete graphs: find the smallest K_n whose connectivity
+		// passes condition (i).
+		req := 3*(3-t)/2 + 2*t + 1
+		fmt.Printf("  %d | %d\n", t, req)
+	}
+	fmt.Println("  (t=0 is the local broadcast bound, t=f the point-to-point bound 2f+1)")
+	fmt.Println()
+
+	// K5 satisfies Theorem 6.1 for f = 1, t = 1: connectivity 4 >= 3 and
+	// every single node has 4 >= 2f+1 = 3 neighbors.
+	g, err := lbcast.Complete(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := lbcast.CheckHybrid(g, 1, 1)
+	fmt.Printf("K5 hybrid feasibility (f=1, t=1):\n%s\n\n", report)
+	if !report.OK {
+		log.Fatal("K5 should satisfy the hybrid conditions")
+	}
+
+	// Node 4 is an equivocating fault: under the Hybrid transport it may
+	// send different values to different neighbors (listed in
+	// Equivocators), which local broadcast would make impossible.
+	result, err := lbcast.Run(lbcast.Config{
+		Graph:           g,
+		MaxFaults:       1,
+		MaxEquivocating: 1,
+		Algorithm:       lbcast.Algorithm3,
+		Model:           lbcast.Hybrid,
+		Equivocators:    lbcast.NewSet(4),
+		Inputs: map[lbcast.NodeID]lbcast.Value{
+			0: lbcast.One, 1: lbcast.Zero, 2: lbcast.One, 3: lbcast.One, 4: lbcast.Zero,
+		},
+		Byzantine: map[lbcast.NodeID]lbcast.Node{
+			4: lbcast.NewEquivocatorFault(g, 4, lbcast.PhaseRounds(g)),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decisions with an equivocating fault at node 4:")
+	for node, value := range result.Decisions {
+		fmt.Printf("  node %d decided %s\n", node, value)
+	}
+	fmt.Printf("agreement=%v validity=%v (%d rounds)\n",
+		result.Agreement, result.Validity, result.Rounds)
+	if !result.OK() {
+		log.Fatal("hybrid consensus failed")
+	}
+}

@@ -1,0 +1,73 @@
+// Radionet: the wireless scenario that motivates the local broadcast model
+// (Sections 1–2 of the paper). Radios on a shared channel are physically
+// incapable of equivocating — every transmission is overheard by all
+// radios in range — so a mesh of sensor radios needs far less connectivity
+// for Byzantine agreement than a wired point-to-point deployment.
+//
+// This example builds a ring-of-rings radio mesh, compares the fault
+// tolerance the two models admit on it, and runs consensus with a
+// compromised radio that lies in every relay.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbcast"
+)
+
+func main() {
+	// A 10-radio mesh: each radio hears its two ring neighbors and the
+	// radio two hops away (a circulant C10(1,2) coverage pattern: degree
+	// 4, connectivity 4).
+	mesh, err := lbcast.Circulant(10, []int{1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("radio mesh: %d radios, %d links\n\n", mesh.N(), mesh.M())
+
+	lbF := lbcast.MaxFaultsLocalBroadcast(mesh)
+	p2pF := lbcast.MaxFaultsPointToPoint(mesh)
+	fmt.Printf("max compromised radios tolerated:\n")
+	fmt.Printf("  shared-channel radios (local broadcast): f = %d\n", lbF)
+	fmt.Printf("  wired point-to-point on the same topology: f = %d\n\n", p2pF)
+
+	// Sensor readings: radios 0-4 detected the event (1), 5-9 did not.
+	inputs := make(map[lbcast.NodeID]lbcast.Value, mesh.N())
+	for i := 0; i < mesh.N(); i++ {
+		v := lbcast.Zero
+		if i < 5 {
+			v = lbcast.One
+		}
+		inputs[lbcast.NodeID(i)] = v
+	}
+
+	// Radio 7 is compromised: it tampers with every reading it relays.
+	// Because its transmissions are overheard by all its neighbors, the
+	// tampering cannot be targeted — and Algorithm 2 (the mesh is
+	// 2f-connected for f = 2) identifies and routes around it.
+	result, err := lbcast.Run(lbcast.Config{
+		Graph:     mesh,
+		MaxFaults: 2,
+		Algorithm: lbcast.Algorithm2,
+		Inputs:    inputs,
+		Byzantine: map[lbcast.NodeID]lbcast.Node{
+			7: lbcast.NewTamperFault(mesh, 7, lbcast.PhaseRounds(mesh), 99),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("consensus on the event detection:")
+	for i := 0; i < mesh.N(); i++ {
+		if v, ok := result.Decisions[lbcast.NodeID(i)]; ok {
+			fmt.Printf("  radio %d: read=%s agreed=%s\n", i, inputs[lbcast.NodeID(i)], v)
+		}
+	}
+	fmt.Printf("\nagreement=%v validity=%v in %d rounds (%d transmissions)\n",
+		result.Agreement, result.Validity, result.Rounds, result.Transmissions)
+	if !result.OK() {
+		log.Fatal("consensus failed")
+	}
+}

@@ -1,0 +1,131 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// This file implements the "network 𝒢" machinery of the paper's
+// impossibility proofs (Lemmas A.1, A.2, D.1, D.2). 𝒢 contains one or two
+// clones of every node of G, wired with directed edges so that every clone
+// receives messages from exactly one clone of each of its original
+// neighbors. All clones run the honest per-node procedure; the recorded
+// transmissions of selected clones then script the Byzantine nodes in real
+// executions on G, producing indistinguishable views that force an
+// agreement violation.
+
+// CloneID identifies a clone: the original node plus a side (0 or 1;
+// single-copy nodes use side 0).
+type CloneID struct {
+	Orig graph.NodeID
+	Side int
+}
+
+// String renders the clone id.
+func (c CloneID) String() string { return fmt.Sprintf("%d/%d", c.Orig, c.Side) }
+
+// CloneNet is the directed clone network 𝒢.
+type CloneNet struct {
+	g      *graph.Graph
+	clones []CloneID
+	index  map[CloneID]int
+	inputs []sim.Value
+	recv   [][]int // recv[i]: clone indices that hear clone i's broadcasts
+}
+
+// NewCloneNet starts an empty clone network over original graph g.
+func NewCloneNet(g *graph.Graph) *CloneNet {
+	return &CloneNet{g: g, index: make(map[CloneID]int)}
+}
+
+// AddClone registers a clone of orig with the given input value.
+func (cn *CloneNet) AddClone(orig graph.NodeID, side int, input sim.Value) {
+	id := CloneID{Orig: orig, Side: side}
+	if _, dup := cn.index[id]; dup {
+		return
+	}
+	cn.index[id] = len(cn.clones)
+	cn.clones = append(cn.clones, id)
+	cn.inputs = append(cn.inputs, input)
+	cn.recv = append(cn.recv, nil)
+}
+
+// HearFunc answers, for a receiving clone and an original sender adjacent
+// to it in G, which side of the sender the receiver hears. ok=false means
+// the receiver hears no copy of that sender (never the case in the paper's
+// constructions, but supported).
+type HearFunc func(recv CloneID, sender graph.NodeID) (side int, ok bool)
+
+// Wire populates the directed delivery lists: for every clone r and every
+// G-neighbor s of r's original, hear decides which clone of s transmits to
+// r. Wire must be called after all AddClone calls.
+func (cn *CloneNet) Wire(hear HearFunc) error {
+	for ri, r := range cn.clones {
+		for _, s := range cn.g.Neighbors(r.Orig) {
+			side, ok := hear(r, s)
+			if !ok {
+				continue
+			}
+			si, exists := cn.index[CloneID{Orig: s, Side: side}]
+			if !exists {
+				return fmt.Errorf("adversary: clone %v hears missing clone %d/%d", r, s, side)
+			}
+			cn.recv[si] = append(cn.recv[si], ri)
+		}
+	}
+	return nil
+}
+
+// Run executes the honest procedure on 𝒢 for the given number of rounds.
+// factory builds the per-node honest procedure A_u for original id u with
+// the given input; every clone of u runs an independent instance. Run
+// returns the recorded per-round transmissions of every clone.
+func (cn *CloneNet) Run(rounds int, factory func(orig graph.NodeID, input sim.Value) sim.Node) (map[CloneID][][]sim.Payload, error) {
+	nodes := make([]sim.Node, len(cn.clones))
+	for i, c := range cn.clones {
+		nodes[i] = factory(c.Orig, cn.inputs[i])
+		if nodes[i] == nil {
+			return nil, fmt.Errorf("adversary: factory returned nil for %v", c)
+		}
+		if nodes[i].ID() != c.Orig {
+			return nil, fmt.Errorf("adversary: factory node id %d for clone %v", nodes[i].ID(), c)
+		}
+	}
+	scripts := make(map[CloneID][][]sim.Payload, len(cn.clones))
+	for _, c := range cn.clones {
+		scripts[c] = make([][]sim.Payload, rounds)
+	}
+	inboxes := make([][]sim.Delivery, len(cn.clones))
+	for r := 0; r < rounds; r++ {
+		outboxes := make([][]sim.Outgoing, len(cn.clones))
+		for i := range nodes {
+			outboxes[i] = nodes[i].Step(r, inboxes[i])
+		}
+		next := make([][]sim.Delivery, len(cn.clones))
+		for i := range nodes {
+			from := cn.clones[i].Orig
+			for _, out := range outboxes[i] {
+				// 𝒢 is a pure local-broadcast world: every transmission
+				// reaches all of the clone's receivers.
+				scripts[cn.clones[i]][r] = append(scripts[cn.clones[i]][r], out.Payload)
+				for _, ri := range cn.recv[i] {
+					next[ri] = append(next[ri], sim.Delivery{From: from, Payload: out.Payload})
+				}
+			}
+		}
+		// Canonical delivery order: ascending original sender id, matching
+		// the sim.Engine's ordering on G. Each receiver hears exactly one
+		// clone per original neighbor, so the sort key is unique per
+		// message source; stable sort preserves FIFO within a sender.
+		for ri := range next {
+			sort.SliceStable(next[ri], func(a, b int) bool {
+				return next[ri][a].From < next[ri][b].From
+			})
+		}
+		inboxes = next
+	}
+	return scripts, nil
+}

@@ -1,0 +1,51 @@
+package adversary
+
+import (
+	"testing"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph/gen"
+)
+
+func TestForgerEmitsOnlyLegitimateForgeries(t *testing.T) {
+	// Rule (i) lets a sender forge provenance only along real simple
+	// paths ending at itself; the forger must stay inside that envelope,
+	// otherwise honest flooders would just drop its traffic.
+	g := gen.Figure1b()
+	n := NewForger(g, 3, 9, 5)
+	for round := 0; round < 30; round++ {
+		for _, o := range n.Step(round, nil) {
+			m, ok := o.Payload.(flood.Msg)
+			if !ok {
+				t.Fatalf("round %d: unexpected payload %T", round, o.Payload)
+			}
+			full := m.Pi.Append(3)
+			if !full.ValidIn(g) || !full.IsSimple() {
+				t.Fatalf("round %d: forged message with invalid provenance %v", round, full)
+			}
+		}
+	}
+}
+
+func TestForgerDeterministic(t *testing.T) {
+	g := gen.Figure1a()
+	run := func() []string {
+		n := NewForger(g, 2, 6, 99)
+		var keys []string
+		for round := 0; round < 12; round++ {
+			for _, o := range n.Step(round, nil) {
+				keys = append(keys, o.Payload.Key())
+			}
+		}
+		return keys
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package adversary
+
+import (
+	"testing"
+
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// runExecution plays one attack execution on g with Algorithm 1/3 honest
+// nodes and returns the honest decisions.
+func runExecution(t *testing.T, g *graph.Graph, f, tEquiv int, ex AttackExecution, rounds int) map[graph.NodeID]sim.Value {
+	t.Helper()
+	nodes := make([]sim.Node, g.N())
+	for _, u := range g.Nodes() {
+		if b, ok := ex.Byzantine[u]; ok {
+			nodes[u] = b
+			continue
+		}
+		if tEquiv > 0 {
+			nodes[u] = core.NewHybridNode(g, f, tEquiv, u, ex.Inputs[u])
+		} else {
+			nodes[u] = core.NewAlgo1Node(g, f, u, ex.Inputs[u])
+		}
+	}
+	model := sim.LocalBroadcast
+	if ex.Equivocators.Len() > 0 {
+		model = sim.Hybrid
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		Topology:     sim.GraphTopology{G: g},
+		Model:        model,
+		Equivocators: ex.Equivocators,
+	}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(rounds)
+	dec := make(map[graph.NodeID]sim.Value)
+	for u, v := range eng.Decisions() {
+		if !ex.Faulty.Contains(u) {
+			dec[u] = v
+		}
+	}
+	return dec
+}
+
+// assertAttackViolates runs all three executions and checks that at least
+// one consensus property breaks, as the lemma proves must happen.
+func assertAttackViolates(t *testing.T, g *graph.Graph, f, tEquiv int, atk *Attack) {
+	t.Helper()
+	violated := false
+	for _, ex := range atk.Executions {
+		dec := runExecution(t, g, f, tEquiv, ex, atk.Rounds)
+		if ex.ExpectHonestOutput != nil {
+			for u, v := range dec {
+				if v != *ex.ExpectHonestOutput {
+					violated = true
+					t.Logf("%s: validity broken at node %d (decided %s, want %s)", ex.Name, u, v, *ex.ExpectHonestOutput)
+				}
+			}
+			continue
+		}
+		seen := map[sim.Value]bool{}
+		for _, v := range dec {
+			seen[v] = true
+		}
+		if len(seen) > 1 {
+			violated = true
+			t.Logf("%s: agreement broken: %v", ex.Name, dec)
+		}
+	}
+	if !violated {
+		t.Fatal("attack failed to violate any consensus property")
+	}
+}
+
+func TestDegreeAttackOnLollipop(t *testing.T) {
+	// Triangle 0-1-2 plus pendant node 3: degree(3) = 1 < 2f for f = 1.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3},
+	})
+	f := 1
+	rounds := core.Algo1Rounds(g.N(), f)
+	factory := func(u graph.NodeID, in sim.Value) sim.Node { return core.NewAlgo1Node(g, f, u, in) }
+	atk, err := DegreeAttack(g, f, 3, rounds, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAttackViolates(t, g, f, 0, atk)
+}
+
+func TestDegreeAttackRejectsHighDegree(t *testing.T) {
+	g := gen.Figure1a() // every node has degree 2 = 2f for f=1
+	factory := func(u graph.NodeID, in sim.Value) sim.Node { return core.NewAlgo1Node(g, 1, u, in) }
+	if _, err := DegreeAttack(g, 1, 0, 10, factory); err == nil {
+		t.Fatal("attack on a degree-2f node should be rejected")
+	}
+}
+
+func TestCutAttackOnFourCycle(t *testing.T) {
+	// 4-cycle: connectivity 2 >= floor(3/2)+1 = 2 for f=1 — at the
+	// threshold, so the attack must be rejected. A path graph has a cut
+	// of size 1 <= floor(3/2) = 1: attackable.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 0, V: 2},
+	})
+	// Cut {2} separates {0,1} from {3,4}.
+	f := 1
+	rounds := core.Algo1Rounds(g.N(), f)
+	factory := func(u graph.NodeID, in sim.Value) sim.Node { return core.NewAlgo1Node(g, f, u, in) }
+	atk, err := CutAttack(g, f, graph.NewSet(0, 1), graph.NewSet(3, 4), graph.NewSet(2), rounds, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAttackViolates(t, g, f, 0, atk)
+}
+
+func TestCutAttackSizeValidation(t *testing.T) {
+	g := gen.Figure1a()
+	factory := func(u graph.NodeID, in sim.Value) sim.Node { return core.NewAlgo1Node(g, 1, u, in) }
+	// |C| = 2 > floor(3/2) = 1 for f=1: must be rejected.
+	_, err := CutAttack(g, 1, graph.NewSet(0), graph.NewSet(2, 3), graph.NewSet(1, 4), 10, factory)
+	if err == nil {
+		t.Fatal("oversized cut accepted")
+	}
+}
+
+func TestHybridDegreeAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid clone run is slow")
+	}
+	// f=1, t=1 (pure equivocation): condition (iii) needs every node to
+	// have >= 2f+1 = 3 neighbors. Build a graph where node 0 has exactly
+	// 2f = 2 neighbors: K4 on {1,2,3,4} plus node 0 attached to 1 and 2.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4}, {U: 2, V: 3}, {U: 2, V: 4}, {U: 3, V: 4},
+		{U: 0, V: 1}, {U: 0, V: 2},
+	})
+	f, tt := 1, 1
+	rounds := core.HybridRounds(g.N(), f, tt)
+	factory := func(u graph.NodeID, in sim.Value) sim.Node { return core.NewHybridNode(g, f, tt, u, in) }
+	atk, err := HybridDegreeAttack(g, f, tt, graph.NewSet(0), rounds, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAttackViolates(t, g, f, tt, atk)
+}
+
+func TestHybridCutAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid clone run is slow")
+	}
+	// f=1, t=1: connectivity requirement is 2t+1 = 3. Use a graph with a
+	// 2-cut: two triangles joined through cut nodes {2,3}.
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 2}, {U: 4, V: 3}, {U: 5, V: 2}, {U: 5, V: 3},
+	})
+	f, tt := 1, 1
+	rounds := core.HybridRounds(g.N(), f, tt)
+	factory := func(u graph.NodeID, in sim.Value) sim.Node { return core.NewHybridNode(g, f, tt, u, in) }
+	atk, err := HybridCutAttack(g, f, tt, graph.NewSet(0, 1), graph.NewSet(4, 5), graph.NewSet(2, 3), rounds, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAttackViolates(t, g, f, tt, atk)
+}
+
+func TestReplayNodeScript(t *testing.T) {
+	n := &ReplayNode{Me: 1, Script: [][]sim.Payload{
+		{payload("a"), payload("b")},
+		nil,
+		{payload("c")},
+	}}
+	if got := n.Step(0, nil); len(got) != 2 || got[0].To != sim.Broadcast {
+		t.Fatalf("round 0 = %v", got)
+	}
+	if got := n.Step(1, nil); len(got) != 0 {
+		t.Fatalf("round 1 = %v", got)
+	}
+	if got := n.Step(5, nil); got != nil {
+		t.Fatalf("beyond script = %v", got)
+	}
+}
+
+type payload string
+
+func (p payload) Key() string { return string(p) }
+
+func TestSplitReplayNodeTargets(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+	n := &SplitReplayNode{
+		G:       g,
+		Me:      0,
+		ClassA:  graph.NewSet(1),
+		ScriptA: [][]sim.Payload{{payload("toA")}},
+		ScriptB: [][]sim.Payload{{payload("toB")}},
+	}
+	out := n.Step(0, nil)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	byTo := map[graph.NodeID]string{}
+	for _, o := range out {
+		byTo[o.To] = o.Payload.Key()
+	}
+	if byTo[1] != "toA" || byTo[2] != "toB" {
+		t.Fatalf("split routing wrong: %v", byTo)
+	}
+}
+
+func TestCloneNetValidation(t *testing.T) {
+	g := gen.Figure1a()
+	cn := NewCloneNet(g)
+	cn.AddClone(0, 0, sim.Zero)
+	// Node 0's neighbors (1 and 4) were never added: Wire must fail.
+	err := cn.Wire(func(CloneID, graph.NodeID) (int, bool) { return 0, true })
+	if err == nil {
+		t.Fatal("missing clone not detected")
+	}
+}

@@ -1,0 +1,329 @@
+// Package adversary provides Byzantine node implementations for fault
+// injection (silent, tampering, equivocating, randomized strategies) and
+// the exact cloned-execution adversaries from the paper's impossibility
+// proofs (Lemmas A.1, A.2, D.1 and D.2), which demonstrate agreement
+// violations on graphs below the tight thresholds.
+package adversary
+
+import (
+	"math/rand"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// SilentNode is a crash-from-start Byzantine node: it never transmits.
+// Honest neighbors substitute the default message for it in step (a).
+type SilentNode struct {
+	Me graph.NodeID
+}
+
+var _ sim.Node = (*SilentNode)(nil)
+
+// ID returns the node id.
+func (n *SilentNode) ID() graph.NodeID { return n.Me }
+
+// Step transmits nothing.
+func (n *SilentNode) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
+
+// MuteAfter wraps an honest node and suppresses all its transmissions from
+// round `after` on — a mid-protocol crash fault.
+type MuteAfter struct {
+	Inner sim.Node
+	After int
+}
+
+var _ sim.Node = (*MuteAfter)(nil)
+
+// ID returns the inner node's id.
+func (n *MuteAfter) ID() graph.NodeID { return n.Inner.ID() }
+
+// Step delegates to the inner node, discarding output once muted.
+func (n *MuteAfter) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	out := n.Inner.Step(round, inbox)
+	if round >= n.After {
+		return nil
+	}
+	return out
+}
+
+// TamperNode is a protocol-aware Byzantine node for the flooding-based
+// algorithms: at the start of every phase (every PhaseLen rounds) it
+// initiates flooding with a value chosen by its seeded RNG, and it relays
+// every flood message it hears with the value flipped with probability
+// FlipProb (and drops it with probability DropProb). Decision messages are
+// flipped too. Because the local broadcast transport delivers every lie to
+// all neighbors identically, this node exercises exactly the adversarial
+// power the model allows.
+type TamperNode struct {
+	G        *graph.Graph
+	Me       graph.NodeID
+	PhaseLen int
+	FlipProb float64
+	DropProb float64
+
+	rng *rand.Rand
+}
+
+var _ sim.Node = (*TamperNode)(nil)
+
+// NewTamper builds a tampering node with deterministic behavior derived
+// from seed.
+func NewTamper(g *graph.Graph, me graph.NodeID, phaseLen int, seed int64) *TamperNode {
+	return &TamperNode{
+		G:        g,
+		Me:       me,
+		PhaseLen: phaseLen,
+		FlipProb: 0.75,
+		DropProb: 0.2,
+		rng:      rand.New(rand.NewSource(seed ^ int64(me)<<13)),
+	}
+}
+
+// ID returns the node id.
+func (n *TamperNode) ID() graph.NodeID { return n.Me }
+
+// Step initiates a chosen value at phase starts and relays corrupted
+// messages otherwise.
+func (n *TamperNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	if n.PhaseLen > 0 && round%n.PhaseLen == 0 {
+		v := sim.Value(n.rng.Intn(2))
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{
+			Body: flood.ValueBody{Value: v},
+		}})
+	}
+	for _, d := range inbox {
+		m, ok := d.Payload.(flood.Msg)
+		if !ok {
+			continue
+		}
+		if n.rng.Float64() < n.DropProb {
+			continue
+		}
+		full := m.Pi.Append(d.From)
+		if !full.ValidIn(n.G) || !full.IsSimple() || full.Contains(n.Me) {
+			continue // cannot forge an invalid provenance past rule (i)
+		}
+		body := n.corrupt(m.Body)
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{Body: body, Pi: full}})
+	}
+	return out
+}
+
+func (n *TamperNode) corrupt(b flood.Body) flood.Body {
+	if n.rng.Float64() >= n.FlipProb {
+		return b
+	}
+	switch body := b.(type) {
+	case flood.ValueBody:
+		return flood.ValueBody{Value: 1 - body.Value}
+	default:
+		return b
+	}
+}
+
+// EquivocatorNode sends conflicting initiations to different neighbors:
+// value 0 to the lower half of its neighbor list and value 1 to the upper
+// half, re-initiating every PhaseLen rounds, and relays honestly otherwise.
+// Under the local broadcast transport the engine coerces the unicasts to
+// broadcasts, neutralizing the attack — which is precisely the model
+// difference the paper studies. Under point-to-point or hybrid transports
+// (when listed as an equivocator) the split personalities are delivered.
+type EquivocatorNode struct {
+	G        *graph.Graph
+	Me       graph.NodeID
+	PhaseLen int
+}
+
+var _ sim.Node = (*EquivocatorNode)(nil)
+
+// ID returns the node id.
+func (n *EquivocatorNode) ID() graph.NodeID { return n.Me }
+
+// Step sends the split initiations at phase starts and relays faithfully in
+// other rounds.
+func (n *EquivocatorNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	if n.PhaseLen > 0 && round%n.PhaseLen == 0 {
+		nbrs := n.G.Neighbors(n.Me)
+		for i, nb := range nbrs {
+			v := sim.Zero
+			if i >= len(nbrs)/2 {
+				v = sim.One
+			}
+			out = append(out, sim.Outgoing{To: nb, Payload: flood.Msg{
+				Body: flood.ValueBody{Value: v},
+			}})
+		}
+		return out
+	}
+	for _, d := range inbox {
+		m, ok := d.Payload.(flood.Msg)
+		if !ok {
+			continue
+		}
+		full := m.Pi.Append(d.From)
+		if !full.ValidIn(n.G) || !full.IsSimple() || full.Contains(n.Me) {
+			continue
+		}
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{Body: m.Body, Pi: full}})
+	}
+	return out
+}
+
+// ForgerNode exploits the full forgery surface rule (i) leaves open: every
+// round it fabricates flood messages with random values along random valid
+// simple paths that end at itself — claims it could legitimately make,
+// since only paths ending at the sender pass the provenance check. It also
+// initiates conflicting values at phase starts (rule (ii) forces all its
+// neighbors to resolve them identically).
+type ForgerNode struct {
+	G        *graph.Graph
+	Me       graph.NodeID
+	PhaseLen int
+	// PerRound is the number of forged messages per round (default 3).
+	PerRound int
+
+	rng *rand.Rand
+}
+
+var _ sim.Node = (*ForgerNode)(nil)
+
+// NewForger builds a forging node with behavior derived from seed.
+func NewForger(g *graph.Graph, me graph.NodeID, phaseLen int, seed int64) *ForgerNode {
+	return &ForgerNode{
+		G:        g,
+		Me:       me,
+		PhaseLen: phaseLen,
+		PerRound: 3,
+		rng:      rand.New(rand.NewSource(seed ^ int64(me)*2654435761)),
+	}
+}
+
+// ID returns the node id.
+func (n *ForgerNode) ID() graph.NodeID { return n.Me }
+
+// Step emits the forged traffic for this round.
+func (n *ForgerNode) Step(round int, _ []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	if n.PhaseLen > 0 && round%n.PhaseLen == 0 {
+		// Two conflicting initiations: rule (ii) keeps the first.
+		out = append(out,
+			sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{Body: flood.ValueBody{Value: sim.Value(n.rng.Intn(2))}}},
+			sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{Body: flood.ValueBody{Value: sim.Value(n.rng.Intn(2))}}},
+		)
+	}
+	per := n.PerRound
+	if per == 0 {
+		per = 3
+	}
+	for i := 0; i < per; i++ {
+		if p := n.randomPathToSelf(); p != nil {
+			out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{
+				Body: flood.ValueBody{Value: sim.Value(n.rng.Intn(2))},
+				Pi:   p,
+			}})
+		}
+	}
+	return out
+}
+
+// randomPathToSelf builds a random simple path whose final transmission
+// (Π·me) is valid: a random walk into me along unvisited vertices.
+func (n *ForgerNode) randomPathToSelf() graph.Path {
+	// Walk backwards from me.
+	length := 1 + n.rng.Intn(n.G.N()-1)
+	path := graph.Path{n.Me}
+	used := map[graph.NodeID]bool{n.Me: true}
+	cur := n.Me
+	for len(path) <= length {
+		nbrs := n.G.Neighbors(cur)
+		n.rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
+		advanced := false
+		for _, nb := range nbrs {
+			if !used[nb] {
+				used[nb] = true
+				path = append(path, nb)
+				cur = nb
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	if len(path) < 2 {
+		return nil
+	}
+	// Reverse so the path ends at me, then strip me (Π excludes the
+	// sender).
+	out := make(graph.Path, 0, len(path)-1)
+	for i := len(path) - 1; i >= 1; i-- {
+		out = append(out, path[i])
+	}
+	return out
+}
+
+// ReplayNode broadcasts a fixed per-round script, ignoring its inbox. It is
+// the vehicle for the cloned-execution adversaries: the script is recorded
+// from a faulty node's counterpart in the clone network 𝒢.
+type ReplayNode struct {
+	Me     graph.NodeID
+	Script [][]sim.Payload
+}
+
+var _ sim.Node = (*ReplayNode)(nil)
+
+// ID returns the node id.
+func (n *ReplayNode) ID() graph.NodeID { return n.Me }
+
+// Step broadcasts the scripted payloads for this round.
+func (n *ReplayNode) Step(round int, _ []sim.Delivery) []sim.Outgoing {
+	if round >= len(n.Script) {
+		return nil
+	}
+	out := make([]sim.Outgoing, 0, len(n.Script[round]))
+	for _, p := range n.Script[round] {
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: p})
+	}
+	return out
+}
+
+// SplitReplayNode replays two scripts simultaneously via unicast: neighbors
+// in ClassA receive ScriptA's payloads, all other neighbors receive
+// ScriptB's. It requires an equivocation-capable transport (point-to-point,
+// or hybrid with this node registered as an equivocator) and implements the
+// equivocating faulty nodes of Lemmas D.1/D.2.
+type SplitReplayNode struct {
+	G       *graph.Graph
+	Me      graph.NodeID
+	ClassA  graph.Set
+	ScriptA [][]sim.Payload
+	ScriptB [][]sim.Payload
+}
+
+var _ sim.Node = (*SplitReplayNode)(nil)
+
+// ID returns the node id.
+func (n *SplitReplayNode) ID() graph.NodeID { return n.Me }
+
+// Step unicasts the per-class scripted payloads for this round.
+func (n *SplitReplayNode) Step(round int, _ []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	for _, nb := range n.G.Neighbors(n.Me) {
+		script := n.ScriptB
+		if n.ClassA.Contains(nb) {
+			script = n.ScriptA
+		}
+		if round >= len(script) {
+			continue
+		}
+		for _, p := range script[round] {
+			out = append(out, sim.Outgoing{To: nb, Payload: p})
+		}
+	}
+	return out
+}

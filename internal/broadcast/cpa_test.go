@@ -1,0 +1,181 @@
+package broadcast
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// runCPA executes a CPA broadcast from source on g with the given
+// Byzantine overrides; returns the per-node committed values for honest
+// nodes.
+func runCPA(t *testing.T, g *graph.Graph, f int, source graph.NodeID, value sim.Value, byz map[graph.NodeID]sim.Node) map[graph.NodeID]sim.Value {
+	t.Helper()
+	nodes := make([]sim.Node, g.N())
+	cpas := make(map[graph.NodeID]*Node)
+	for i := range nodes {
+		u := graph.NodeID(i)
+		if b, ok := byz[u]; ok {
+			nodes[i] = b
+			continue
+		}
+		c := New(g, f, u, source, value)
+		nodes[i] = c
+		cpas[u] = c
+	}
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(Rounds(g.N()))
+	out := make(map[graph.NodeID]sim.Value)
+	for u, c := range cpas {
+		if v, ok := c.Committed(); ok {
+			out[u] = v
+		}
+	}
+	return out
+}
+
+// fakeVoter relays a wrong value for the broadcast once.
+type fakeVoter struct {
+	me     graph.NodeID
+	source graph.NodeID
+	value  sim.Value
+}
+
+func (n *fakeVoter) ID() graph.NodeID { return n.me }
+
+func (n *fakeVoter) Step(round int, _ []sim.Delivery) []sim.Outgoing {
+	if round != 1 {
+		return nil
+	}
+	return []sim.Outgoing{{To: sim.Broadcast, Payload: Msg{Source: n.source, Value: n.value}}}
+}
+
+func TestCPAFaultFreeCompletes(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return gen.Complete(5) },
+		func() (*graph.Graph, error) { return gen.Wheel(6) },
+		func() (*graph.Graph, error) { return gen.Cycle(5) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// f = 0: direct + single-voucher relays always complete.
+		got := runCPA(t, g, 0, 0, sim.One, nil)
+		if len(got) != g.N() {
+			t.Fatalf("%v: only %d of %d committed", g, len(got), g.N())
+		}
+		for u, v := range got {
+			if v != sim.One {
+				t.Fatalf("node %d committed %s", u, v)
+			}
+		}
+	}
+}
+
+func TestCPASafetyAgainstFakeVoter(t *testing.T) {
+	// K5, f=1: a single fake voter cannot assemble an f+1 certificate for
+	// a wrong value, so every honest node commits the source's value.
+	g, err := gen.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := map[graph.NodeID]sim.Node{2: &fakeVoter{me: 2, source: 0, value: sim.Zero}}
+	got := runCPA(t, g, 1, 0, sim.One, byz)
+	if len(got) != 4 {
+		t.Fatalf("committed = %v", got)
+	}
+	for u, v := range got {
+		if v != sim.One {
+			t.Fatalf("node %d committed wrong value %s", u, v)
+		}
+	}
+}
+
+func TestCPAStallsOnCycleWithF1(t *testing.T) {
+	// The contrast the E12 experiment records: the 5-cycle supports
+	// *consensus* for f=1 (paper Figure 1a) but CPA *broadcast* cannot
+	// make progress past the source's neighbors, because interior nodes
+	// can never gather 2 = f+1 distinct vouchers.
+	g, err := gen.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runCPA(t, g, 1, 0, sim.One, nil)
+	// Source + its two neighbors commit; nodes 2 and 3 stall.
+	if len(got) != 3 {
+		t.Fatalf("committed set = %v, want exactly source+neighbors", got)
+	}
+	for _, u := range []graph.NodeID{0, 1, 4} {
+		if got[u] != sim.One {
+			t.Fatalf("node %d missing/wrong: %v", u, got)
+		}
+	}
+}
+
+func TestCPASilentSourceNeverCommitsOthers(t *testing.T) {
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := map[graph.NodeID]sim.Node{0: &silentNode{me: 0}}
+	got := runCPA(t, g, 1, 0, sim.One, byz)
+	if len(got) != 0 {
+		t.Fatalf("nodes committed without a source: %v", got)
+	}
+}
+
+// TestCPAEquivocatingSourceUnderLB: under local broadcast the source
+// cannot split its audience — every honest node commits the same value
+// even when the source is faulty.
+func TestCPAEquivocatingSourceUnderLB(t *testing.T) {
+	g, err := gen.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := map[graph.NodeID]sim.Node{0: &splitSource{me: 0, g: g}}
+	got := runCPA(t, g, 1, 0, sim.One, byz)
+	if len(got) != 4 {
+		t.Fatalf("committed = %v", got)
+	}
+	var ref sim.Value
+	first := true
+	for _, v := range got {
+		if first {
+			ref, first = v, false
+		}
+		if v != ref {
+			t.Fatalf("agreement on broadcast value broken: %v", got)
+		}
+	}
+}
+
+type silentNode struct{ me graph.NodeID }
+
+func (s *silentNode) ID() graph.NodeID                        { return s.me }
+func (s *silentNode) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
+
+// splitSource attempts per-neighbor equivocation (coerced to broadcast by
+// the local broadcast transport).
+type splitSource struct {
+	me graph.NodeID
+	g  *graph.Graph
+}
+
+func (s *splitSource) ID() graph.NodeID { return s.me }
+
+func (s *splitSource) Step(round int, _ []sim.Delivery) []sim.Outgoing {
+	if round != 0 {
+		return nil
+	}
+	var out []sim.Outgoing
+	for i, nb := range s.g.Neighbors(s.me) {
+		out = append(out, sim.Outgoing{To: nb, Payload: Msg{Source: s.me, Value: sim.Value(i % 2)}})
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+// Package check decides, for a given graph and fault bounds, whether the
+// paper's tight conditions for Byzantine consensus hold:
+//
+//   - Theorems 4.1/5.1 (local broadcast): min degree ≥ 2f and vertex
+//     connectivity ≥ ⌊3f/2⌋+1;
+//   - Theorem 5.6 (efficient algorithm): vertex connectivity ≥ 2f;
+//   - Theorem 6.1 (hybrid, t equivocating of f faults): connectivity ≥
+//     ⌊3(f−t)/2⌋+2t+1, plus min degree ≥ 2f when t = 0, plus "every set S
+//     with 0 < |S| ≤ t has at least 2f+1 neighbors" when t > 0;
+//   - the classical point-to-point conditions (Dolev): n ≥ 3f+1 and
+//     connectivity ≥ 2f+1.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"lbcast/internal/combin"
+	"lbcast/internal/graph"
+)
+
+// Report is the outcome of a feasibility check: the verdict plus the
+// individual condition evaluations.
+type Report struct {
+	OK         bool
+	Conditions []Condition
+}
+
+// Condition is one evaluated requirement.
+type Condition struct {
+	Name     string
+	Required int
+	Actual   int
+	OK       bool
+}
+
+// String renders the report in one line per condition.
+func (r Report) String() string {
+	var sb strings.Builder
+	for i, c := range r.Conditions {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		mark := "ok"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%-34s need >= %2d, have %2d  [%s]", c.Name, c.Required, c.Actual, mark)
+	}
+	return sb.String()
+}
+
+func buildReport(conds ...Condition) Report {
+	ok := true
+	for _, c := range conds {
+		ok = ok && c.OK
+	}
+	return Report{OK: ok, Conditions: conds}
+}
+
+// LocalBroadcastDegree returns the Theorem 4.1(i) requirement 2f.
+func LocalBroadcastDegree(f int) int { return 2 * f }
+
+// LocalBroadcastConnectivity returns the Theorem 4.1(ii) requirement
+// ⌊3f/2⌋+1.
+func LocalBroadcastConnectivity(f int) int { return 3*f/2 + 1 }
+
+// HybridConnectivity returns the Theorem 6.1(i) requirement
+// ⌊3(f−t)/2⌋+2t+1.
+func HybridConnectivity(f, t int) int { return 3*(f-t)/2 + 2*t + 1 }
+
+// PointToPointConnectivity returns the classical requirement 2f+1.
+func PointToPointConnectivity(f int) int { return 2*f + 1 }
+
+// PointToPointMinNodes returns the classical requirement 3f+1.
+func PointToPointMinNodes(f int) int { return 3*f + 1 }
+
+// LocalBroadcast evaluates the tight Theorem 4.1/5.1 conditions on g for
+// fault bound f.
+func LocalBroadcast(g *graph.Graph, f int) Report {
+	deg := g.MinDegree()
+	kappa := g.VertexConnectivity()
+	return buildReport(
+		Condition{
+			Name:     "min degree >= 2f",
+			Required: LocalBroadcastDegree(f),
+			Actual:   deg,
+			OK:       deg >= LocalBroadcastDegree(f),
+		},
+		Condition{
+			Name:     "connectivity >= floor(3f/2)+1",
+			Required: LocalBroadcastConnectivity(f),
+			Actual:   kappa,
+			OK:       kappa >= LocalBroadcastConnectivity(f) && g.N() > LocalBroadcastConnectivity(f)-1,
+		},
+	)
+}
+
+// Efficient evaluates the Theorem 5.6 condition (2f-connectivity) under
+// which Algorithm 2 applies.
+func Efficient(g *graph.Graph, f int) Report {
+	kappa := g.VertexConnectivity()
+	return buildReport(Condition{
+		Name:     "connectivity >= 2f",
+		Required: 2 * f,
+		Actual:   kappa,
+		OK:       kappa >= 2*f,
+	})
+}
+
+// Hybrid evaluates the Theorem 6.1 conditions for fault bound f with at
+// most t equivocating faults.
+func Hybrid(g *graph.Graph, f, t int) Report {
+	kappa := g.VertexConnectivity()
+	conds := []Condition{{
+		Name:     "connectivity >= floor(3(f-t)/2)+2t+1",
+		Required: HybridConnectivity(f, t),
+		Actual:   kappa,
+		OK:       kappa >= HybridConnectivity(f, t),
+	}}
+	if t == 0 {
+		deg := g.MinDegree()
+		conds = append(conds, Condition{
+			Name:     "min degree >= 2f (t=0)",
+			Required: 2 * f,
+			Actual:   deg,
+			OK:       deg >= 2*f,
+		})
+	} else {
+		minNbrs := MinSetNeighborhood(g, t)
+		conds = append(conds, Condition{
+			Name:     "every |S|<=t has >= 2f+1 neighbors",
+			Required: 2*f + 1,
+			Actual:   minNbrs,
+			OK:       minNbrs >= 2*f+1,
+		})
+	}
+	return buildReport(conds...)
+}
+
+// PointToPoint evaluates the classical point-to-point conditions (n ≥ 3f+1
+// and (2f+1)-connectivity), the paper's comparison baseline.
+func PointToPoint(g *graph.Graph, f int) Report {
+	kappa := g.VertexConnectivity()
+	return buildReport(
+		Condition{
+			Name:     "n >= 3f+1",
+			Required: PointToPointMinNodes(f),
+			Actual:   g.N(),
+			OK:       g.N() >= PointToPointMinNodes(f),
+		},
+		Condition{
+			Name:     "connectivity >= 2f+1",
+			Required: PointToPointConnectivity(f),
+			Actual:   kappa,
+			OK:       kappa >= PointToPointConnectivity(f),
+		},
+	)
+}
+
+// MinSetNeighborhood returns the minimum, over all non-empty node sets S
+// with |S| ≤ maxSize, of the number of neighbors of S (Theorem 6.1(iii)).
+// Exponential in maxSize; intended for the small graphs of this library.
+func MinSetNeighborhood(g *graph.Graph, maxSize int) int {
+	if g.N() == 0 || maxSize <= 0 {
+		return 0
+	}
+	best := g.N()
+	combinAll := g.Nodes()
+	for k := 1; k <= maxSize && k <= g.N(); k++ {
+		combinSubsets(combinAll, k, func(s graph.Set) {
+			if n := len(g.SetNeighbors(s)); n < best {
+				best = n
+			}
+		})
+	}
+	return best
+}
+
+func combinSubsets(items []graph.NodeID, k int, fn func(graph.Set)) {
+	combin.Combinations(items, k, func(c []graph.NodeID) bool {
+		fn(graph.NewSet(c...))
+		return true
+	})
+}
+
+// MaxTolerableLocalBroadcast returns the largest f for which g satisfies
+// the local broadcast conditions (0 if none).
+func MaxTolerableLocalBroadcast(g *graph.Graph) int {
+	f := 0
+	for LocalBroadcast(g, f+1).OK {
+		f++
+	}
+	return f
+}
+
+// MaxTolerablePointToPoint returns the largest f for which g satisfies the
+// point-to-point conditions (0 if none).
+func MaxTolerablePointToPoint(g *graph.Graph) int {
+	f := 0
+	for PointToPoint(g, f+1).OK {
+		f++
+	}
+	return f
+}

@@ -1,0 +1,150 @@
+package check
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+)
+
+func TestThresholdFormulas(t *testing.T) {
+	// ⌊3f/2⌋+1 for f = 0..5: 1, 2, 4, 5, 7, 8.
+	wantLB := []int{1, 2, 4, 5, 7, 8}
+	for f, w := range wantLB {
+		if got := LocalBroadcastConnectivity(f); got != w {
+			t.Errorf("LB connectivity(f=%d) = %d, want %d", f, got, w)
+		}
+	}
+	if LocalBroadcastDegree(3) != 6 {
+		t.Fatal("degree threshold wrong")
+	}
+	// Hybrid reductions: t=0 matches LB; t=f matches point-to-point.
+	for f := 0; f <= 5; f++ {
+		if HybridConnectivity(f, 0) != LocalBroadcastConnectivity(f) {
+			t.Errorf("hybrid(t=0) mismatch at f=%d", f)
+		}
+		if HybridConnectivity(f, f) != PointToPointConnectivity(f) {
+			t.Errorf("hybrid(t=f) mismatch at f=%d", f)
+		}
+	}
+	// Monotone in t: more equivocation demands more connectivity.
+	for f := 1; f <= 5; f++ {
+		for tt := 0; tt < f; tt++ {
+			if HybridConnectivity(f, tt) > HybridConnectivity(f, tt+1) {
+				t.Errorf("hybrid connectivity not monotone at f=%d t=%d", f, tt)
+			}
+		}
+	}
+}
+
+func TestLocalBroadcastOnFigureGraphs(t *testing.T) {
+	if r := LocalBroadcast(gen.Figure1a(), 1); !r.OK {
+		t.Fatalf("figure 1a should tolerate f=1:\n%s", r)
+	}
+	if r := LocalBroadcast(gen.Figure1a(), 2); r.OK {
+		t.Fatal("figure 1a cannot tolerate f=2")
+	}
+	if r := LocalBroadcast(gen.Figure1b(), 2); !r.OK {
+		t.Fatalf("figure 1b should tolerate f=2:\n%s", r)
+	}
+	if r := LocalBroadcast(gen.Figure1b(), 3); r.OK {
+		t.Fatal("figure 1b cannot tolerate f=3")
+	}
+}
+
+func TestCompleteGraph2fPlus1(t *testing.T) {
+	// The paper: K_{2f+1} satisfies the conditions for any f.
+	for f := 1; f <= 4; f++ {
+		g, err := gen.Complete(2*f + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := LocalBroadcast(g, f); !r.OK {
+			t.Fatalf("K%d should tolerate f=%d:\n%s", 2*f+1, f, r)
+		}
+		// Point-to-point needs n >= 3f+1: K_{2f+1} fails it.
+		if r := PointToPoint(g, f); r.OK {
+			t.Fatalf("K%d cannot satisfy point-to-point for f=%d", 2*f+1, f)
+		}
+	}
+}
+
+func TestEfficientCondition(t *testing.T) {
+	if !Efficient(gen.Figure1a(), 1).OK {
+		t.Fatal("cycle5 is 2-connected = 2f for f=1")
+	}
+	if Efficient(gen.Figure1a(), 2).OK {
+		t.Fatal("cycle5 is not 4-connected")
+	}
+}
+
+func TestHybridConditions(t *testing.T) {
+	g, err := gen.Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K7: kappa=6, n=7. f=2,t=1 needs kappa >= floor(3/2)+2+1 = 4 and
+	// every |S|<=1 has >= 5 neighbors (degree 6 in K7). OK.
+	if r := Hybrid(g, 2, 1); !r.OK {
+		t.Fatalf("K7 f=2 t=1 should pass:\n%s", r)
+	}
+	// f=2,t=2 (pure p2p): needs n >= 7 via |S|<=2 having >= 5 neighbors;
+	// K7: any 2-set has 5 neighbors. Connectivity needs 2f+1=5 <= 6. OK.
+	if r := Hybrid(g, 2, 2); !r.OK {
+		t.Fatalf("K7 f=2 t=2 should pass:\n%s", r)
+	}
+	// K6 with f=2,t=2: |S|=1 has 5 neighbors >= 5 ok; |S|=2 has 4 < 5.
+	g6, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Hybrid(g6, 2, 2); r.OK {
+		t.Fatal("K6 f=2 t=2 must fail the neighborhood condition")
+	}
+	// t=0 reduces to the LB check.
+	if Hybrid(gen.Figure1a(), 1, 0).OK != LocalBroadcast(gen.Figure1a(), 1).OK {
+		t.Fatal("hybrid t=0 should match local broadcast")
+	}
+}
+
+func TestMinSetNeighborhood(t *testing.T) {
+	g := gen.Figure1a()
+	if got := MinSetNeighborhood(g, 1); got != 2 {
+		t.Fatalf("min 1-set neighborhood on cycle5 = %d, want 2", got)
+	}
+	// Two adjacent nodes on a 5-cycle still have exactly 2 neighbors.
+	if got := MinSetNeighborhood(g, 2); got != 2 {
+		t.Fatalf("min 2-set neighborhood = %d, want 2", got)
+	}
+	if got := MinSetNeighborhood(graph.New(0), 1); got != 0 {
+		t.Fatalf("empty graph = %d", got)
+	}
+}
+
+func TestMaxTolerable(t *testing.T) {
+	if got := MaxTolerableLocalBroadcast(gen.Figure1a()); got != 1 {
+		t.Fatalf("cycle5 max f = %d, want 1", got)
+	}
+	if got := MaxTolerableLocalBroadcast(gen.Figure1b()); got != 2 {
+		t.Fatalf("figure1b max f = %d, want 2", got)
+	}
+	k7, err := gen.Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K7: LB needs degree 2f <= 6 and kappa floor(3f/2)+1 <= 6 → f=3.
+	if got := MaxTolerableLocalBroadcast(k7); got != 3 {
+		t.Fatalf("K7 LB max f = %d, want 3", got)
+	}
+	// P2P: n >= 3f+1 → f=2 on 7 nodes.
+	if got := MaxTolerablePointToPoint(k7); got != 2 {
+		t.Fatalf("K7 P2P max f = %d, want 2", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := LocalBroadcast(gen.Figure1a(), 1)
+	if s := r.String(); s == "" {
+		t.Fatal("empty report")
+	}
+}

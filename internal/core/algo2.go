@@ -1,0 +1,580 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// This file implements Algorithm 2 (Appendix C): the efficient O(n)-round
+// Byzantine consensus algorithm for 2f-connected graphs under local
+// broadcast. Three phases, each one flooding session:
+//
+//	phase 1 — every node floods its input value;
+//	phase 2 — every node floods, per neighbor z, a report containing z's
+//	          complete ordered phase-1 transmission transcript (under
+//	          local broadcast all of z's neighbors heard the identical
+//	          transcript); afterwards every node runs fault
+//	          identification;
+//	phase 3 — type B nodes (those that identified fewer than f faults)
+//	          decide the majority of reliably received inputs and flood
+//	          the decision; type A nodes (those that know all f faults)
+//	          adopt a decision received from a non-faulty node along a
+//	          fault-free path, falling back to the majority of non-faulty
+//	          inputs.
+//
+// Reliable receive follows Definition C.1: a node v reliably receives a
+// message flooded by u if u = v, v is a neighbor of u, or v received it
+// identically along f+1 internally-disjoint uv-paths.
+//
+// Fault identification refines the paper's phase-2 rule to be sound against
+// both tampering and omission: walking each of 2f vertex-disjoint w→u paths
+// from an origin w whose value b was reliably received, the invariant "the
+// previous node's first transmission for this path prefix carried b" is
+// maintained, and a node whose reliably-known transcript contradicts the
+// invariant (wrong first value, or no transmission at all) is marked
+// faulty. A node whose transcript is not reliably known must be non-faulty
+// (Lemma C.2: every faulty node's transmissions are reliably received by
+// everyone), so the walk passes over it. This realizes the tool described
+// in Section 5.3: "each node can observe all messages sent by any faulty
+// node [... and] can either observe all messages sent by another non-faulty
+// node, or learn that it is non-faulty."
+
+// TranscriptBody is the phase-2 report: the flooding reporter's record of
+// everything node Observed transmitted during phase 1, in reception order.
+type TranscriptBody struct {
+	Observed graph.NodeID
+	// Entries are the canonical keys (flood.Msg.Key) of the observed
+	// transmissions, in order.
+	Entries []string
+}
+
+var _ flood.Body = TranscriptBody{}
+
+// Key returns the full canonical identity (observed node plus transcript).
+func (b TranscriptBody) Key() string {
+	return fmt.Sprintf("tr:%d:%s", b.Observed, strings.Join(b.Entries, ";"))
+}
+
+// Slot identifies the report instance independent of its content: one
+// transcript claim per (reporter, observed) pair.
+func (b TranscriptBody) Slot() string { return fmt.Sprintf("tr:%d", b.Observed) }
+
+// DecisionBody is the phase-3 payload flooded by type B nodes.
+type DecisionBody struct {
+	Value sim.Value
+}
+
+var _ flood.Body = DecisionBody{}
+
+// Key returns the canonical identity.
+func (b DecisionBody) Key() string { return "d:" + b.Value.String() }
+
+// Slot returns the per-origin instance id (one decision per node).
+func (DecisionBody) Slot() string { return "d" }
+
+// EfficientNode is a non-faulty node running Algorithm 2.
+type EfficientNode struct {
+	g     *graph.Graph
+	me    graph.NodeID
+	f     int
+	input sim.Value
+
+	flooder *flood.Flooder
+	round   int
+
+	// Phase-1 observation logs (local broadcast: everything every
+	// neighbor transmits is heard).
+	heard map[graph.NodeID][]string // neighbor -> ordered transmission keys
+	sent  []string                  // own ordered transmission keys
+
+	phase1Receipts []flood.Receipt
+	phase2Receipts []flood.Receipt
+
+	// Post-phase-2 state.
+	identified graph.Set // identified faulty nodes
+	typeA      bool
+
+	// Caches.
+	transcripts map[graph.NodeID]*transcriptInfo
+	relValues   map[graph.NodeID]*relValue
+
+	decided  bool
+	decision sim.Value
+}
+
+type transcriptInfo struct {
+	known   bool
+	entries []string
+}
+
+type relValue struct {
+	ok  bool
+	val sim.Value
+}
+
+var (
+	_ sim.Node    = (*EfficientNode)(nil)
+	_ sim.Decider = (*EfficientNode)(nil)
+)
+
+// NewEfficientNode builds a non-faulty Algorithm 2 node. The graph must be
+// 2f-connected (Theorem 5.6); the constructor does not re-verify this.
+func NewEfficientNode(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *EfficientNode {
+	return &EfficientNode{
+		g:           g,
+		me:          me,
+		f:           f,
+		input:       input,
+		heard:       make(map[graph.NodeID][]string),
+		transcripts: make(map[graph.NodeID]*transcriptInfo),
+		relValues:   make(map[graph.NodeID]*relValue),
+	}
+}
+
+// EfficientRounds returns the total engine rounds Algorithm 2 needs on an
+// n-node graph: three flooding sessions.
+func EfficientRounds(n int) int { return 3 * flood.Rounds(n) }
+
+// ID returns the node id.
+func (nd *EfficientNode) ID() graph.NodeID { return nd.me }
+
+// Decision reports the decided output value.
+func (nd *EfficientNode) Decision() (sim.Value, bool) {
+	if !nd.decided {
+		return 0, false
+	}
+	return nd.decision, true
+}
+
+// TypeA reports whether the node classified itself as a type A node
+// (identified all f faults) after phase 2. Valid once phase 3 has started.
+func (nd *EfficientNode) TypeA() bool { return nd.typeA }
+
+// Identified returns the set of faulty nodes identified in phase 2.
+func (nd *EfficientNode) Identified() graph.Set { return nd.identified.Clone() }
+
+// Step advances the node one synchronous round.
+func (nd *EfficientNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	pr := flood.Rounds(nd.g.N())
+	r := nd.round
+	nd.round++
+	var out []sim.Outgoing
+	switch {
+	case r < pr:
+		out = nd.stepPhase1(r, inbox)
+	case r < 2*pr:
+		out = nd.stepPhase2(r-pr, inbox)
+	case r < 3*pr:
+		out = nd.stepPhase3(r-2*pr, inbox)
+		if nd.round == 3*pr {
+			nd.finish()
+		}
+	}
+	return out
+}
+
+func (nd *EfficientNode) stepPhase1(r int, inbox []sim.Delivery) []sim.Outgoing {
+	nd.recordHeard(r, inbox)
+	var out []sim.Outgoing
+	switch r {
+	case 0:
+		nd.flooder = flood.New(nd.g, nd.me)
+		out = nd.flooder.Start(flood.ValueBody{Value: nd.input})
+	case 1:
+		out = nd.flooder.Deliver(inbox)
+		out = append(out, nd.flooder.SynthesizeMissing(func(graph.NodeID) flood.Body {
+			return flood.ValueBody{Value: sim.DefaultValue}
+		})...)
+	default:
+		out = nd.flooder.Deliver(inbox)
+	}
+	nd.recordSent(r, out)
+	if r == flood.Rounds(nd.g.N())-1 {
+		nd.phase1Receipts = nd.flooder.Receipts()
+	}
+	return out
+}
+
+func (nd *EfficientNode) stepPhase2(r int, inbox []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	if r == 0 {
+		nd.flooder = flood.New(nd.g, nd.me)
+		bodies := make([]flood.Body, 0, nd.g.Degree(nd.me))
+		for _, z := range nd.g.Neighbors(nd.me) {
+			entries := make([]string, len(nd.heard[z]))
+			copy(entries, nd.heard[z])
+			bodies = append(bodies, TranscriptBody{Observed: z, Entries: entries})
+		}
+		out = nd.flooder.Start(bodies...)
+	} else {
+		out = nd.flooder.Deliver(inbox)
+	}
+	if r == flood.Rounds(nd.g.N())-1 {
+		nd.phase2Receipts = nd.flooder.Receipts()
+		nd.identifyFaults()
+		nd.typeA = nd.identified.Len() >= nd.f && nd.f > 0
+	}
+	return out
+}
+
+func (nd *EfficientNode) stepPhase3(r int, inbox []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	if r == 0 {
+		nd.flooder = flood.New(nd.g, nd.me)
+		if !nd.typeA {
+			// Type B: decide the majority of reliably received input
+			// values (ties go to 0) and flood the decision.
+			nd.decision = nd.majorityReliable()
+			nd.decided = true
+			out = nd.flooder.Start(DecisionBody{Value: nd.decision})
+		}
+	} else {
+		out = nd.flooder.Deliver(inbox)
+	}
+	return out
+}
+
+// finish completes phase 3 for type A nodes: adopt a decision received from
+// a non-faulty node along a fault-free path, else fall back to the majority
+// of non-faulty inputs.
+func (nd *EfficientNode) finish() {
+	if nd.decided {
+		return
+	}
+	for _, r := range nd.flooder.Receipts() {
+		db, ok := r.Body.(DecisionBody)
+		if !ok {
+			continue
+		}
+		if nd.identified.Contains(r.Origin) {
+			continue // decision claimed by a known-faulty node
+		}
+		if !r.Path.Excludes(nd.identified) {
+			continue // a faulty relay could have tampered
+		}
+		nd.decision = db.Value
+		nd.decided = true
+		return
+	}
+	nd.decision = nd.majorityNonFaulty()
+	nd.decided = true
+}
+
+// transcriptEntry canonically stamps a transmission with the phase round
+// it occurred in ("<round>|<msg key>"). The stamp is part of the
+// transcript claims, so all honest reporters of a node produce identical
+// strings (the synchronous engine delivers everything one round after
+// transmission).
+func transcriptEntry(round int, key string) string {
+	return fmt.Sprintf("%d|%s", round, key)
+}
+
+// splitEntry recovers (round, key) from a transcript entry; ok is false
+// for malformed entries (possible in claims forged by faulty reporters).
+func splitEntry(e string) (round int, key string, ok bool) {
+	i := strings.IndexByte(e, '|')
+	if i <= 0 {
+		return 0, "", false
+	}
+	r, err := strconv.Atoi(e[:i])
+	if err != nil || r < 0 {
+		return 0, "", false
+	}
+	return r, e[i+1:], true
+}
+
+// recordHeard appends every phase-1 flood transmission heard from each
+// neighbor to the per-neighbor transcript log. stepRound is the round the
+// inbox was *delivered* in; the transmissions happened one round earlier.
+func (nd *EfficientNode) recordHeard(stepRound int, inbox []sim.Delivery) {
+	for _, d := range inbox {
+		if m, ok := d.Payload.(flood.Msg); ok {
+			nd.heard[d.From] = append(nd.heard[d.From], transcriptEntry(stepRound-1, m.Key()))
+		}
+	}
+}
+
+// recordSent appends own transmissions (made in stepRound) to the self
+// transcript.
+func (nd *EfficientNode) recordSent(stepRound int, out []sim.Outgoing) {
+	for _, o := range out {
+		if m, ok := o.Payload.(flood.Msg); ok {
+			nd.sent = append(nd.sent, transcriptEntry(stepRound, m.Key()))
+		}
+	}
+}
+
+// reliableValue implements Definition C.1 for phase-1 input values: the
+// value reliably received from u, if any.
+func (nd *EfficientNode) reliableValue(u graph.NodeID) (sim.Value, bool) {
+	if c, ok := nd.relValues[u]; ok {
+		return c.val, c.ok
+	}
+	val, ok := nd.computeReliableValue(u)
+	nd.relValues[u] = &relValue{ok: ok, val: val}
+	return val, ok
+}
+
+func (nd *EfficientNode) computeReliableValue(u graph.NodeID) (sim.Value, bool) {
+	if u == nd.me {
+		return nd.input, true
+	}
+	if nd.g.HasEdge(u, nd.me) {
+		// Clause 2: direct neighbors hear the initiation (or apply the
+		// default substitution) themselves.
+		direct := graph.Path{u, nd.me}.Key()
+		for _, r := range nd.phase1Receipts {
+			if r.Origin == u && r.Path.Key() == direct {
+				if v, ok := r.Value(); ok {
+					return v, true
+				}
+			}
+		}
+		return 0, false
+	}
+	// Clause 3: identical value along f+1 internally-disjoint uv-paths.
+	for _, delta := range []sim.Value{sim.Zero, sim.One} {
+		fil := flood.Filter{
+			Origins: graph.NewSet(u),
+			BodyKey: flood.ValueBody{Value: delta}.Key(),
+		}
+		if flood.ReceivedOnDisjointPaths(nd.phase1Receipts, fil, nd.f+1, flood.InternallyDisjoint) {
+			return delta, true
+		}
+	}
+	return 0, false
+}
+
+// reliableTranscript returns z's complete ordered phase-1 transcript if it
+// is reliably known to this node: own log for itself and for direct
+// neighbors, otherwise an identical transcript claim received along f+1
+// internally-disjoint zv-paths (each path being z, then a reporting
+// neighbor of z, then the report flood's relay path).
+func (nd *EfficientNode) reliableTranscript(z graph.NodeID) ([]string, bool) {
+	if c, ok := nd.transcripts[z]; ok {
+		return c.entries, c.known
+	}
+	entries, known := nd.computeReliableTranscript(z)
+	nd.transcripts[z] = &transcriptInfo{known: known, entries: entries}
+	return entries, known
+}
+
+func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bool) {
+	if z == nd.me {
+		return nd.sent, true
+	}
+	if nd.g.HasEdge(z, nd.me) {
+		return nd.heard[z], true
+	}
+	// Group transcript claims about z by content, tracking for each
+	// distinct content the zv-paths it arrived along.
+	type claimGroup struct {
+		body  TranscriptBody
+		paths []flood.Receipt // synthetic receipts with the z-prefixed path
+	}
+	groups := make(map[string]*claimGroup)
+	for _, r := range nd.phase2Receipts {
+		tb, ok := r.Body.(TranscriptBody)
+		if !ok || tb.Observed != z {
+			continue
+		}
+		// The reporter (flood origin) must be a neighbor of z, and z must
+		// not appear on the relay path, otherwise z·path is not a simple
+		// zv-path.
+		if !nd.g.HasEdge(r.Origin, z) || r.Path.Contains(z) {
+			continue
+		}
+		key := tb.Key()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &claimGroup{body: tb}
+			groups[key] = grp
+		}
+		zp := make(graph.Path, 0, len(r.Path)+1)
+		zp = append(zp, z)
+		zp = append(zp, r.Path...)
+		grp.paths = append(grp.paths, flood.Receipt{Origin: z, Path: zp, Body: tb})
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		grp := groups[k]
+		if flood.SelectDisjoint(grp.paths, nd.f+1, flood.InternallyDisjoint) != nil {
+			return grp.body.Entries, true
+		}
+	}
+	return nil, false
+}
+
+// identifyFaults runs the phase-2 fault identification walks.
+func (nd *EfficientNode) identifyFaults() {
+	nd.identified = graph.NewSet()
+	for _, w := range nd.g.Nodes() {
+		b, ok := nd.reliableValue(w)
+		if !ok {
+			continue
+		}
+		for _, u := range nd.g.Nodes() {
+			if u == w {
+				continue
+			}
+			for _, p := range nd.g.DisjointPaths(w, u, 2*nd.f, nil) {
+				nd.walkPath(p, b)
+			}
+		}
+	}
+}
+
+// walkPath scans one w→u path (p[0] = origin) for the first node whose
+// reliably-known transcript contradicts its timed forwarding obligation
+// under origin value b, and marks it faulty.
+//
+// The timeline invariant: the origin's (possibly deemed) initiation is at
+// round 0; an honest node at position i hears its predecessor's slot
+// transmission at round prev+1 and forwards (b, p[:i]) in that same round,
+// exactly once. A reliably-known transcript showing the wrong value, an
+// off-schedule round, or nothing at all inside the observable window
+// convicts the node. Transmissions in the phase's final round are heard
+// only after the phase boundary and never appear in transcripts, so a
+// timeline that reaches that window ends the walk without a verdict.
+func (nd *EfficientNode) walkPath(p graph.Path, b sim.Value) {
+	// Transmissions at rounds <= lastVisible are recorded by reporters
+	// (heard one round later, still inside phase 1).
+	lastVisible := flood.Rounds(nd.g.N()) - 2
+	prev := 0 // round of the established predecessor transmission
+	for i := 1; i < len(p)-1; i++ {
+		z := p[i]
+		due := prev + 1 // the round an honest z forwards in
+		if z == nd.me {
+			// Own behavior is known correct; own forward (if the chain
+			// was intact) happened at the due round.
+			prev = due
+			continue
+		}
+		tr, known := nd.reliableTranscript(z)
+		if !known {
+			// Not reliably observable ⇒ z is non-faulty (Lemma C.2
+			// contrapositive); its honest forward keeps the timeline.
+			prev = due
+			continue
+		}
+		prefix := p[:i] // the Π of z's expected forward
+		wantGood := flood.Msg{Body: flood.ValueBody{Value: b}, Pi: prefix}.Key()
+		wantBad := flood.Msg{Body: flood.ValueBody{Value: 1 - b}, Pi: prefix}.Key()
+		foundRound, foundKey := -1, ""
+		for _, e := range tr {
+			r, key, ok := splitEntry(e)
+			if !ok {
+				continue
+			}
+			if key == wantGood || key == wantBad {
+				foundRound, foundKey = r, key
+				break
+			}
+		}
+		switch {
+		case foundKey == "":
+			if due <= lastVisible {
+				// Obligated inside the observable window but silent.
+				nd.identified.Add(z)
+			}
+			// Otherwise the forward would fall outside the window:
+			// unobservable, no verdict.
+			return
+		case foundKey == wantBad:
+			// z's first transmission for this slot carried the flipped
+			// value: tampering (an honest node forwards exactly what the
+			// established predecessor content was).
+			nd.identified.Add(z)
+			return
+		case foundRound != due:
+			// Right value, wrong round: an honest node forwards exactly
+			// one round after its predecessor.
+			nd.identified.Add(z)
+			return
+		default:
+			prev = foundRound
+		}
+	}
+}
+
+// majorityReliable is the type B decision rule: majority of reliably
+// received input values, ties to 0.
+func (nd *EfficientNode) majorityReliable() sim.Value {
+	ones, zeros := 0, 0
+	for _, w := range nd.g.Nodes() {
+		if v, ok := nd.reliableValue(w); ok {
+			if v == sim.One {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+	}
+	if ones > zeros {
+		return sim.One
+	}
+	return sim.Zero
+}
+
+// majorityNonFaulty is the type A fallback: majority of the input values of
+// all nodes outside the identified fault set, read along fault-free paths.
+func (nd *EfficientNode) majorityNonFaulty() sim.Value {
+	ones, zeros := 0, 0
+	for _, w := range nd.g.Nodes() {
+		if nd.identified.Contains(w) {
+			continue
+		}
+		if w == nd.me {
+			if nd.input == sim.One {
+				ones++
+			} else {
+				zeros++
+			}
+			continue
+		}
+		v, ok := nd.valueAlongCleanPath(w)
+		if !ok {
+			continue
+		}
+		if v == sim.One {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	if ones > zeros {
+		return sim.One
+	}
+	return sim.Zero
+}
+
+// valueAlongCleanPath returns the phase-1 value received from w along any
+// path that excludes the identified fault set. All such receipts agree,
+// because every internal node on such a path is non-faulty.
+func (nd *EfficientNode) valueAlongCleanPath(w graph.NodeID) (sim.Value, bool) {
+	for _, r := range nd.phase1Receipts {
+		if r.Origin != w || !r.Path.Excludes(nd.identified) {
+			continue
+		}
+		if v, ok := r.Value(); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// ReliableValueDebug exposes the Definition C.1 reliable-receive outcome
+// for experiment inspection and debugging.
+func (nd *EfficientNode) ReliableValueDebug(u graph.NodeID) (sim.Value, bool) {
+	return nd.reliableValue(u)
+}

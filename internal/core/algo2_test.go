@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"lbcast/internal/adversary"
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// pathTamper is a Byzantine relay that flips every value it forwards
+// during phase 1 and behaves honestly afterwards (it reports truthfully in
+// phase 2). It exercises the commission branch of fault identification.
+type pathTamper struct {
+	g       *graph.Graph
+	me      graph.NodeID
+	flooder *flood.Flooder
+	phase1  int
+}
+
+func (n *pathTamper) ID() graph.NodeID { return n.me }
+
+func (n *pathTamper) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	if round >= n.phase1 {
+		return nil // silent in later phases
+	}
+	var out []sim.Outgoing
+	if round == 0 {
+		n.flooder = flood.New(n.g, n.me)
+		return n.flooder.Start(flood.ValueBody{Value: sim.Zero})
+	}
+	for _, d := range inbox {
+		m, ok := d.Payload.(flood.Msg)
+		if !ok {
+			continue
+		}
+		full := m.Pi.Append(d.From)
+		if !full.ValidIn(n.g) || !full.IsSimple() || full.Contains(n.me) {
+			continue
+		}
+		vb, ok := m.Body.(flood.ValueBody)
+		if !ok {
+			continue
+		}
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{
+			Body: flood.ValueBody{Value: 1 - vb.Value},
+			Pi:   full,
+		}})
+	}
+	return out
+}
+
+func runAlgo2(t *testing.T, g *graph.Graph, f int, inputs []sim.Value, byz map[graph.NodeID]sim.Node) ([]*EfficientNode, map[graph.NodeID]sim.Value) {
+	t.Helper()
+	nodes := make([]sim.Node, g.N())
+	var honest []*EfficientNode
+	for i := range nodes {
+		u := graph.NodeID(i)
+		if b, ok := byz[u]; ok {
+			nodes[i] = b
+			continue
+		}
+		en := NewEfficientNode(g, f, u, inputs[i])
+		nodes[i] = en
+		honest = append(honest, en)
+	}
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(EfficientRounds(g.N()))
+	dec := make(map[graph.NodeID]sim.Value)
+	for u, v := range eng.Decisions() {
+		if _, isByz := byz[u]; !isByz {
+			dec[u] = v
+		}
+	}
+	return honest, dec
+}
+
+func assertAgreementValidity(t *testing.T, dec map[graph.NodeID]sim.Value, honestInputs map[sim.Value]bool, wantCount int) {
+	t.Helper()
+	if len(dec) != wantCount {
+		t.Fatalf("only %d of %d honest nodes decided", len(dec), wantCount)
+	}
+	var ref sim.Value
+	first := true
+	for u, v := range dec {
+		if first {
+			ref, first = v, false
+		}
+		if v != ref {
+			t.Fatalf("agreement violated at node %d: %v", u, dec)
+		}
+		if !honestInputs[v] {
+			t.Fatalf("validity violated: decided %s", v)
+		}
+	}
+}
+
+func TestAlgo2AllHonest(t *testing.T) {
+	g := gen.Figure1a()
+	inputs := []sim.Value{1, 1, 0, 0, 1}
+	_, dec := runAlgo2(t, g, 1, inputs, nil)
+	assertAgreementValidity(t, dec, map[sim.Value]bool{0: true, 1: true}, 5)
+}
+
+func TestAlgo2UnanimousStaysUnanimous(t *testing.T) {
+	g := gen.Figure1b() // 4-connected: supports f=2
+	inputs := make([]sim.Value, g.N())
+	for i := range inputs {
+		inputs[i] = sim.Zero
+	}
+	_, dec := runAlgo2(t, g, 2, inputs, nil)
+	for u, v := range dec {
+		if v != sim.Zero {
+			t.Fatalf("node %d decided %s on unanimous 0", u, v)
+		}
+	}
+}
+
+func TestAlgo2TamperIsIdentified(t *testing.T) {
+	g := gen.Figure1a()
+	faulty := graph.NodeID(2)
+	byz := map[graph.NodeID]sim.Node{
+		faulty: &pathTamper{g: g, me: faulty, phase1: flood.Rounds(g.N())},
+	}
+	inputs := []sim.Value{1, 1, 0, 1, 1}
+	honest, dec := runAlgo2(t, g, 1, inputs, byz)
+	assertAgreementValidity(t, dec, map[sim.Value]bool{0: true, 1: true}, 4)
+	// The flipper tampers every path through it; with f=1 every honest
+	// node that detects it becomes type A with exactly {2}.
+	for _, h := range honest {
+		ident := h.Identified()
+		if ident.Len() > 0 && !ident.Contains(faulty) {
+			t.Fatalf("node %d identified wrong fault set %v", h.ID(), ident)
+		}
+		if ident.Contains(faulty) && !h.TypeA() {
+			t.Fatalf("node %d identified the fault but is not type A", h.ID())
+		}
+	}
+}
+
+func TestAlgo2SilentFault(t *testing.T) {
+	g := gen.Figure1a()
+	for z := 0; z < g.N(); z++ {
+		faulty := graph.NodeID(z)
+		byz := map[graph.NodeID]sim.Node{faulty: &silent{me: faulty}}
+		inputs := []sim.Value{1, 0, 1, 0, 1}
+		_, dec := runAlgo2(t, g, 1, inputs, byz)
+		honestInputs := map[sim.Value]bool{}
+		for i, v := range inputs {
+			if graph.NodeID(i) != faulty {
+				honestInputs[v] = true
+			}
+		}
+		assertAgreementValidity(t, dec, honestInputs, 4)
+	}
+}
+
+func TestAlgo2NoFalseIdentification(t *testing.T) {
+	// With zero faults, no honest node may identify anyone as faulty.
+	g := gen.Figure1b()
+	inputs := []sim.Value{0, 1, 0, 1, 1, 0, 1, 0}
+	honest, _ := runAlgo2(t, g, 2, inputs, nil)
+	for _, h := range honest {
+		if h.Identified().Len() != 0 {
+			t.Fatalf("node %d identified %v in a fault-free run", h.ID(), h.Identified())
+		}
+		if h.TypeA() {
+			t.Fatalf("node %d claims type A in a fault-free run", h.ID())
+		}
+	}
+}
+
+type silent struct{ me graph.NodeID }
+
+func (s *silent) ID() graph.NodeID                        { return s.me }
+func (s *silent) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
+
+func TestAlgo2TwoFaultsOnFigure1b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	g := gen.Figure1b()
+	byz := map[graph.NodeID]sim.Node{
+		1: &silent{me: 1},
+		5: &pathTamper{g: g, me: 5, phase1: flood.Rounds(g.N())},
+	}
+	inputs := []sim.Value{0, 0, 1, 0, 1, 1, 1, 0}
+	honestInputs := map[sim.Value]bool{}
+	for i, v := range inputs {
+		if _, isByz := byz[graph.NodeID(i)]; !isByz {
+			honestInputs[v] = true
+		}
+	}
+	_, dec := runAlgo2(t, g, 2, inputs, byz)
+	assertAgreementValidity(t, dec, honestInputs, 6)
+}
+
+// TestAlgo2ForgerNeverConvictsHonest is the regression test for the
+// late-injection forgery attack: junk flooded in the final rounds of
+// phase 1 leaves honest relays no time to complete their forwarding
+// chains, which a naive (un-timed) omission rule misreads as honest
+// misbehavior. With round-stamped transcripts the identification walk
+// stays sound: only the forger is ever convicted and consensus holds.
+func TestAlgo2ForgerNeverConvictsHonest(t *testing.T) {
+	g := gen.Figure1b()
+	for _, seed := range []int64{1, 3, 7, 101, 4242} {
+		for z := 0; z < g.N(); z += 3 {
+			faulty := graph.NodeID(z)
+			forger := adversary.NewForger(g, faulty, flood.Rounds(g.N()), seed)
+			inputs := []sim.Value{1, 1, 0, 1, 1, 0, 0, 0}
+			byz := map[graph.NodeID]sim.Node{faulty: forger}
+			honest, dec := runAlgo2(t, g, 2, inputs, byz)
+			honestInputs := map[sim.Value]bool{}
+			for i, v := range inputs {
+				if graph.NodeID(i) != faulty {
+					honestInputs[v] = true
+				}
+			}
+			assertAgreementValidity(t, dec, honestInputs, g.N()-1)
+			for _, h := range honest {
+				for u := range h.Identified() {
+					if u != faulty {
+						t.Fatalf("seed=%d faulty=%d: node %d convicted honest node %d",
+							seed, faulty, h.ID(), u)
+					}
+				}
+			}
+		}
+	}
+}

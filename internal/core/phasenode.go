@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// PhaseNode is a non-faulty node running Algorithm 1 (t = 0) or the hybrid
+// Algorithm 3 (t > 0). Execution is divided into phases, one per PhaseSpec;
+// each phase runs one complete flooding session of the node's state γ
+// (step (a)), then computes Zv/Nv (step (b)) and conditionally updates γ
+// (step (c)). After the final phase the node decides γ.
+type PhaseNode struct {
+	g      *graph.Graph
+	me     graph.NodeID
+	f      int
+	phases []PhaseSpec
+
+	gamma        sim.Value
+	phaseIdx     int
+	roundInPhase int
+	flooder      *flood.Flooder
+	decided      bool
+}
+
+var (
+	_ sim.Node    = (*PhaseNode)(nil)
+	_ sim.Decider = (*PhaseNode)(nil)
+)
+
+// NewAlgo1Node builds a non-faulty Algorithm 1 node with the given binary
+// input. All nodes of an execution must be built with the same g and f.
+func NewAlgo1Node(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *PhaseNode {
+	return newPhaseNode(g, f, me, input, Algo1Phases(g.N(), f))
+}
+
+// NewHybridNode builds a non-faulty Algorithm 3 node for the hybrid model
+// with fault bound f, of which at most t may equivocate.
+func NewHybridNode(g *graph.Graph, f, t int, me graph.NodeID, input sim.Value) *PhaseNode {
+	return newPhaseNode(g, f, me, input, HybridPhases(g.N(), f, t))
+}
+
+func newPhaseNode(g *graph.Graph, f int, me graph.NodeID, input sim.Value, phases []PhaseSpec) *PhaseNode {
+	return &PhaseNode{
+		g:      g,
+		me:     me,
+		f:      f,
+		phases: phases,
+		gamma:  input,
+	}
+}
+
+// PhaseRounds returns the engine rounds one phase occupies.
+func PhaseRounds(n int) int { return flood.Rounds(n) }
+
+// Algo1Rounds returns the total engine rounds Algorithm 1 needs on an
+// n-node graph with fault bound f.
+func Algo1Rounds(n, f int) int {
+	return len(Algo1Phases(n, f)) * PhaseRounds(n)
+}
+
+// HybridRounds returns the total engine rounds Algorithm 3 needs.
+func HybridRounds(n, f, t int) int {
+	return len(HybridPhases(n, f, t)) * PhaseRounds(n)
+}
+
+// ID returns the node id.
+func (nd *PhaseNode) ID() graph.NodeID { return nd.me }
+
+// Gamma exposes the current state γv (for tests and tracing).
+func (nd *PhaseNode) Gamma() sim.Value { return nd.gamma }
+
+// Decision reports the decided output after all phases complete.
+func (nd *PhaseNode) Decision() (sim.Value, bool) {
+	if !nd.decided {
+		return 0, false
+	}
+	return nd.gamma, true
+}
+
+// Step advances the node by one synchronous round.
+func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	if nd.decided || nd.phaseIdx >= len(nd.phases) {
+		nd.decided = true
+		return nil
+	}
+	var out []sim.Outgoing
+	switch nd.roundInPhase {
+	case 0:
+		// Step (a): initiate flooding of γv.
+		nd.flooder = flood.New(nd.g, nd.me)
+		out = nd.flooder.Start(flood.ValueBody{Value: nd.gamma})
+	case 1:
+		// Initiations arrive now; after processing, substitute the
+		// default message for silent neighbors.
+		out = nd.flooder.Deliver(inbox)
+		out = append(out, nd.flooder.SynthesizeMissing(func(graph.NodeID) flood.Body {
+			return flood.ValueBody{Value: sim.DefaultValue}
+		})...)
+	default:
+		out = nd.flooder.Deliver(inbox)
+	}
+	nd.roundInPhase++
+	if nd.roundInPhase == PhaseRounds(nd.g.N()) {
+		nd.endPhase()
+		nd.roundInPhase = 0
+		nd.phaseIdx++
+		if nd.phaseIdx == len(nd.phases) {
+			nd.decided = true
+		}
+	}
+	return out
+}
+
+// endPhase runs steps (b) and (c) of the current phase.
+func (nd *PhaseNode) endPhase() {
+	spec := nd.phases[nd.phaseIdx]
+	excl := spec.F.Union(spec.T)
+	receipts := nd.flooder.Receipts()
+
+	// Step (b): for each u ∈ V−T pick the (deterministic) uv-path Puv
+	// that excludes F∪T and read the value received along it. Zv collects
+	// the nodes whose value arrived as 0; everything else (including
+	// nodes whose Puv delivered nothing) lands in Nv.
+	zv := graph.NewSet()
+	nv := graph.NewSet()
+	for _, u := range nd.g.Nodes() {
+		if spec.T.Contains(u) {
+			continue
+		}
+		val, ok := nd.valueAlongChosenPath(u, excl, receipts)
+		if ok && val == sim.Zero {
+			zv.Add(u)
+		} else {
+			nv.Add(u)
+		}
+	}
+
+	// Step (c): select Av/Bv by the four cases, using ϕ = f − |T|.
+	av, bv := selectAvBv(zv, nv, spec.F, nd.f, nd.f-spec.T.Len())
+
+	if !bv.Contains(nd.me) {
+		return
+	}
+	// If γ was received along f+1 node-disjoint Avv-paths excluding F∪T,
+	// adopt it. (Both values qualifying simultaneously is impossible when
+	// the fault bound holds; checking 0 first keeps ties deterministic.)
+	for _, delta := range []sim.Value{sim.Zero, sim.One} {
+		fil := flood.Filter{
+			Origins: av,
+			BodyKey: flood.ValueBody{Value: delta}.Key(),
+			Exclude: excl,
+		}
+		if flood.ReceivedOnDisjointPaths(receipts, fil, nd.f+1, flood.DisjointExceptLast) {
+			nd.gamma = delta
+			return
+		}
+	}
+}
+
+// selectAvBv implements the four-case Av/Bv selection of step (c)
+// (Algorithm 1 uses ϕ = f; Algorithm 3 uses ϕ = f − |T|):
+//
+//	case 1: |Zv∩F| ≤ ⌊ϕ/2⌋ and |Nv| > f  → Av = Nv, Bv = Zv
+//	case 2: |Zv∩F| ≤ ⌊ϕ/2⌋ and |Nv| ≤ f  → Av = Zv, Bv = Nv
+//	case 3: |Zv∩F| > ⌊ϕ/2⌋ and |Zv| > f  → Av = Zv, Bv = Nv
+//	case 4: |Zv∩F| > ⌊ϕ/2⌋ and |Zv| ≤ f  → Av = Nv, Bv = Zv
+func selectAvBv(zv, nv, fSet graph.Set, f, phi int) (av, bv graph.Set) {
+	zf := zv.Intersect(fSet).Len()
+	switch {
+	case zf <= phi/2 && nv.Len() > f:
+		return nv, zv
+	case zf <= phi/2 && nv.Len() <= f:
+		return zv, nv
+	case zf > phi/2 && zv.Len() > f:
+		return zv, nv
+	default: // zf > phi/2 && zv.Len() <= f
+		return nv, zv
+	}
+}
+
+// valueAlongChosenPath implements the step-(b) read: choose a single
+// uv-path excluding excl (BFS-shortest, hence identical across phases and
+// runs) and return the value recorded along exactly that path, if any.
+func (nd *PhaseNode) valueAlongChosenPath(u graph.NodeID, excl graph.Set, receipts []flood.Receipt) (sim.Value, bool) {
+	if u == nd.me {
+		return nd.gamma, true
+	}
+	puv := nd.g.ShortestPathExcluding(u, nd.me, excl)
+	if puv == nil {
+		// Cannot happen on graphs satisfying the theorem's conditions
+		// (Lemma 5.4 / D.4); treat as "nothing received".
+		return 0, false
+	}
+	want := puv.Key()
+	for _, r := range receipts {
+		if r.Origin != u || r.Path.Key() != want {
+			continue
+		}
+		if v, ok := r.Value(); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// String renders a compact description for traces.
+func (nd *PhaseNode) String() string {
+	return fmt.Sprintf("phasenode(%d, phase %d/%d, γ=%s)", nd.me, nd.phaseIdx, len(nd.phases), nd.gamma)
+}

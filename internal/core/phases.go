@@ -1,0 +1,40 @@
+package core
+
+import (
+	"lbcast/internal/combin"
+	"lbcast/internal/graph"
+)
+
+// PhaseSpec identifies one phase of Algorithm 1/3: a candidate
+// non-equivocating fault set F and a candidate equivocating fault set T
+// (T is empty in every phase of Algorithm 1).
+type PhaseSpec struct {
+	F graph.Set
+	T graph.Set
+}
+
+// Algo1Phases enumerates the phases of Algorithm 1 on an n-node graph with
+// fault bound f: every F ⊆ V with |F| ≤ f, in deterministic order (by size,
+// then lexicographic). Every node enumerates the same order, which the
+// algorithm requires.
+func Algo1Phases(n, f int) []PhaseSpec {
+	nodes := graph.New(n).Nodes()
+	var out []PhaseSpec
+	combin.SubsetsUpTo(nodes, f, func(s graph.Set) bool {
+		out = append(out, PhaseSpec{F: s, T: graph.NewSet()})
+		return true
+	})
+	return out
+}
+
+// HybridPhases enumerates the phases of Algorithm 3: every pair (F, T) with
+// T ⊆ V, |T| ≤ t, F ⊆ V−T, |F| ≤ f−|T|, in deterministic order.
+func HybridPhases(n, f, t int) []PhaseSpec {
+	nodes := graph.New(n).Nodes()
+	var out []PhaseSpec
+	combin.FTPairs(nodes, f, t, func(fSet, tSet graph.Set) bool {
+		out = append(out, PhaseSpec{F: fSet, T: tSet})
+		return true
+	})
+	return out
+}

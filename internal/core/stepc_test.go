@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+)
+
+// TestSelectAvBvFourCases pins each branch of the step-(c) case analysis
+// to the paper's Algorithm 1 box.
+func TestSelectAvBvFourCases(t *testing.T) {
+	f, phi := 2, 2 // Algorithm 1 setting: ϕ = f
+	mk := graph.NewSet
+	cases := []struct {
+		name   string
+		zv, nv graph.Set
+		fSet   graph.Set
+		wantAv graph.Set
+	}{
+		{
+			// |Zv∩F| = 1 ≤ ⌊2/2⌋, |Nv| = 3 > f → case 1: Av = Nv.
+			name: "case1", zv: mk(0, 1), nv: mk(2, 3, 4),
+			fSet: mk(0, 9), wantAv: mk(2, 3, 4),
+		},
+		{
+			// |Zv∩F| = 1 ≤ 1, |Nv| = 2 ≤ f → case 2: Av = Zv.
+			name: "case2", zv: mk(0, 1, 5), nv: mk(2, 3),
+			fSet: mk(0, 9), wantAv: mk(0, 1, 5),
+		},
+		{
+			// |Zv∩F| = 2 > 1, |Zv| = 3 > f → case 3: Av = Zv.
+			name: "case3", zv: mk(0, 1, 5), nv: mk(2, 3),
+			fSet: mk(0, 1), wantAv: mk(0, 1, 5),
+		},
+		{
+			// |Zv∩F| = 2 > 1, |Zv| = 2 ≤ f → case 4: Av = Nv.
+			name: "case4", zv: mk(0, 1), nv: mk(2, 3, 4),
+			fSet: mk(0, 1), wantAv: mk(2, 3, 4),
+		},
+	}
+	for _, tc := range cases {
+		av, bv := selectAvBv(tc.zv, tc.nv, tc.fSet, f, phi)
+		if !av.Equal(tc.wantAv) {
+			t.Errorf("%s: Av = %v, want %v", tc.name, av, tc.wantAv)
+		}
+		// Bv is always the complement choice.
+		if av.Equal(tc.zv) && !bv.Equal(tc.nv) || av.Equal(tc.nv) && !bv.Equal(tc.zv) {
+			t.Errorf("%s: Bv = %v not the complement of Av = %v", tc.name, bv, av)
+		}
+	}
+}
+
+// TestSelectAvBvHybridPhi checks that the hybrid ϕ = f − |T| threshold
+// shifts the case boundary as Algorithm 3 requires.
+func TestSelectAvBvHybridPhi(t *testing.T) {
+	mk := graph.NewSet
+	zv, nv := mk(0, 1), mk(2, 3, 4)
+	fSet := mk(0)
+	// With ϕ = 2 (t=0): |Zv∩F| = 1 ≤ 1 → case 1 (Av = Nv).
+	av, _ := selectAvBv(zv, nv, fSet, 2, 2)
+	if !av.Equal(nv) {
+		t.Fatalf("phi=2: Av = %v", av)
+	}
+	// With ϕ = 1 (t=1): ⌊1/2⌋ = 0 < 1 = |Zv∩F| and |Zv| = 2 ≤ f → case 4
+	// (Av = Nv again, but via the other branch pair).
+	av, bv := selectAvBv(zv, nv, fSet, 2, 1)
+	if !av.Equal(nv) || !bv.Equal(zv) {
+		t.Fatalf("phi=1: Av = %v Bv = %v", av, bv)
+	}
+}

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+)
+
+func TestFindAttackDegree(t *testing.T) {
+	// Pendant node: degree condition fails first.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 2, V: 4},
+	})
+	fa, err := FindAttack(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Lemma != "A.2" && fa.Lemma != "A.1" {
+		t.Fatalf("lemma = %s", fa.Lemma)
+	}
+	tab, violated, err := RunFoundAttack(g, fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Fatalf("no violation:\n%s", tab)
+	}
+}
+
+func TestFindAttackCut(t *testing.T) {
+	// All degrees 2 = 2f but connectivity 1 < 2: cut attack.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 2, V: 4},
+	})
+	fa, err := FindAttack(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Lemma != "A.2" {
+		t.Fatalf("lemma = %s (reason %s)", fa.Lemma, fa.Reason)
+	}
+	if !strings.Contains(fa.Reason, "cut") {
+		t.Fatalf("reason = %s", fa.Reason)
+	}
+	_, violated, err := RunFoundAttack(g, fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Fatal("cut attack did not violate")
+	}
+}
+
+func TestFindAttackRejectsFeasibleGraph(t *testing.T) {
+	if _, err := FindAttack(gen.Figure1a(), 1, 0); err == nil {
+		t.Fatal("feasible graph accepted for attack")
+	}
+	k5, err := gen.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindAttack(k5, 1, 1); err == nil {
+		t.Fatal("feasible hybrid graph accepted for attack")
+	}
+}
+
+func TestFindAttackValidation(t *testing.T) {
+	g := gen.Figure1a()
+	if _, err := FindAttack(g, 0, 0); err == nil {
+		t.Fatal("f=0 accepted")
+	}
+	if _, err := FindAttack(g, 1, 2); err == nil {
+		t.Fatal("t>f accepted")
+	}
+}
+
+func TestFindAttackHybrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid attack is slow")
+	}
+	// K6 with f=2, t=2: condition (iii) fails for 2-sets.
+	g, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := FindAttack(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Lemma != "D.1" {
+		t.Fatalf("lemma = %s", fa.Lemma)
+	}
+	_, violated, err := RunFoundAttack(g, fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Fatal("hybrid attack did not violate")
+	}
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 14 {
+		t.Fatalf("experiment count = %d, want 14", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Find("E1"); !ok {
+		t.Fatal("Find(E1) failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("Find(E99) succeeded")
+	}
+}
+
+func expectAllRowsOK(t *testing.T, tab *Table, runsCol, okCol int) {
+	t.Helper()
+	for _, row := range tab.Rows {
+		if row[runsCol] != row[okCol] {
+			t.Fatalf("row %v: runs != ok", row)
+		}
+	}
+}
+
+func TestE1Figure1a(t *testing.T) {
+	tab, err := E1Figure1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 21 { // 1 fault-free row + 5 nodes x 4 strategies
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	expectAllRowsOK(t, tab, 2, 3)
+}
+
+func TestE3NecessityDegree(t *testing.T) {
+	tab, err := E3NecessityDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(tab.Notes, "\n")
+	if !strings.Contains(joined, "violation observed: true") {
+		t.Fatalf("no violation in notes:\n%s", joined)
+	}
+}
+
+func TestE6RoundComplexity(t *testing.T) {
+	tab, err := E6RoundComplexity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestE7FaultIdentification(t *testing.T) {
+	tab, err := E7FaultIdentification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault-free scenario: everyone type B with an empty identified set.
+	sawTamperTypeA := false
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "fault-free":
+			if row[2] != "B" || row[3] != "{}" {
+				t.Fatalf("fault-free row wrong: %v", row)
+			}
+		case "tamper@2":
+			if row[2] == "A" {
+				sawTamperTypeA = true
+				if !strings.Contains(row[3], "2") {
+					t.Fatalf("type A with wrong set: %v", row)
+				}
+			}
+		}
+	}
+	if !sawTamperTypeA {
+		t.Fatal("no node identified the tampering fault")
+	}
+}
+
+func TestE9ModelComparison(t *testing.T) {
+	tab, err := E9ModelComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(tab.Notes, "\n")
+	if !strings.Contains(joined, "consensus OK") {
+		t.Fatalf("crossover demos failed:\n%s", joined)
+	}
+	if strings.Contains(joined, "point-to-point conditions: true") {
+		t.Fatal("cycle5 should fail the point-to-point conditions")
+	}
+}
+
+func TestE10FloodingCost(t *testing.T) {
+	tab, err := E10FloodingCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestSlowExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiments")
+	}
+	for _, e := range All() {
+		if !e.Slow {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			t.Logf("\n%s", tab)
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"a", "long-header"}}
+	tab.AddRow(1, "x")
+	tab.AddNote("note %d", 7)
+	s := tab.String()
+	if !strings.Contains(s, "long-header") || !strings.Contains(s, "note: note 7") {
+		t.Fatalf("render:\n%s", s)
+	}
+}

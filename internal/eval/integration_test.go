@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"testing"
+
+	"lbcast/internal/adversary"
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// TestMidPhaseCrashFault: a node that behaves honestly and then goes
+// silent partway through the execution (crash mid-protocol) — between the
+// silent and the live fault in difficulty.
+func TestMidPhaseCrashFault(t *testing.T) {
+	g := gen.Figure1a()
+	total := core.Algo1Rounds(g.N(), 1)
+	for _, crashAt := range []int{1, total / 3, total / 2, total - 5} {
+		faulty := graph.NodeID(2)
+		inner := core.NewAlgo1Node(g, 1, faulty, sim.One)
+		out, err := Run(Spec{
+			G: g, F: 1, Algorithm: Algo1,
+			Inputs: inputPattern(g.N(), []sim.Value{0, 1}),
+			Byzantine: map[graph.NodeID]sim.Node{
+				faulty: &adversary.MuteAfter{Inner: inner, After: crashAt},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK() {
+			t.Fatalf("crashAt=%d: consensus failed: %+v", crashAt, out)
+		}
+	}
+}
+
+// TestMixedStrategyPairF2: two simultaneous faults with different
+// strategies on the Figure 1(b) graph.
+func TestMixedStrategyPairF2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("f=2 runs are slow")
+	}
+	g := gen.Figure1b()
+	phaseLen := core.PhaseRounds(g.N())
+	combos := []struct {
+		name string
+		byz  map[graph.NodeID]sim.Node
+	}{
+		{
+			name: "silent+forge",
+			byz: map[graph.NodeID]sim.Node{
+				1: &adversary.SilentNode{Me: 1},
+				5: adversary.NewForger(g, 5, phaseLen, 17),
+			},
+		},
+		{
+			name: "tamper+forge",
+			byz: map[graph.NodeID]sim.Node{
+				0: adversary.NewTamper(g, 0, phaseLen, 3),
+				4: adversary.NewForger(g, 4, phaseLen, 9),
+			},
+		},
+		{
+			name: "forge+forge-adjacent",
+			byz: map[graph.NodeID]sim.Node{
+				2: adversary.NewForger(g, 2, phaseLen, 21),
+				3: adversary.NewForger(g, 3, phaseLen, 22),
+			},
+		},
+	}
+	for _, combo := range combos {
+		for _, alg := range []Algorithm{Algo1, Algo2} {
+			out, err := Run(Spec{
+				G: g, F: 2, Algorithm: alg,
+				Inputs:    inputPattern(g.N(), []sim.Value{1, 0, 0}),
+				Byzantine: combo.byz,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.OK() {
+				t.Fatalf("%s/%s: consensus failed: %+v", combo.name, alg, out)
+			}
+		}
+	}
+}
+
+// TestHybridForgerPlusEquivocator: Algorithm 3 against the strongest mixed
+// pair its model admits — one genuine equivocator plus one forger.
+func TestHybridForgerPlusEquivocator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid f=2 run is slow")
+	}
+	g, err := gen.Complete(6) // satisfies Theorem 6.1 for f=2, t=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseLen := core.PhaseRounds(g.N())
+	out, err := Run(Spec{
+		G: g, F: 2, T: 1, Algorithm: Algo3,
+		Model:        sim.Hybrid,
+		Equivocators: graph.NewSet(0),
+		Inputs:       inputPattern(g.N(), []sim.Value{0, 1}),
+		Byzantine: map[graph.NodeID]sim.Node{
+			0: &adversary.EquivocatorNode{G: g, Me: 0, PhaseLen: phaseLen},
+			3: adversary.NewForger(g, 3, phaseLen, 77),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("hybrid consensus failed: %+v", out)
+	}
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// undecidedNode never decides.
+type undecidedNode struct{ me graph.NodeID }
+
+func (u *undecidedNode) ID() graph.NodeID                        { return u.me }
+func (u *undecidedNode) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
+
+// fixedDecider decides a fixed value immediately.
+type fixedDecider struct {
+	me  graph.NodeID
+	val sim.Value
+}
+
+func (d *fixedDecider) ID() graph.NodeID                        { return d.me }
+func (d *fixedDecider) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
+func (d *fixedDecider) Decision() (sim.Value, bool)             { return d.val, true }
+
+func judgeWith(t *testing.T, nodes []sim.Node, honest graph.Set, inputs map[graph.NodeID]sim.Value) Outcome {
+	t.Helper()
+	g := gen.Figure1a()
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(1)
+	return Judge(eng, honest, inputs, 1)
+}
+
+func fiveNodes(mk func(i int) sim.Node) []sim.Node {
+	out := make([]sim.Node, 5)
+	for i := range out {
+		out[i] = mk(i)
+	}
+	return out
+}
+
+func TestJudgeTerminationFailure(t *testing.T) {
+	nodes := fiveNodes(func(i int) sim.Node { return &undecidedNode{me: graph.NodeID(i)} })
+	out := judgeWith(t, nodes, graph.NewSet(0, 1, 2, 3, 4), map[graph.NodeID]sim.Value{})
+	if out.Termination || out.Agreement || out.Validity || out.OK() {
+		t.Fatalf("undecided run judged OK: %+v", out)
+	}
+}
+
+func TestJudgeDisagreement(t *testing.T) {
+	nodes := fiveNodes(func(i int) sim.Node {
+		return &fixedDecider{me: graph.NodeID(i), val: sim.Value(i % 2)}
+	})
+	inputs := map[graph.NodeID]sim.Value{0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+	out := judgeWith(t, nodes, graph.NewSet(0, 1, 2, 3, 4), inputs)
+	if out.Agreement {
+		t.Fatal("disagreement not detected")
+	}
+	if !out.Validity {
+		t.Fatal("both values are valid inputs here")
+	}
+}
+
+func TestJudgeValidityFailure(t *testing.T) {
+	// All honest decide 1 but every honest input was 0.
+	nodes := fiveNodes(func(i int) sim.Node {
+		return &fixedDecider{me: graph.NodeID(i), val: sim.One}
+	})
+	inputs := map[graph.NodeID]sim.Value{0: 0, 1: 0, 2: 0, 3: 0, 4: 0}
+	out := judgeWith(t, nodes, graph.NewSet(0, 1, 2, 3, 4), inputs)
+	if out.Validity {
+		t.Fatal("validity violation not detected")
+	}
+	if !out.Agreement {
+		t.Fatal("agreement holds (all decided 1)")
+	}
+}
+
+func TestJudgeIgnoresFaultyNodes(t *testing.T) {
+	// Node 4 is Byzantine (decides garbage); honest = {0..3}.
+	nodes := fiveNodes(func(i int) sim.Node {
+		if i == 4 {
+			return &fixedDecider{me: 4, val: sim.One}
+		}
+		return &fixedDecider{me: graph.NodeID(i), val: sim.Zero}
+	})
+	inputs := map[graph.NodeID]sim.Value{0: 0, 1: 0, 2: 0, 3: 0}
+	out := judgeWith(t, nodes, graph.NewSet(0, 1, 2, 3), inputs)
+	if !out.OK() {
+		t.Fatalf("faulty node's decision contaminated the judgment: %+v", out)
+	}
+	if _, present := out.Decisions[4]; present {
+		t.Fatal("faulty decision included")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, a := range []Algorithm{Algo1, Algo2, Algo3, Algorithm(9)} {
+		if a.String() == "" {
+			t.Fatal("empty algorithm name")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/p2p"
+	"lbcast/internal/sim"
+)
+
+// floodPhaseNode drives one flooding session for measurement purposes.
+type floodPhaseNode struct {
+	f     *flood.Flooder
+	me    graph.NodeID
+	value sim.Value
+}
+
+func (n *floodPhaseNode) ID() graph.NodeID { return n.me }
+
+func (n *floodPhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	switch round {
+	case 0:
+		return n.f.Start(flood.ValueBody{Value: n.value})
+	case 1:
+		out := n.f.Deliver(inbox)
+		return append(out, n.f.SynthesizeMissing(func(graph.NodeID) flood.Body {
+			return flood.ValueBody{Value: sim.DefaultValue}
+		})...)
+	default:
+		return n.f.Deliver(inbox)
+	}
+}
+
+// measureFloodPhase runs one complete flooding phase (every node floods one
+// value) and returns the engine metrics.
+func measureFloodPhase(g *graph.Graph) (sim.Metrics, error) {
+	nodes := make([]sim.Node, g.N())
+	for i := range nodes {
+		u := graph.NodeID(i)
+		nodes[i] = &floodPhaseNode{f: flood.New(g, u), me: u, value: sim.Value(i % 2)}
+	}
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	eng.Run(flood.Rounds(g.N()))
+	return eng.Metrics(), nil
+}
+
+// runEIGBaseline runs the point-to-point EIG baseline on g with the given
+// faulty nodes acting as per-neighbor equivocators, and judges the outcome.
+// inputs assigns honest inputs by node id.
+func runEIGBaseline(g *graph.Graph, f int, faulty graph.Set, inputs func(graph.NodeID) sim.Value) (Outcome, error) {
+	nodes := make([]sim.Node, g.N())
+	honest := graph.NewSet()
+	honestInputs := make(map[graph.NodeID]sim.Value)
+	for _, u := range g.Nodes() {
+		if faulty.Contains(u) {
+			nodes[u] = &eigEquivocator{g: g, me: u}
+			continue
+		}
+		in := inputs(u)
+		nodes[u] = p2p.New(g, f, u, in)
+		honest.Add(u)
+		honestInputs[u] = in
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		Topology: sim.GraphTopology{G: g},
+		Model:    sim.PointToPoint,
+	}, nodes)
+	if err != nil {
+		return Outcome{}, err
+	}
+	rounds := p2p.Rounds(g.N(), f)
+	eng.Run(rounds)
+	return Judge(eng, honest, honestInputs, rounds), nil
+}
+
+// eigEquivocator splits its EIG level-1 claims per neighbor and relays
+// nothing afterwards.
+type eigEquivocator struct {
+	g  *graph.Graph
+	me graph.NodeID
+}
+
+func (e *eigEquivocator) ID() graph.NodeID { return e.me }
+
+func (e *eigEquivocator) Step(round int, _ []sim.Delivery) []sim.Outgoing {
+	if round != 0 {
+		return nil
+	}
+	var out []sim.Outgoing
+	for i, nb := range e.g.Neighbors(e.me) {
+		v := sim.Value(i % 2)
+		out = append(out, sim.Outgoing{To: nb, Payload: flood.Msg{
+			Body: p2p.EIGBody{Label: p2p.Label{}, Value: v},
+		}})
+	}
+	return out
+}

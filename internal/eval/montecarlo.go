@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lbcast/internal/adversary"
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// MonteCarloConfig drives a randomized robustness sweep: repeated
+// executions with random inputs, random fault placements of a fixed size,
+// and a random strategy per fault, all derived deterministically from
+// Seed.
+type MonteCarloConfig struct {
+	G         *graph.Graph
+	F         int
+	Algorithm Algorithm
+	// Faults is the number of Byzantine nodes planted per trial
+	// (must be <= F; default F).
+	Faults int
+	// Trials is the number of executions (default 20).
+	Trials int
+	// Seed makes the sweep reproducible.
+	Seed int64
+	// Strategies to draw from (default: silent, tamper, equivocate).
+	Strategies []string
+}
+
+// MonteCarloResult tallies a sweep.
+type MonteCarloResult struct {
+	Trials     int
+	OK         int
+	Violations []MonteCarloViolation
+}
+
+// MonteCarloViolation records one failed trial for diagnosis.
+type MonteCarloViolation struct {
+	Trial    int
+	Faulty   []graph.NodeID
+	Strategy string
+	Outcome  Outcome
+}
+
+// MonteCarlo runs the sweep. On graphs satisfying the paper's conditions
+// the expected result is OK == Trials; any violation is returned with its
+// reproduction data.
+func MonteCarlo(cfg MonteCarloConfig) (MonteCarloResult, error) {
+	if cfg.G == nil {
+		return MonteCarloResult{}, fmt.Errorf("eval: nil graph")
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 20
+	}
+	if cfg.Faults == 0 {
+		cfg.Faults = cfg.F
+	}
+	if cfg.Faults > cfg.F {
+		return MonteCarloResult{}, fmt.Errorf("eval: %d faults exceeds bound f=%d", cfg.Faults, cfg.F)
+	}
+	if len(cfg.Strategies) == 0 {
+		cfg.Strategies = []string{"silent", "tamper", "equivocate", "forge"}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.G.N()
+	res := MonteCarloResult{Trials: cfg.Trials}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		inputs := make(map[graph.NodeID]sim.Value, n)
+		for i := 0; i < n; i++ {
+			inputs[graph.NodeID(i)] = sim.Value(rng.Intn(2))
+		}
+		perm := rng.Perm(n)
+		faulty := make([]graph.NodeID, 0, cfg.Faults)
+		for _, p := range perm[:cfg.Faults] {
+			faulty = append(faulty, graph.NodeID(p))
+		}
+		strat := cfg.Strategies[rng.Intn(len(cfg.Strategies))]
+		byz := make(map[graph.NodeID]sim.Node, len(faulty))
+		phaseLen := core.PhaseRounds(n)
+		for _, u := range faulty {
+			switch strat {
+			case "silent":
+				byz[u] = &adversary.SilentNode{Me: u}
+			case "tamper":
+				byz[u] = adversary.NewTamper(cfg.G, u, phaseLen, rng.Int63())
+			case "equivocate":
+				byz[u] = &adversary.EquivocatorNode{G: cfg.G, Me: u, PhaseLen: phaseLen}
+			case "forge":
+				byz[u] = adversary.NewForger(cfg.G, u, phaseLen, rng.Int63())
+			default:
+				return res, fmt.Errorf("eval: unknown strategy %q", strat)
+			}
+		}
+		out, err := Run(Spec{
+			G:         cfg.G,
+			F:         cfg.F,
+			Algorithm: cfg.Algorithm,
+			Inputs:    inputs,
+			Byzantine: byz,
+		})
+		if err != nil {
+			return res, err
+		}
+		if out.OK() {
+			res.OK++
+			continue
+		}
+		res.Violations = append(res.Violations, MonteCarloViolation{
+			Trial:    trial,
+			Faulty:   faulty,
+			Strategy: strat,
+			Outcome:  out,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbcast/internal/adversary"
+	"lbcast/internal/check"
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// randomFeasibleGraph searches for a seeded random graph on n nodes that
+// satisfies the local broadcast conditions for f.
+func randomFeasibleGraph(rng *rand.Rand, n, f int) *graph.Graph {
+	for attempt := 0; attempt < 60; attempt++ {
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i++ {
+			_ = g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[i+1]))
+		}
+		p := 0.45 + 0.05*float64(attempt%8)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					_ = g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		if check.LocalBroadcast(g, f).OK {
+			return g
+		}
+	}
+	return nil
+}
+
+// TestQuickAlgo1ConsensusInvariant: on any random graph satisfying the
+// tight conditions for f = 1, with a random fault position, strategy and
+// input assignment, Algorithm 1 satisfies agreement, validity and
+// termination (Theorem 5.1).
+func TestQuickAlgo1ConsensusInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3) // 4..6 keeps flooding affordable
+		g := randomFeasibleGraph(rng, n, 1)
+		if g == nil {
+			return true // no feasible instance at this size/seed
+		}
+		inputs := make(map[graph.NodeID]sim.Value, n)
+		for i := 0; i < n; i++ {
+			inputs[graph.NodeID(i)] = sim.Value(rng.Intn(2))
+		}
+		z := graph.NodeID(rng.Intn(n))
+		var byz sim.Node
+		switch rng.Intn(3) {
+		case 0:
+			byz = &adversary.SilentNode{Me: z}
+		case 1:
+			byz = adversary.NewTamper(g, z, core.PhaseRounds(n), seed)
+		default:
+			byz = &adversary.EquivocatorNode{G: g, Me: z, PhaseLen: core.PhaseRounds(n)}
+		}
+		res, err := Run(Spec{
+			G: g, F: 1, Algorithm: Algo1,
+			Inputs:    inputs,
+			Byzantine: map[graph.NodeID]sim.Node{z: byz},
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !res.OK() {
+			t.Logf("seed %d: violation on %v fault=%d: %+v", seed, g, z, res)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlgo2ConsensusInvariant: the efficient algorithm holds the same
+// invariant on random 2f-connected graphs.
+func TestQuickAlgo2ConsensusInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		g := randomFeasibleGraph(rng, n, 1)
+		if g == nil || !check.Efficient(g, 1).OK {
+			return true
+		}
+		inputs := make(map[graph.NodeID]sim.Value, n)
+		for i := 0; i < n; i++ {
+			inputs[graph.NodeID(i)] = sim.Value(rng.Intn(2))
+		}
+		z := graph.NodeID(rng.Intn(n))
+		tamper := adversary.NewTamper(g, z, core.PhaseRounds(n), seed)
+		res, err := Run(Spec{
+			G: g, F: 1, Algorithm: Algo2,
+			Inputs:    inputs,
+			Byzantine: map[graph.NodeID]sim.Node{z: tamper},
+		})
+		if err != nil {
+			return false
+		}
+		if !res.OK() {
+			t.Logf("seed %d: algo2 violation on %v fault=%d: %+v", seed, g, z, res)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnanimityPreserved: with unanimous honest inputs, the decision
+// always equals that input regardless of Byzantine behavior — the sharpest
+// corollary of validity.
+func TestQuickUnanimityPreserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		g := randomFeasibleGraph(rng, n, 1)
+		if g == nil {
+			return true
+		}
+		want := sim.Value(rng.Intn(2))
+		inputs := make(map[graph.NodeID]sim.Value, n)
+		for i := 0; i < n; i++ {
+			inputs[graph.NodeID(i)] = want
+		}
+		z := graph.NodeID(rng.Intn(n))
+		tamper := adversary.NewTamper(g, z, core.PhaseRounds(n), seed)
+		tamper.FlipProb = 1
+		res, err := Run(Spec{
+			G: g, F: 1, Algorithm: Algo1,
+			Inputs:    inputs,
+			Byzantine: map[graph.NodeID]sim.Node{z: tamper},
+		})
+		if err != nil || !res.OK() {
+			return false
+		}
+		for _, v := range res.Decisions {
+			if v != want {
+				t.Logf("seed %d: unanimity broken on %v: decided %s want %s", seed, g, v, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package eval wires graphs, algorithm nodes, and adversaries into complete
+// executions, judges the consensus properties (agreement, validity,
+// termination), and regenerates every experiment in EXPERIMENTS.md.
+package eval
+
+import (
+	"fmt"
+
+	"lbcast/internal/adversary"
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// Algorithm selects which consensus protocol honest nodes run.
+type Algorithm int
+
+// The implemented protocols.
+const (
+	// Algo1 is the phase-based Algorithm 1 (local broadcast, tight
+	// conditions, exponential phases).
+	Algo1 Algorithm = iota + 1
+	// Algo2 is the efficient Algorithm 2 (2f-connected graphs, O(n)
+	// rounds).
+	Algo2
+	// Algo3 is the hybrid-model Algorithm 3.
+	Algo3
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Algo1:
+		return "algorithm-1"
+	case Algo2:
+		return "algorithm-2"
+	case Algo3:
+		return "algorithm-3"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Spec describes one complete execution.
+type Spec struct {
+	G *graph.Graph
+	// F is the fault bound the honest nodes are configured for.
+	F int
+	// T is the equivocation bound (Algo3 only).
+	T int
+	// Algorithm selects the honest protocol.
+	Algorithm Algorithm
+	// Inputs maps every node to its input (faulty nodes may be omitted).
+	Inputs map[graph.NodeID]sim.Value
+	// Byzantine overrides the listed nodes with adversarial
+	// implementations.
+	Byzantine map[graph.NodeID]sim.Node
+	// Model is the communication model (defaults to LocalBroadcast).
+	Model sim.Model
+	// Equivocators is consulted under the Hybrid model.
+	Equivocators graph.Set
+	// Rounds overrides the computed round budget (0 = derive from the
+	// algorithm).
+	Rounds int
+	// Trace, when set, receives every physical transmission.
+	Trace func(sim.Transmission)
+}
+
+// Outcome is the judged result of one execution.
+type Outcome struct {
+	// Decisions holds the honest nodes' outputs.
+	Decisions map[graph.NodeID]sim.Value
+	// Agreement: all honest nodes decided the same value.
+	Agreement bool
+	// Validity: every honest output equals some honest node's input.
+	Validity bool
+	// Termination: every honest node decided.
+	Termination bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Metrics are the engine counters.
+	Metrics sim.Metrics
+}
+
+// OK reports whether all three consensus properties hold.
+func (o Outcome) OK() bool { return o.Agreement && o.Validity && o.Termination }
+
+// HonestFactory returns the honest-node constructor for spec.
+func (s Spec) HonestFactory() adversary.HonestFactory {
+	switch s.Algorithm {
+	case Algo2:
+		return func(u graph.NodeID, input sim.Value) sim.Node {
+			return core.NewEfficientNode(s.G, s.F, u, input)
+		}
+	case Algo3:
+		return func(u graph.NodeID, input sim.Value) sim.Node {
+			return core.NewHybridNode(s.G, s.F, s.T, u, input)
+		}
+	default:
+		return func(u graph.NodeID, input sim.Value) sim.Node {
+			return core.NewAlgo1Node(s.G, s.F, u, input)
+		}
+	}
+}
+
+// DefaultRounds returns the round budget the selected algorithm needs.
+func (s Spec) DefaultRounds() int {
+	n := s.G.N()
+	switch s.Algorithm {
+	case Algo2:
+		return core.EfficientRounds(n)
+	case Algo3:
+		return core.HybridRounds(n, s.F, s.T)
+	default:
+		return core.Algo1Rounds(n, s.F)
+	}
+}
+
+// Run executes the spec and judges the outcome.
+func Run(spec Spec) (Outcome, error) {
+	g := spec.G
+	if g == nil {
+		return Outcome{}, fmt.Errorf("eval: nil graph")
+	}
+	factory := spec.HonestFactory()
+	nodes := make([]sim.Node, g.N())
+	honest := graph.NewSet()
+	honestInputs := make(map[graph.NodeID]sim.Value)
+	for _, u := range g.Nodes() {
+		if b, ok := spec.Byzantine[u]; ok {
+			nodes[u] = b
+			continue
+		}
+		in := spec.Inputs[u]
+		nodes[u] = factory(u, in)
+		honest.Add(u)
+		honestInputs[u] = in
+	}
+	model := spec.Model
+	if model == 0 {
+		model = sim.LocalBroadcast
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		Topology:     sim.GraphTopology{G: g},
+		Model:        model,
+		Equivocators: spec.Equivocators,
+		Trace:        spec.Trace,
+		Parallel:     true,
+	}, nodes)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("eval: %w", err)
+	}
+	rounds := spec.Rounds
+	if rounds == 0 {
+		rounds = spec.DefaultRounds()
+	}
+	eng.Run(rounds)
+	return Judge(eng, honest, honestInputs, rounds), nil
+}
+
+// Judge evaluates the consensus properties over the honest nodes of a
+// finished engine run.
+func Judge(eng *sim.Engine, honest graph.Set, honestInputs map[graph.NodeID]sim.Value, rounds int) Outcome {
+	all := eng.Decisions()
+	decisions := make(map[graph.NodeID]sim.Value)
+	term := true
+	for u := range honest {
+		v, ok := all[u]
+		if !ok {
+			term = false
+			continue
+		}
+		decisions[u] = v
+	}
+	agreement := true
+	var ref sim.Value
+	first := true
+	for _, v := range decisions {
+		if first {
+			ref, first = v, false
+			continue
+		}
+		if v != ref {
+			agreement = false
+			break
+		}
+	}
+	validInputs := map[sim.Value]bool{}
+	for _, v := range honestInputs {
+		validInputs[v] = true
+	}
+	validity := true
+	for _, v := range decisions {
+		if !validInputs[v] {
+			validity = false
+			break
+		}
+	}
+	return Outcome{
+		Decisions:   decisions,
+		Agreement:   agreement && term,
+		Validity:    validity && term,
+		Termination: term,
+		Rounds:      rounds,
+		Metrics:     eng.Metrics(),
+	}
+}
+
+// RunAttackExecution runs one execution of a necessity Attack with honest
+// nodes built by the spec's factory, under the hybrid transport when the
+// execution has equivocators.
+func RunAttackExecution(g *graph.Graph, f, t int, alg Algorithm, ex adversary.AttackExecution, rounds int) (Outcome, error) {
+	model := sim.LocalBroadcast
+	if ex.Equivocators.Len() > 0 {
+		model = sim.Hybrid
+	}
+	return Run(Spec{
+		G:            g,
+		F:            f,
+		T:            t,
+		Algorithm:    alg,
+		Inputs:       ex.Inputs,
+		Byzantine:    ex.Byzantine,
+		Model:        model,
+		Equivocators: ex.Equivocators,
+		Rounds:       rounds,
+	})
+}

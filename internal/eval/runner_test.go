@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"testing"
+
+	"lbcast/internal/adversary"
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+func inputs(vals ...sim.Value) map[graph.NodeID]sim.Value {
+	m := make(map[graph.NodeID]sim.Value, len(vals))
+	for i, v := range vals {
+		m[graph.NodeID(i)] = v
+	}
+	return m
+}
+
+func TestAlgo1NoFaultsCycle(t *testing.T) {
+	g := gen.Figure1a()
+	out, err := Run(Spec{
+		G:         g,
+		F:         1,
+		Algorithm: Algo1,
+		Inputs:    inputs(0, 1, 0, 1, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("consensus failed: %+v", out)
+	}
+}
+
+func TestAlgo1SilentFaultCycle(t *testing.T) {
+	g := gen.Figure1a()
+	for z := 0; z < g.N(); z++ {
+		faulty := graph.NodeID(z)
+		out, err := Run(Spec{
+			G:         g,
+			F:         1,
+			Algorithm: Algo1,
+			Inputs:    inputs(0, 1, 0, 1, 0),
+			Byzantine: map[graph.NodeID]sim.Node{faulty: &adversary.SilentNode{Me: faulty}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK() {
+			t.Fatalf("faulty=%d: consensus failed: %+v", z, out)
+		}
+	}
+}
+
+func TestAlgo1TamperFaultCycle(t *testing.T) {
+	g := gen.Figure1a()
+	phaseLen := core.PhaseRounds(g.N())
+	for z := 0; z < g.N(); z++ {
+		faulty := graph.NodeID(z)
+		out, err := Run(Spec{
+			G:         g,
+			F:         1,
+			Algorithm: Algo1,
+			Inputs:    inputs(1, 0, 1, 0, 1),
+			Byzantine: map[graph.NodeID]sim.Node{
+				faulty: adversary.NewTamper(g, faulty, phaseLen, 42),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK() {
+			t.Fatalf("faulty=%d: consensus failed: %+v", z, out)
+		}
+	}
+}
+
+func TestAlgo2NoFaultsCycle(t *testing.T) {
+	g := gen.Figure1a() // 2-connected = 2f-connected for f=1
+	out, err := Run(Spec{
+		G:         g,
+		F:         1,
+		Algorithm: Algo2,
+		Inputs:    inputs(1, 1, 0, 1, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("consensus failed: %+v", out)
+	}
+}
+
+func TestAlgo2TamperFaultCycle(t *testing.T) {
+	g := gen.Figure1a()
+	for z := 0; z < g.N(); z++ {
+		faulty := graph.NodeID(z)
+		out, err := Run(Spec{
+			G:         g,
+			F:         1,
+			Algorithm: Algo2,
+			Inputs:    inputs(1, 0, 1, 0, 1),
+			Byzantine: map[graph.NodeID]sim.Node{
+				faulty: adversary.NewTamper(g, faulty, core.PhaseRounds(g.N()), 7),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK() {
+			t.Fatalf("faulty=%d: consensus failed: %+v", z, out)
+		}
+	}
+}
+
+func TestDegreeAttackViolatesConsensus(t *testing.T) {
+	// 4-cycle has a node of degree 2 < 2f for f... degree 2 = 2f for f=1,
+	// so use a graph with a degree-1 node: a path would be disconnected-ish;
+	// use a "lollipop": triangle 0-1-2 plus pendant 3 attached to 0.
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
+	f := 1
+	rounds := core.Algo1Rounds(g.N(), f)
+	factory := func(u graph.NodeID, input sim.Value) sim.Node {
+		return core.NewAlgo1Node(g, f, u, input)
+	}
+	atk, err := adversary.DegreeAttack(g, f, 3, rounds, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for _, ex := range atk.Executions {
+		out, err := RunAttackExecution(g, f, 0, Algo1, ex, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.ExpectHonestOutput != nil {
+			for u, v := range out.Decisions {
+				if v != *ex.ExpectHonestOutput {
+					violated = true
+					t.Logf("%s: node %d decided %s, validity broken", ex.Name, u, v)
+				}
+			}
+		} else if !out.Agreement {
+			violated = true
+			t.Logf("%s: agreement broken: %v", ex.Name, out.Decisions)
+		}
+	}
+	if !violated {
+		t.Fatal("degree attack failed to violate consensus on a sub-threshold graph")
+	}
+}

@@ -1,0 +1,147 @@
+package flood
+
+import (
+	"sort"
+
+	"lbcast/internal/graph"
+)
+
+// This file implements the disjoint-receipt queries the algorithms run over
+// recorded receipts:
+//
+//   - step (c) of Algorithms 1/3: does node v hold receipts of value δ along
+//     f+1 node-disjoint Avv-paths (disjoint except at v) that exclude F?
+//   - Definition C.1 (Algorithm 2): did v receive a message identically
+//     along f+1 internally-disjoint uv-paths?
+//
+// Both are exact set-packing searches by backtracking. Candidate counts are
+// small in this library's regime (n ≤ ~16, f ≤ 4) and the searches are
+// heavily pruned, so exact search is affordable; the existence guarantees
+// are Lemma 5.5 / D.5 and Lemma C.2.
+
+// DisjointMode selects the disjointness notion of Section 3.
+type DisjointMode int
+
+// The two path-disjointness notions.
+const (
+	// InternallyDisjoint: uv-paths sharing both endpoints but no internal
+	// node ("Two uv-paths are node-disjoint if they do not have any
+	// internal nodes in common").
+	InternallyDisjoint DisjointMode = iota + 1
+	// DisjointExceptLast: Uv-paths sharing only the final endpoint v
+	// ("Two Uv-paths are node-disjoint if they do not have any nodes in
+	// common except endpoint v").
+	DisjointExceptLast
+)
+
+// pairwiseOK reports whether paths a and b are disjoint under mode.
+func pairwiseOK(mode DisjointMode, a, b graph.Path) bool {
+	switch mode {
+	case InternallyDisjoint:
+		return graph.InternallyDisjoint(a, b)
+	case DisjointExceptLast:
+		return graph.DisjointExceptLast(a, b)
+	default:
+		return false
+	}
+}
+
+// Filter describes which receipts are candidates for a disjoint query.
+type Filter struct {
+	// Origins restricts the receipt's path origin; nil means any.
+	Origins graph.Set
+	// BodyKey, when non-empty, requires the receipt's body identity to
+	// match exactly ("received identically").
+	BodyKey string
+	// Exclude requires the receipt path to exclude this set (no internal
+	// node in the set); endpoints may be members.
+	Exclude graph.Set
+}
+
+// Candidates returns the receipts matching fil, deduplicated by path (the
+// first accepted content for a path is the relevant one; rule (ii) already
+// guarantees at most one content per (sender, slot, path)).
+func Candidates(receipts []Receipt, fil Filter) []Receipt {
+	seen := make(map[string]bool)
+	var out []Receipt
+	for _, r := range receipts {
+		if fil.Origins != nil && !fil.Origins.Contains(r.Origin) {
+			continue
+		}
+		if fil.BodyKey != "" && r.Body.Key() != fil.BodyKey {
+			continue
+		}
+		if fil.Exclude != nil && !r.Path.Excludes(fil.Exclude) {
+			continue
+		}
+		pk := r.Path.Key()
+		if seen[pk] {
+			continue
+		}
+		seen[pk] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// SelectDisjoint searches for k pairwise-disjoint (under mode) receipt
+// paths among candidates. It returns one such selection, or nil if none
+// exists. The search is exact: if nil is returned, no k disjoint candidates
+// exist.
+func SelectDisjoint(candidates []Receipt, k int, mode DisjointMode) []Receipt {
+	if k <= 0 {
+		return []Receipt{}
+	}
+	if len(candidates) < k {
+		return nil
+	}
+	// Shorter paths conflict with fewer others; trying them first shrinks
+	// the search tree.
+	cs := make([]Receipt, len(candidates))
+	copy(cs, candidates)
+	sort.SliceStable(cs, func(i, j int) bool { return len(cs[i].Path) < len(cs[j].Path) })
+
+	chosen := make([]Receipt, 0, k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(chosen) == k {
+			return true
+		}
+		// Prune: not enough candidates left.
+		if len(cs)-start < k-len(chosen) {
+			return false
+		}
+		for i := start; i < len(cs); i++ {
+			ok := true
+			for _, c := range chosen {
+				if !pairwiseOK(mode, c.Path, cs[i].Path) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			chosen = append(chosen, cs[i])
+			if rec(i + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	if rec(0) {
+		out := make([]Receipt, k)
+		copy(out, chosen)
+		return out
+	}
+	return nil
+}
+
+// ReceivedOnDisjointPaths reports whether the receipts contain k
+// pairwise-disjoint paths (under mode) matching fil. This is the predicate
+// of step (c) ("v receives value δ along any f+1 node-disjoint Avv-paths
+// that exclude F") and of Definition C.1's third clause.
+func ReceivedOnDisjointPaths(receipts []Receipt, fil Filter, k int, mode DisjointMode) bool {
+	return SelectDisjoint(Candidates(receipts, fil), k, mode) != nil
+}

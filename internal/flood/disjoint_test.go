@@ -1,0 +1,152 @@
+package flood
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+func receipt(v sim.Value, path ...graph.NodeID) Receipt {
+	return Receipt{
+		Origin: path[0],
+		Path:   graph.Path(path),
+		Body:   ValueBody{Value: v},
+	}
+}
+
+func TestCandidatesFiltering(t *testing.T) {
+	rs := []Receipt{
+		receipt(sim.One, 0, 1, 4),
+		receipt(sim.One, 0, 2, 4),
+		receipt(sim.Zero, 0, 3, 4),
+		receipt(sim.One, 5, 3, 4),
+		receipt(sim.One, 0, 1, 4), // duplicate path
+	}
+	got := Candidates(rs, Filter{Origins: graph.NewSet(0), BodyKey: ValueBody{Value: sim.One}.Key()})
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v", got)
+	}
+	// Exclusion filter removes paths with internal members of the set.
+	got = Candidates(rs, Filter{Exclude: graph.NewSet(3)})
+	for _, r := range got {
+		if r.Path.Contains(3) && r.Path[0] != 3 && r.Path[len(r.Path)-1] != 3 {
+			t.Fatalf("excluded internal node survived: %v", r)
+		}
+	}
+}
+
+func TestSelectDisjointExact(t *testing.T) {
+	// Three Uv-paths to 6; paths a and b disjoint, c conflicts with both.
+	a := receipt(sim.One, 0, 1, 6)
+	b := receipt(sim.One, 2, 3, 6)
+	c := receipt(sim.One, 4, 1, 6) // shares internal node 1 with a
+	d := receipt(sim.One, 4, 5, 6)
+
+	if got := SelectDisjoint([]Receipt{a, b, c}, 2, DisjointExceptLast); got == nil {
+		t.Fatal("2 disjoint exist (a,b) but not found")
+	}
+	if got := SelectDisjoint([]Receipt{a, c}, 2, DisjointExceptLast); got != nil {
+		t.Fatalf("impossible selection returned %v", got)
+	}
+	if got := SelectDisjoint([]Receipt{a, b, c, d}, 3, DisjointExceptLast); got == nil {
+		t.Fatal("3 disjoint exist (a,b,d) but not found")
+	}
+	if got := SelectDisjoint([]Receipt{a, b, c, d}, 4, DisjointExceptLast); got != nil {
+		t.Fatal("4 disjoint cannot exist")
+	}
+}
+
+func TestSelectDisjointModes(t *testing.T) {
+	// uv-paths share BOTH endpoints: internally disjoint mode accepts
+	// them; except-last mode rejects (same origin).
+	a := receipt(sim.One, 0, 1, 6)
+	b := receipt(sim.One, 0, 2, 6)
+	if SelectDisjoint([]Receipt{a, b}, 2, InternallyDisjoint) == nil {
+		t.Fatal("internally disjoint uv-paths rejected")
+	}
+	if SelectDisjoint([]Receipt{a, b}, 2, DisjointExceptLast) != nil {
+		t.Fatal("shared-origin paths accepted in Uv mode")
+	}
+}
+
+func TestSelectDisjointEdgeCases(t *testing.T) {
+	if got := SelectDisjoint(nil, 0, InternallyDisjoint); got == nil || len(got) != 0 {
+		t.Fatal("k=0 should return empty selection")
+	}
+	if SelectDisjoint(nil, 1, InternallyDisjoint) != nil {
+		t.Fatal("no candidates should fail")
+	}
+}
+
+// TestQuickSelectDisjointSoundness: any selection returned is genuinely
+// pairwise disjoint; and a greedy baseline never beats the exact search.
+func TestQuickSelectDisjointSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dest := graph.NodeID(99)
+		var cands []Receipt
+		for i := 0; i < 3+rng.Intn(10); i++ {
+			ln := 1 + rng.Intn(4)
+			p := make(graph.Path, 0, ln+1)
+			seen := map[graph.NodeID]bool{99: true}
+			for j := 0; j < ln; j++ {
+				v := graph.NodeID(rng.Intn(12))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				p = append(p, v)
+			}
+			if len(p) == 0 {
+				continue
+			}
+			p = append(p, dest)
+			cands = append(cands, Receipt{Origin: p[0], Path: p, Body: ValueBody{Value: sim.One}})
+		}
+		for k := 1; k <= 4; k++ {
+			sel := SelectDisjoint(cands, k, DisjointExceptLast)
+			if sel == nil {
+				continue
+			}
+			if len(sel) != k {
+				return false
+			}
+			for i := range sel {
+				for j := i + 1; j < len(sel); j++ {
+					if !graph.DisjointExceptLast(sel[i].Path, sel[j].Path) {
+						return false
+					}
+				}
+			}
+		}
+		// Monotonicity: if k disjoint exist, k-1 must too.
+		for k := 4; k >= 2; k-- {
+			if SelectDisjoint(cands, k, DisjointExceptLast) != nil &&
+				SelectDisjoint(cands, k-1, DisjointExceptLast) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceivedOnDisjointPaths(t *testing.T) {
+	rs := []Receipt{
+		receipt(sim.One, 0, 1, 6),
+		receipt(sim.One, 2, 3, 6),
+		receipt(sim.Zero, 4, 5, 6),
+	}
+	fil := Filter{BodyKey: ValueBody{Value: sim.One}.Key()}
+	if !ReceivedOnDisjointPaths(rs, fil, 2, DisjointExceptLast) {
+		t.Fatal("two disjoint 1-receipts exist")
+	}
+	if ReceivedOnDisjointPaths(rs, fil, 3, DisjointExceptLast) {
+		t.Fatal("only two 1-receipts exist")
+	}
+}

@@ -1,0 +1,237 @@
+// Package flood implements the path-annotated flooding primitive of
+// Section 5.1 of the paper (rules (i)–(iv)), used by step (a) of Algorithms
+// 1 and 3 and by phases 1–2 of the efficient Algorithm 2.
+//
+// Every flooded message has the form (body, Π) where Π is the path the
+// message has traversed so far, excluding the direct sender. On receiving
+// (body, Π) from neighbor u, node v:
+//
+//	(i)   discards it if Π·u is not a (simple) path of G;
+//	(ii)  discards it if v already accepted a message with the same slot
+//	      and path Π from u — this is the rule that, combined with local
+//	      broadcast, prevents equivocation;
+//	(iii) discards it if Π already contains v (guarantees termination in
+//	      n rounds);
+//	(iv)  otherwise records that it received body along the path Π·u·v
+//	      and forwards (body, Π·u) to its neighbors.
+//
+// A "slot" identifies the logical message instance independently of its
+// content: value flooding has one slot per origin, while Algorithm 2's
+// phase-2 report flooding has one slot per (reporter, observed sender,
+// observed path) so that a faulty forwarder cannot smuggle two conflicting
+// contents for the same report past rule (ii).
+package flood
+
+import (
+	"fmt"
+	"strings"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// Body is the algorithm-level content of a flooded message.
+type Body interface {
+	sim.Payload
+	// Slot identifies the logical message instance for rule (ii)
+	// deduplication; two bodies with equal Slot but different Key are
+	// conflicting contents for the same instance.
+	Slot() string
+}
+
+// ValueBody is the step-(a) body: a single binary value flooded by its
+// origin. All value bodies of a phase share slot "" (one value per origin).
+type ValueBody struct {
+	Value sim.Value
+}
+
+var _ Body = ValueBody{}
+
+// Key returns the canonical identity.
+func (b ValueBody) Key() string { return "v:" + b.Value.String() }
+
+// Slot returns the per-origin instance id (a node floods one value).
+func (ValueBody) Slot() string { return "" }
+
+// Msg is the wire payload: (body, Π). Π excludes the direct sender.
+type Msg struct {
+	Body Body
+	Pi   graph.Path
+}
+
+var _ sim.Payload = Msg{}
+
+// Key returns the canonical identity of the message.
+func (m Msg) Key() string {
+	return m.Body.Key() + "@" + m.Pi.Key()
+}
+
+// Receipt records one rule-(iv) acceptance: node v received Body along the
+// full origin→v path (the paper's "received value b along path Π·u",
+// extended with the receiving node so the path is a genuine uv-path).
+type Receipt struct {
+	Origin graph.NodeID
+	Path   graph.Path // Path[0] == Origin, Path[len-1] == receiving node
+	Body   Body
+}
+
+// Value extracts the binary value if the receipt's body is a ValueBody.
+func (r Receipt) Value() (sim.Value, bool) {
+	vb, ok := r.Body.(ValueBody)
+	if !ok {
+		return 0, false
+	}
+	return vb.Value, true
+}
+
+// String renders the receipt.
+func (r Receipt) String() string {
+	return fmt.Sprintf("%s along %s", r.Body.Key(), r.Path)
+}
+
+// Flooder is the per-node flooding state machine for one flooding session.
+// It is driven by the owning algorithm node: Start produces the initiation
+// transmissions, Deliver processes one round's inbox and returns the
+// forwards, and SynthesizeMissing applies the default-message rule for
+// silent neighbors.
+type Flooder struct {
+	g  *graph.Graph
+	me graph.NodeID
+
+	// accepted keys "sender|slot|pathKey" for rule (ii).
+	accepted map[string]bool
+	// initiatedBy[u] is true once an initiation (empty Π) was accepted
+	// from neighbor u, used by the default-message rule.
+	initiatedBy map[graph.NodeID]bool
+	receipts    []Receipt
+}
+
+// New creates a flooder for node me on graph g.
+func New(g *graph.Graph, me graph.NodeID) *Flooder {
+	return &Flooder{
+		g:           g,
+		me:          me,
+		accepted:    make(map[string]bool),
+		initiatedBy: make(map[graph.NodeID]bool),
+	}
+}
+
+// Rounds returns the number of engine rounds a complete flooding session
+// needs on an n-node graph: one initiation round plus n forwarding rounds
+// (a simple path has at most n nodes; rule (iii) stops anything longer).
+func Rounds(n int) int { return n + 1 }
+
+// Start returns the initiation transmissions for the given bodies and, for
+// each, records the trivial self receipt (the paper: "node v is deemed to
+// have received its own γv along path Pvv containing only node v").
+func (f *Flooder) Start(bodies ...Body) []sim.Outgoing {
+	out := make([]sim.Outgoing, 0, len(bodies))
+	for _, b := range bodies {
+		f.receipts = append(f.receipts, Receipt{
+			Origin: f.me,
+			Path:   graph.Path{f.me},
+			Body:   b,
+		})
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: b, Pi: nil}})
+	}
+	return out
+}
+
+// Deliver applies rules (i)–(iv) to one round's inbox and returns the
+// forward transmissions. Non-flood payloads in the inbox are ignored.
+func (f *Flooder) Deliver(inbox []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	for _, d := range inbox {
+		m, ok := d.Payload.(Msg)
+		if !ok {
+			continue
+		}
+		if fwd, accepted := f.deliverOne(d.From, m); accepted && fwd != nil {
+			out = append(out, *fwd)
+		}
+	}
+	return out
+}
+
+// deliverOne processes a single received message, returning the forward (or
+// nil if the message terminates at this node) and whether it was accepted.
+func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (*sim.Outgoing, bool) {
+	if m.Body == nil {
+		return nil, false
+	}
+	full := m.Pi.Append(from) // Π·u
+	// Rule (i): Π·u must be a simple path of G ending at the sender. (A
+	// faulty sender can only forge provenance along real paths ending at
+	// itself.)
+	if !full.ValidIn(f.g) || !full.IsSimple() {
+		return nil, false
+	}
+	// The direct sender must actually be a neighbor (self-deliveries are
+	// impossible too); the engine guarantees this, but a defensive check
+	// keeps the flooder safe when driven directly.
+	if !f.g.HasEdge(from, f.me) {
+		return nil, false
+	}
+	// Rule (ii): first content accepted for (sender, slot, Π) wins.
+	key := dedupKey(from, m.Body.Slot(), m.Pi)
+	if f.accepted[key] {
+		return nil, false
+	}
+	// Rule (iii): discard if Π already contains me.
+	if m.Pi.Contains(f.me) {
+		return nil, false
+	}
+	f.accepted[key] = true
+	if len(m.Pi) == 0 {
+		f.initiatedBy[from] = true
+	}
+	// Rule (iv): record receipt along Π·u (·me) and forward (body, Π·u).
+	f.receipts = append(f.receipts, Receipt{
+		Origin: full[0],
+		Path:   full.Append(f.me),
+		Body:   m.Body,
+	})
+	// A message whose path would exceed the graph cannot be extended
+	// further by anyone, but forwarding is still required so neighbors
+	// record their receipts.
+	return &sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: m.Body, Pi: full}}, true
+}
+
+// SynthesizeMissing applies the default-message rule of step (a): for every
+// neighbor u that has not initiated flooding, act exactly as if (mk(u), ⊥)
+// had been received from u. It returns the induced forwards and must be
+// called once, after the first Deliver round of a session.
+func (f *Flooder) SynthesizeMissing(mk func(neighbor graph.NodeID) Body) []sim.Outgoing {
+	var out []sim.Outgoing
+	for _, u := range f.g.Neighbors(f.me) {
+		if f.initiatedBy[u] {
+			continue
+		}
+		if fwd, accepted := f.deliverOne(u, Msg{Body: mk(u), Pi: nil}); accepted && fwd != nil {
+			out = append(out, *fwd)
+		}
+	}
+	return out
+}
+
+// Receipts returns all recorded receipts in acceptance order. The slice is
+// shared; callers must not modify it.
+func (f *Flooder) Receipts() []Receipt { return f.receipts }
+
+// ReceiptsFromOrigin returns receipts whose provenance path starts at
+// origin.
+func (f *Flooder) ReceiptsFromOrigin(origin graph.NodeID) []Receipt {
+	var out []Receipt
+	for _, r := range f.receipts {
+		if r.Origin == origin {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func dedupKey(from graph.NodeID, slot string, pi graph.Path) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%s|%s", from, slot, pi.Key())
+	return sb.String()
+}

@@ -1,0 +1,195 @@
+package flood
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+func cycle(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func msg(v sim.Value, path ...graph.NodeID) Msg {
+	return Msg{Body: ValueBody{Value: v}, Pi: graph.Path(path)}
+}
+
+func TestStartRecordsSelfReceipt(t *testing.T) {
+	g := cycle(t, 5)
+	f := New(g, 2)
+	out := f.Start(ValueBody{Value: sim.One})
+	if len(out) != 1 {
+		t.Fatalf("initiations = %v", out)
+	}
+	rs := f.Receipts()
+	if len(rs) != 1 || rs[0].Origin != 2 || rs[0].Path.Key() != "2" {
+		t.Fatalf("self receipt = %v", rs)
+	}
+	if v, ok := rs[0].Value(); !ok || v != sim.One {
+		t.Fatal("self receipt value wrong")
+	}
+}
+
+func TestRuleIRejectsInvalidProvenance(t *testing.T) {
+	g := cycle(t, 5)
+	f := New(g, 2)
+	// Path 0->3 is not an edge; Π·u = (0,3,1) invalid.
+	out := f.Deliver([]sim.Delivery{{From: 1, Payload: msg(sim.One, 0, 3)}})
+	if len(out) != 0 || len(f.Receipts()) != 0 {
+		t.Fatal("invalid path accepted")
+	}
+	// Non-simple provenance (0,1,0)·1.
+	out = f.Deliver([]sim.Delivery{{From: 1, Payload: msg(sim.One, 0, 1, 0)}})
+	if len(out) != 0 || len(f.Receipts()) != 0 {
+		t.Fatal("non-simple path accepted")
+	}
+	// Sender not a neighbor of me (node 2's neighbors are 1 and 3).
+	out = f.Deliver([]sim.Delivery{{From: 0, Payload: msg(sim.One)}})
+	if len(out) != 0 {
+		t.Fatal("non-neighbor delivery accepted")
+	}
+}
+
+func TestRuleIIFirstContentWins(t *testing.T) {
+	g := cycle(t, 5)
+	f := New(g, 2)
+	out := f.Deliver([]sim.Delivery{
+		{From: 1, Payload: msg(sim.Zero)},
+		{From: 1, Payload: msg(sim.One)}, // same sender, same Π=⊥: discarded
+	})
+	if len(out) != 1 {
+		t.Fatalf("forwards = %v", out)
+	}
+	rs := f.Receipts()
+	if len(rs) != 1 {
+		t.Fatalf("receipts = %v", rs)
+	}
+	if v, _ := rs[0].Value(); v != sim.Zero {
+		t.Fatal("first value should win")
+	}
+}
+
+func TestRuleIIIDiscardsOwnId(t *testing.T) {
+	g := cycle(t, 5)
+	f := New(g, 2)
+	// Π = (2,1): already contains me=2.
+	out := f.Deliver([]sim.Delivery{{From: 1, Payload: msg(sim.One, 2)}})
+	if len(out) != 0 || len(f.Receipts()) != 0 {
+		t.Fatal("message with own id in path accepted")
+	}
+}
+
+func TestRuleIVRecordsAndForwards(t *testing.T) {
+	g := cycle(t, 5)
+	f := New(g, 2)
+	out := f.Deliver([]sim.Delivery{{From: 1, Payload: msg(sim.One, 0)}})
+	if len(out) != 1 {
+		t.Fatalf("forward missing: %v", out)
+	}
+	fwd, ok := out[0].Payload.(Msg)
+	if !ok || fwd.Pi.Key() != "0->1" {
+		t.Fatalf("forwarded Π = %v", out[0].Payload)
+	}
+	rs := f.Receipts()
+	if len(rs) != 1 || rs[0].Path.Key() != "0->1->2" || rs[0].Origin != 0 {
+		t.Fatalf("receipt = %v", rs)
+	}
+}
+
+func TestSynthesizeMissing(t *testing.T) {
+	g := cycle(t, 5)
+	f := New(g, 2)
+	// Neighbor 1 initiated; neighbor 3 silent.
+	f.Deliver([]sim.Delivery{{From: 1, Payload: msg(sim.Zero)}})
+	out := f.SynthesizeMissing(func(graph.NodeID) Body { return ValueBody{Value: sim.DefaultValue} })
+	if len(out) != 1 {
+		t.Fatalf("substitutions = %v", out)
+	}
+	rs := f.ReceiptsFromOrigin(3)
+	if len(rs) != 1 {
+		t.Fatalf("receipts from 3 = %v", rs)
+	}
+	if v, _ := rs[0].Value(); v != sim.DefaultValue {
+		t.Fatal("default value wrong")
+	}
+	// A late genuine initiation from 3 is now rejected by rule (ii).
+	fw := f.Deliver([]sim.Delivery{{From: 3, Payload: msg(sim.Zero)}})
+	if len(fw) != 0 {
+		t.Fatal("late initiation accepted after substitution")
+	}
+}
+
+// TestFullFloodOnEngine floods one value through a 5-cycle and verifies
+// every node receives it along every simple path.
+func TestFullFloodOnEngine(t *testing.T) {
+	g := cycle(t, 5)
+	nodes := make([]sim.Node, g.N())
+	flooders := make([]*Flooder, g.N())
+	for i := range nodes {
+		flooders[i] = New(g, graph.NodeID(i))
+		nodes[i] = &floodDriver{f: flooders[i], initiate: i == 0, value: sim.One}
+	}
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(Rounds(g.N()))
+	// Node 2 must have received along 0->1->2 and 0->4->3->2.
+	rs := flooders[2].ReceiptsFromOrigin(0)
+	keys := map[string]bool{}
+	for _, r := range rs {
+		keys[r.Path.Key()] = true
+		if v, ok := r.Value(); !ok || v != sim.One {
+			t.Fatalf("receipt value wrong: %v", r)
+		}
+	}
+	if !keys["0->1->2"] || !keys["0->4->3->2"] {
+		t.Fatalf("missing paths: %v", keys)
+	}
+}
+
+// floodDriver adapts a Flooder to sim.Node for tests.
+type floodDriver struct {
+	f        *Flooder
+	initiate bool
+	value    sim.Value
+}
+
+func (d *floodDriver) ID() graph.NodeID { return d.f.me }
+
+func (d *floodDriver) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	if round == 0 {
+		if d.initiate {
+			return d.f.Start(ValueBody{Value: d.value})
+		}
+		return nil
+	}
+	return d.f.Deliver(inbox)
+}
+
+func TestRoundsBound(t *testing.T) {
+	if Rounds(5) != 6 {
+		t.Fatalf("Rounds(5) = %d", Rounds(5))
+	}
+}
+
+func TestMsgAndBodyKeys(t *testing.T) {
+	m := msg(sim.One, 0, 1)
+	if m.Key() != "v:1@0->1" {
+		t.Fatalf("msg key = %q", m.Key())
+	}
+	if (ValueBody{Value: sim.Zero}).Key() != "v:0" {
+		t.Fatal("value body key wrong")
+	}
+	if (ValueBody{}).Slot() != "" {
+		t.Fatal("value slot should be empty")
+	}
+}

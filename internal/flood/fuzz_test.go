@@ -1,0 +1,153 @@
+package flood
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// TestQuickFlooderRejectsForgeries feeds the flooder adversarial message
+// streams (random values, random claimed paths, random senders) and checks
+// the acceptance invariants:
+//
+//   - every recorded receipt path is a valid simple path of G ending at
+//     the local node, with the direct sender as the penultimate hop;
+//   - at most one receipt exists per (path) — rule (ii);
+//   - no receipt path contains the local node anywhere except its end —
+//     rule (iii).
+func TestQuickFlooderRejectsForgeries(t *testing.T) {
+	base := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+		{U: 5, V: 0}, {U: 0, V: 2}, {U: 1, V: 4},
+	})
+	me := graph.NodeID(0)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := New(base, me)
+		f.Start(ValueBody{Value: sim.One})
+		for i := 0; i < 120; i++ {
+			// Random claimed path of random length over random nodes.
+			ln := rng.Intn(5)
+			pi := make(graph.Path, 0, ln)
+			for j := 0; j < ln; j++ {
+				pi = append(pi, graph.NodeID(rng.Intn(6)))
+			}
+			from := graph.NodeID(rng.Intn(6))
+			f.Deliver([]sim.Delivery{{
+				From:    from,
+				Payload: Msg{Body: ValueBody{Value: sim.Value(rng.Intn(2))}, Pi: pi},
+			}})
+		}
+		seenPaths := map[string]bool{}
+		for _, r := range f.Receipts() {
+			p := r.Path
+			if p[len(p)-1] != me {
+				t.Logf("seed %d: receipt does not end at me: %v", seed, p)
+				return false
+			}
+			if len(p) >= 2 {
+				// Drop the local node: the remainder (Π·u) must be a
+				// valid simple path of G.
+				prefix := p[:len(p)-1]
+				if !prefix.ValidIn(base) || !prefix.IsSimple() {
+					t.Logf("seed %d: invalid provenance: %v", seed, p)
+					return false
+				}
+				// The penultimate hop must be adjacent to me.
+				if !base.HasEdge(p[len(p)-2], me) {
+					t.Logf("seed %d: non-neighbor sender: %v", seed, p)
+					return false
+				}
+			}
+			if p.Contains(me) && p[len(p)-1] != me {
+				return false
+			}
+			for _, inner := range p[:len(p)-1] {
+				if inner == me {
+					t.Logf("seed %d: rule (iii) breached: %v", seed, p)
+					return false
+				}
+			}
+			if r.Origin != p[0] {
+				t.Logf("seed %d: origin mismatch: %v vs %v", seed, r.Origin, p)
+				return false
+			}
+			if seenPaths[p.Key()] {
+				t.Logf("seed %d: duplicate path receipt: %v", seed, p)
+				return false
+			}
+			seenPaths[p.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFloodFaultFreeDelivery: on a fault-free cycle flood, every node
+// records the origin's true value along every simple origin→node path.
+func TestQuickFloodFaultFreeDelivery(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			_ = g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		}
+		// Random extra chords.
+		for i := 0; i < n/2; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		origin := graph.NodeID(rng.Intn(n))
+		val := sim.Value(rng.Intn(2))
+
+		flooders := make([]*Flooder, n)
+		nodes := make([]sim.Node, n)
+		for i := range nodes {
+			flooders[i] = New(g, graph.NodeID(i))
+			nodes[i] = &floodDriver{f: flooders[i], initiate: graph.NodeID(i) == origin, value: val}
+		}
+		eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+		if err != nil {
+			return false
+		}
+		eng.Run(Rounds(n))
+		for i := range flooders {
+			me := graph.NodeID(i)
+			if me == origin {
+				continue
+			}
+			want := g.AllSimplePaths(origin, me, 0)
+			got := map[string]bool{}
+			for _, r := range flooders[i].ReceiptsFromOrigin(origin) {
+				v, ok := r.Value()
+				if !ok || v != val {
+					t.Logf("seed %d: wrong value receipt %v", seed, r)
+					return false
+				}
+				got[r.Path.Key()] = true
+			}
+			if len(got) != len(want) {
+				t.Logf("seed %d: node %d got %d paths, want %d (graph %v)", seed, me, len(got), len(want), g)
+				return false
+			}
+			for _, p := range want {
+				if !got[p.Key()] {
+					t.Logf("seed %d: missing path %v", seed, p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

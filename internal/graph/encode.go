@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// graphJSON is the serialized form: node count plus a canonical edge list.
+type graphJSON struct {
+	N     int    `json:"n"`
+	Edges []Edge `json:"edges"`
+}
+
+// edgeJSON is the serialized form of an edge.
+type edgeJSON struct {
+	U NodeID `json:"u"`
+	V NodeID `json:"v"`
+}
+
+// MarshalJSON encodes the graph as {"n": ..., "edges": [{"u":..,"v":..}]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(graphJSON{N: g.n, Edges: g.Edges()})
+}
+
+// MarshalJSON encodes the edge with named endpoints.
+func (e Edge) MarshalJSON() ([]byte, error) {
+	n := e.Normalize()
+	return json.Marshal(edgeJSON{U: n.U, V: n.V})
+}
+
+// UnmarshalJSON decodes the edge form produced by MarshalJSON.
+func (e *Edge) UnmarshalJSON(data []byte) error {
+	var ej edgeJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	e.U, e.V = ej.U, ej.V
+	return nil
+}
+
+// FromJSON decodes a graph encoded by MarshalJSON.
+func FromJSON(data []byte) (*Graph, error) {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	g := New(gj.N)
+	for _, e := range gj.Edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, fmt.Errorf("graph: decode: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz format with the given graph name,
+// optionally highlighting a node set (drawn filled).
+func (g *Graph) DOT(name string, highlight Set) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", name)
+	hl := highlight.Slice()
+	for _, u := range hl {
+		fmt.Fprintf(&sb, "  %d [style=filled, fillcolor=lightcoral];\n", u)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e.U, e.V)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Distances returns the BFS hop distances from start to every node; -1
+// marks unreachable nodes.
+func (g *Graph) Distances(start NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.valid(start) {
+		return dist
+	}
+	dist[start] = 0
+	queue := []NodeID{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the longest shortest-path distance in g, or -1 for
+// disconnected or empty graphs.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		for _, d := range g.Distances(NodeID(u)) {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	out := make([]int, g.n)
+	for i := range out {
+		out[i] = len(g.adj[i])
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,270 @@
+// Package gen provides deterministic graph generators for the workloads
+// used in the experiments: the paper's Figure 1 graphs, classical families
+// with known connectivity (cycles, circulants, Harary graphs, hypercubes,
+// wheels, complete and complete-bipartite graphs), and seeded random graphs
+// filtered by the paper's conditions.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lbcast/internal/graph"
+)
+
+// Cycle returns the cycle graph C_n (n >= 3): connectivity 2, min degree 2.
+// Figure 1(a) of the paper is Cycle(5).
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: cycle needs n >= 3, got %d", n)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Complete returns the complete graph K_n: connectivity n-1.
+func Complete(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: complete graph needs n >= 1, got %d", n)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Circulant returns the circulant graph C_n(offsets): node i is adjacent to
+// i±d mod n for each d in offsets. With offsets 1..k and n > 2k it is
+// 2k-regular and 2k-connected. Figure 1(b) is reproduced as Circulant(8,
+// []int{1,2}) — see DESIGN.md ("Substitutions").
+func Circulant(n int, offsets []int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: circulant needs n >= 3, got %d", n)
+	}
+	g := graph.New(n)
+	for _, d := range offsets {
+		if d <= 0 || d >= n {
+			return nil, fmt.Errorf("gen: circulant offset %d out of range for n=%d", d, n)
+		}
+		for i := 0; i < n; i++ {
+			j := (i + d) % n
+			if i == j {
+				continue
+			}
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Harary returns the Harary graph H_{k,n}: the k-connected graph on n nodes
+// with the minimum possible number of edges (⌈kn/2⌉). Requires n > k.
+func Harary(k, n int) (*graph.Graph, error) {
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("gen: harary needs 1 <= k < n, got k=%d n=%d", k, n)
+	}
+	g := graph.New(n)
+	half := k / 2
+	// Circulant part with offsets 1..⌊k/2⌋.
+	for d := 1; d <= half; d++ {
+		for i := 0; i < n; i++ {
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+d)%n)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if k%2 == 1 {
+		if n%2 == 0 {
+			// Diameters i — i+n/2.
+			for i := 0; i < n/2; i++ {
+				if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+n/2)); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			// Odd n: near-diameters per Harary's construction.
+			for i := 0; i <= n/2; i++ {
+				if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+(n-1)/2)%n)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Wheel returns the wheel graph W_n: a cycle on nodes 0..n-2 plus a hub
+// node n-1 adjacent to all. Connectivity 3 for n >= 5.
+func Wheel(n int) (*graph.Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("gen: wheel needs n >= 4, got %d", n)
+	}
+	g, err := Cycle(n - 1)
+	if err != nil {
+		return nil, err
+	}
+	wg := graph.New(n)
+	for _, e := range g.Edges() {
+		if err := wg.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	hub := graph.NodeID(n - 1)
+	for i := 0; i < n-1; i++ {
+		if err := wg.AddEdge(hub, graph.NodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return wg, nil
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes:
+// d-regular and d-connected.
+func Hypercube(d int) (*graph.Graph, error) {
+	if d < 1 || d > 16 {
+		return nil, fmt.Errorf("gen: hypercube dimension %d out of range [1,16]", d)
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for b := 0; b < d; b++ {
+			j := i ^ (1 << b)
+			if i < j {
+				if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// CompleteBipartite returns K_{a,b} with left nodes 0..a-1 and right nodes
+// a..a+b-1. Connectivity min(a,b).
+func CompleteBipartite(a, b int) (*graph.Graph, error) {
+	if a < 1 || b < 1 {
+		return nil, fmt.Errorf("gen: bipartite needs a,b >= 1, got %d,%d", a, b)
+	}
+	g := graph.New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID(a+j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Petersen returns the Petersen graph: 10 nodes, 3-regular, 3-connected —
+// a classic sparse witness for f = 1 under the local broadcast conditions.
+// Nodes 0..4 form the outer cycle, 5..9 the inner pentagram.
+func Petersen() *graph.Graph {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		mustAdd(g, graph.NodeID(i), graph.NodeID((i+1)%5))     // outer cycle
+		mustAdd(g, graph.NodeID(5+i), graph.NodeID(5+(i+2)%5)) // pentagram
+		mustAdd(g, graph.NodeID(i), graph.NodeID(5+i))         // spokes
+	}
+	return g
+}
+
+func mustAdd(g *graph.Graph, u, v graph.NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err) // static construction; cannot fail
+	}
+}
+
+// Figure1a returns the paper's Figure 1(a): the 5-cycle satisfying the
+// Theorem 4.1 conditions for f = 1. Node ids are 0..4 (the paper draws them
+// 1..5).
+func Figure1a() *graph.Graph {
+	g, err := Cycle(5)
+	if err != nil {
+		panic(err) // static construction; cannot fail
+	}
+	return g
+}
+
+// Figure1b returns a stand-in for the paper's Figure 1(b) (the drawn graph's
+// edge list is not given in the text): the circulant C_8(1,2), which has min
+// degree 4 and vertex connectivity 4 — exactly the Theorem 4.1 conditions
+// for f = 2 (⌊3·2/2⌋+1 = 4, 2f = 4).
+func Figure1b() *graph.Graph {
+	g, err := Circulant(8, []int{1, 2})
+	if err != nil {
+		panic(err) // static construction; cannot fail
+	}
+	return g
+}
+
+// Random returns a connected random graph on n nodes in which each edge is
+// present independently with probability p, generated deterministically
+// from seed. It retries up to 100 attempts to find a connected instance.
+func Random(n int, p float64, seed int64) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: random graph needs n >= 1, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: edge probability %v out of [0,1]", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 100; attempt++ {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if g.Connected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: no connected random graph after 100 attempts (n=%d p=%v seed=%d)", n, p, seed)
+}
+
+// RandomWithMinConnectivity returns a seeded random graph whose vertex
+// connectivity is at least k, retrying with increasing density.
+func RandomWithMinConnectivity(n, k int, seed int64) (*graph.Graph, error) {
+	if n <= k {
+		return nil, fmt.Errorf("gen: need n > k, got n=%d k=%d", n, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := 0.3
+	for attempt := 0; attempt < 200; attempt++ {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if g.IsKConnected(k) {
+			return g, nil
+		}
+		p += 0.01
+		if p > 0.95 {
+			p = 0.95
+		}
+	}
+	return nil, fmt.Errorf("gen: no %d-connected random graph found (n=%d seed=%d)", k, n, seed)
+}

@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+)
+
+func TestCycleProperties(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		g, err := Cycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n || g.M() != n {
+			t.Fatalf("cycle(%d): n=%d m=%d", n, g.N(), g.M())
+		}
+		if g.MinDegree() != 2 || g.VertexConnectivity() != 2 {
+			t.Fatalf("cycle(%d): degree=%d kappa=%d", n, g.MinDegree(), g.VertexConnectivity())
+		}
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Fatal("cycle(2) should fail")
+	}
+}
+
+func TestCompleteProperties(t *testing.T) {
+	g, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 15 || g.VertexConnectivity() != 5 {
+		t.Fatalf("K6: m=%d kappa=%d", g.M(), g.VertexConnectivity())
+	}
+}
+
+func TestCirculantProperties(t *testing.T) {
+	g, err := Circulant(8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MinDegree() != 4 {
+		t.Fatalf("C8(1,2) degree = %d", g.MinDegree())
+	}
+	if g.VertexConnectivity() != 4 {
+		t.Fatalf("C8(1,2) kappa = %d", g.VertexConnectivity())
+	}
+	if _, err := Circulant(5, []int{0}); err == nil {
+		t.Fatal("offset 0 should fail")
+	}
+	if _, err := Circulant(5, []int{5}); err == nil {
+		t.Fatal("offset n should fail")
+	}
+}
+
+func TestHararyConnectivity(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{2, 5}, {3, 6}, {3, 7}, {4, 8}, {4, 9}, {5, 8}, {5, 9}, {6, 10},
+	}
+	for _, tc := range cases {
+		g, err := Harary(tc.k, tc.n)
+		if err != nil {
+			t.Fatalf("harary(%d,%d): %v", tc.k, tc.n, err)
+		}
+		if kappa := g.VertexConnectivity(); kappa < tc.k {
+			t.Errorf("harary(%d,%d): kappa = %d, want >= %d", tc.k, tc.n, kappa, tc.k)
+		}
+	}
+	if _, err := Harary(5, 5); err == nil {
+		t.Fatal("harary needs n > k")
+	}
+}
+
+func TestWheelProperties(t *testing.T) {
+	g, err := Wheel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 {
+		t.Fatalf("wheel n = %d", g.N())
+	}
+	if g.Degree(6) != 6 {
+		t.Fatalf("hub degree = %d", g.Degree(6))
+	}
+	if g.VertexConnectivity() != 3 {
+		t.Fatalf("wheel kappa = %d", g.VertexConnectivity())
+	}
+}
+
+func TestHypercubeProperties(t *testing.T) {
+	g, err := Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 || g.MinDegree() != 3 || g.VertexConnectivity() != 3 {
+		t.Fatalf("Q3: n=%d deg=%d kappa=%d", g.N(), g.MinDegree(), g.VertexConnectivity())
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g, err := CompleteBipartite(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 || g.M() != 12 || g.VertexConnectivity() != 3 {
+		t.Fatalf("K3,4: n=%d m=%d kappa=%d", g.N(), g.M(), g.VertexConnectivity())
+	}
+}
+
+func TestFigureGraphs(t *testing.T) {
+	a := Figure1a()
+	// Figure 1(a): 5-cycle, conditions for f=1 (degree 2 = 2f,
+	// connectivity 2 = floor(3/2)+1).
+	if a.N() != 5 || a.MinDegree() != 2 || a.VertexConnectivity() != 2 {
+		t.Fatalf("figure1a: %v", a)
+	}
+	b := Figure1b()
+	// Figure 1(b) stand-in: conditions for f=2 (degree 4, connectivity 4).
+	if b.MinDegree() != 4 || b.VertexConnectivity() != 4 {
+		t.Fatalf("figure1b: deg=%d kappa=%d", b.MinDegree(), b.VertexConnectivity())
+	}
+}
+
+func TestRandomDeterministicAndConnected(t *testing.T) {
+	g1, err := Random(10, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Random(10, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.String() != g2.String() {
+		t.Fatal("same seed produced different graphs")
+	}
+	if !g1.Connected() {
+		t.Fatal("random graph not connected")
+	}
+}
+
+func TestRandomWithMinConnectivity(t *testing.T) {
+	g, err := RandomWithMinConnectivity(9, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexConnectivity() < 4 {
+		t.Fatalf("kappa = %d, want >= 4", g.VertexConnectivity())
+	}
+	if _, err := RandomWithMinConnectivity(4, 4, 1); err == nil {
+		t.Fatal("n <= k should fail")
+	}
+}
+
+func TestGeneratorsAreSimpleGraphs(t *testing.T) {
+	graphs := []*graph.Graph{Figure1a(), Figure1b()}
+	if g, err := Harary(5, 11); err == nil {
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		for _, e := range g.Edges() {
+			if e.U == e.V {
+				t.Fatalf("self loop in %v", g)
+			}
+		}
+	}
+}
+
+func TestPetersenProperties(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("petersen: n=%d m=%d", g.N(), g.M())
+	}
+	if g.MinDegree() != 3 || g.VertexConnectivity() != 3 {
+		t.Fatalf("petersen: deg=%d kappa=%d", g.MinDegree(), g.VertexConnectivity())
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("petersen diameter = %d, want 2", g.Diameter())
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Set is a finite set of node ids. A nil Set is a valid empty set for
+// read-only operations.
+type Set map[NodeID]struct{}
+
+// NewSet builds a set from the given nodes.
+func NewSet(nodes ...NodeID) Set {
+	s := make(Set, len(nodes))
+	for _, u := range nodes {
+		s[u] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports membership; safe on a nil set.
+func (s Set) Contains(u NodeID) bool {
+	_, ok := s[u]
+	return ok
+}
+
+// Add inserts u.
+func (s Set) Add(u NodeID) { s[u] = struct{}{} }
+
+// Remove deletes u.
+func (s Set) Remove(u NodeID) { delete(s, u) }
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Clone returns a copy; a nil receiver yields an empty non-nil set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for u := range s {
+		c[u] = struct{}{}
+	}
+	return c
+}
+
+// Union returns a new set s ∪ t.
+func (s Set) Union(t Set) Set {
+	c := s.Clone()
+	for u := range t {
+		c[u] = struct{}{}
+	}
+	return c
+}
+
+// Intersect returns a new set s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	c := make(Set)
+	for u := range s {
+		if t.Contains(u) {
+			c[u] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Minus returns a new set s \ t.
+func (s Set) Minus(t Set) Set {
+	c := make(Set)
+	for u := range s {
+		if !t.Contains(u) {
+			c[u] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Slice returns the members in ascending order.
+func (s Set) Slice() []NodeID {
+	out := make([]NodeID, 0, len(s))
+	for u := range s {
+		out = append(out, u)
+	}
+	SortNodes(out)
+	return out
+}
+
+// Equal reports whether s and t contain the same nodes.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for u := range s {
+		if !t.Contains(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as "{1 2 5}".
+func (s Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, u := range s.Slice() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", u)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

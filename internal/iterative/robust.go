@@ -1,0 +1,94 @@
+// Package iterative implements the restricted class of iterative
+// approximate Byzantine consensus algorithms that the paper's related work
+// discusses (LeBlanc–Zhang–Koutsoukos–Sundaram [17], Zhang–Sundaram [34]):
+// each node repeatedly updates a real-valued state as a trimmed average of
+// its neighbors' states (W-MSR). The paper observes that, "due to the
+// restriction on the algorithm behavior, the network requirements exceed
+// the necessary and sufficient conditions shown in this paper" and that
+// these algorithms "yield only approximate consensus in finite time" —
+// experiment E14 reproduces both observations by contrasting W-MSR with
+// the exact Algorithm 1 on the same graphs.
+package iterative
+
+import (
+	"lbcast/internal/graph"
+)
+
+// IsRRobust reports whether g is r-robust: for every pair of non-empty
+// disjoint subsets S1, S2 ⊆ V, at least one of the subsets contains a node
+// with at least r neighbors outside its own subset. r-robustness with
+// r = 2f+1 is the standard sufficient condition for W-MSR resilience to f
+// locally-bounded Byzantine nodes (and is necessary in the F-total model
+// considered here for worst-case placements).
+//
+// The check enumerates all 3^n assignments of nodes to (S1, S2, neither);
+// it is intended for the small graphs of this library (n ≤ ~12).
+func IsRRobust(g *graph.Graph, r int) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	// assign[i] ∈ {0: neither, 1: S1, 2: S2}
+	assign := make([]int, n)
+	for {
+		if ok := checkPair(g, assign, r); !ok {
+			return false
+		}
+		// Next assignment (ternary counter).
+		i := 0
+		for ; i < n; i++ {
+			assign[i]++
+			if assign[i] < 3 {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == n {
+			return true
+		}
+	}
+}
+
+// checkPair verifies the robustness condition for one (S1, S2) pair; pairs
+// with an empty side are vacuously fine.
+func checkPair(g *graph.Graph, assign []int, r int) bool {
+	has1, has2 := false, false
+	for _, a := range assign {
+		if a == 1 {
+			has1 = true
+		} else if a == 2 {
+			has2 = true
+		}
+	}
+	if !has1 || !has2 {
+		return true
+	}
+	for u, a := range assign {
+		if a == 0 {
+			continue
+		}
+		outside := 0
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if assign[v] != a {
+				outside++
+			}
+		}
+		if outside >= r {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxRobustness returns the largest r for which g is r-robust (0 for the
+// empty graph).
+func MaxRobustness(g *graph.Graph) int {
+	r := 0
+	for IsRRobust(g, r+1) {
+		r++
+		if r > g.N() {
+			break
+		}
+	}
+	return r
+}

@@ -1,0 +1,188 @@
+package iterative
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// StateMsg carries a node's current real-valued state for one W-MSR
+// iteration.
+type StateMsg struct {
+	Value float64
+}
+
+var _ sim.Payload = StateMsg{}
+
+// Key returns the canonical identity.
+func (m StateMsg) Key() string {
+	return "wmsr:" + strconv.FormatFloat(m.Value, 'g', -1, 64)
+}
+
+// Node is a non-faulty W-MSR participant: in every round it broadcasts its
+// state, discards up to f neighbor values strictly above its own state and
+// up to f strictly below (the Mean-Subsequence-Reduced rule), and averages
+// the remainder together with its own state.
+type Node struct {
+	g     *graph.Graph
+	me    graph.NodeID
+	f     int
+	state float64
+}
+
+var _ sim.Node = (*Node)(nil)
+
+// New builds a W-MSR node with the given initial real-valued state.
+func New(g *graph.Graph, f int, me graph.NodeID, initial float64) *Node {
+	return &Node{g: g, me: me, f: f, state: initial}
+}
+
+// ID returns the node id.
+func (nd *Node) ID() graph.NodeID { return nd.me }
+
+// State returns the current iterate.
+func (nd *Node) State() float64 { return nd.state }
+
+// Step broadcasts the state and applies the MSR update to the previous
+// round's received values.
+func (nd *Node) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	if round > 0 {
+		nd.update(inbox)
+	}
+	return []sim.Outgoing{{To: sim.Broadcast, Payload: StateMsg{Value: nd.state}}}
+}
+
+func (nd *Node) update(inbox []sim.Delivery) {
+	// One value per neighbor: first message wins (local broadcast makes
+	// this consistent across all of a sender's neighbors).
+	seen := make(map[graph.NodeID]bool, len(inbox))
+	var values []float64
+	for _, d := range inbox {
+		m, ok := d.Payload.(StateMsg)
+		if !ok || seen[d.From] {
+			continue
+		}
+		seen[d.From] = true
+		values = append(values, m.Value)
+	}
+	if len(values) == 0 {
+		return
+	}
+	sort.Float64s(values)
+	// Remove up to f values strictly greater than own state (from the
+	// top) and up to f strictly smaller (from the bottom).
+	lo, hi := 0, len(values)
+	for k := 0; k < nd.f && lo < hi && values[lo] < nd.state; k++ {
+		lo++
+	}
+	for k := 0; k < nd.f && hi > lo && values[hi-1] > nd.state; k++ {
+		hi--
+	}
+	kept := values[lo:hi]
+	sum := nd.state
+	for _, v := range kept {
+		sum += v
+	}
+	nd.state = sum / float64(len(kept)+1)
+}
+
+// Result summarizes a W-MSR execution over the honest nodes.
+type Result struct {
+	// States are the final honest iterates.
+	States map[graph.NodeID]float64
+	// Spread is max-min over the final honest states.
+	Spread float64
+	// Contained reports the validity analog: every honest state stayed
+	// within the initial honest range throughout.
+	Contained bool
+	Rounds    int
+}
+
+// Converged reports whether the honest states agree to within eps.
+func (r Result) Converged(eps float64) bool { return r.Spread <= eps }
+
+// Run executes rounds W-MSR iterations on g with the given honest initial
+// states and Byzantine overrides, and summarizes the outcome.
+func Run(g *graph.Graph, f int, initial map[graph.NodeID]float64, byz map[graph.NodeID]sim.Node, rounds int) (Result, error) {
+	nodes := make([]sim.Node, g.N())
+	honest := make(map[graph.NodeID]*Node)
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, u := range g.Nodes() {
+		if b, ok := byz[u]; ok {
+			nodes[u] = b
+			continue
+		}
+		init := initial[u]
+		nd := New(g, f, u, init)
+		nodes[u] = nd
+		honest[u] = nd
+		if first {
+			lo, hi, first = init, init, false
+		} else {
+			if init < lo {
+				lo = init
+			}
+			if init > hi {
+				hi = init
+			}
+		}
+	}
+	contained := true
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterative: %w", err)
+	}
+	for r := 0; r < rounds; r++ {
+		eng.Run(1)
+		for _, nd := range honest {
+			if nd.State() < lo-1e-9 || nd.State() > hi+1e-9 {
+				contained = false
+			}
+		}
+	}
+	res := Result{
+		States:    make(map[graph.NodeID]float64, len(honest)),
+		Contained: contained,
+		Rounds:    rounds,
+	}
+	minS, maxS := 0.0, 0.0
+	first = true
+	for u, nd := range honest {
+		s := nd.State()
+		res.States[u] = s
+		if first {
+			minS, maxS, first = s, s, false
+		} else {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+	}
+	res.Spread = maxS - minS
+	return res, nil
+}
+
+// ConstantAttacker broadcasts a fixed value every round — the classic
+// W-MSR adversary used to pin two honest groups apart on non-robust
+// graphs.
+type ConstantAttacker struct {
+	Me    graph.NodeID
+	Value float64
+}
+
+var _ sim.Node = (*ConstantAttacker)(nil)
+
+// ID returns the node id.
+func (a *ConstantAttacker) ID() graph.NodeID { return a.Me }
+
+// Step broadcasts the fixed value.
+func (a *ConstantAttacker) Step(int, []sim.Delivery) []sim.Outgoing {
+	return []sim.Outgoing{{To: sim.Broadcast, Payload: StateMsg{Value: a.Value}}}
+}

@@ -1,0 +1,11 @@
+package p2p
+
+import (
+	"lbcast/internal/flood"
+	"lbcast/internal/sim"
+)
+
+// floodMsg wraps a body into an initiation flood message.
+func floodMsg(b flood.Body) sim.Payload {
+	return flood.Msg{Body: b}
+}

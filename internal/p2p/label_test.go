@@ -1,0 +1,83 @@
+package p2p
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+func TestLabelOps(t *testing.T) {
+	l := Label{}
+	if l.Key() != "" {
+		t.Fatalf("empty label key = %q", l.Key())
+	}
+	l2 := l.Append(3).Append(7)
+	if l2.Key() != "3,7" {
+		t.Fatalf("key = %q", l2.Key())
+	}
+	if !l2.Contains(3) || l2.Contains(4) {
+		t.Fatal("contains wrong")
+	}
+	// Append must not alias.
+	a := l2.Append(1)
+	b := l2.Append(2)
+	if a[2] == b[2] {
+		t.Fatal("append aliased")
+	}
+}
+
+func TestEIGBodyKeys(t *testing.T) {
+	b := EIGBody{Label: Label{1, 2}, Value: sim.One}
+	if b.Key() != "eig:1,2=1" {
+		t.Fatalf("key = %q", b.Key())
+	}
+	if b.Slot() != "eig:1,2" {
+		t.Fatalf("slot = %q", b.Slot())
+	}
+	// Conflicting values share a slot (so rule (ii) pins the first).
+	b2 := EIGBody{Label: Label{1, 2}, Value: sim.Zero}
+	if b.Slot() != b2.Slot() || b.Key() == b2.Key() {
+		t.Fatal("slot/key semantics wrong")
+	}
+}
+
+func TestRoundsBudget(t *testing.T) {
+	if Rounds(7, 1) != 2*8 {
+		t.Fatalf("rounds = %d", Rounds(7, 1))
+	}
+	if Rounds(5, 2) != 3*6 {
+		t.Fatalf("rounds = %d", Rounds(5, 2))
+	}
+}
+
+func TestEIGSilentFault(t *testing.T) {
+	g, err := gen.Wheel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := map[graph.NodeID]sim.Node{4: &silentP2P{me: 4}}
+	inputs := []sim.Value{1, 1, 1, 1, 0, 1, 1}
+	dec := runEIG(t, g, 1, inputs, byz)
+	assertConsensus(t, dec, map[sim.Value]bool{1: true}, 6)
+}
+
+type silentP2P struct{ me graph.NodeID }
+
+func (s *silentP2P) ID() graph.NodeID                        { return s.me }
+func (s *silentP2P) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
+
+func TestEIGUndecidedBeforeCompletion(t *testing.T) {
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := New(g, 1, 0, sim.One)
+	if _, ok := nd.Decision(); ok {
+		t.Fatal("decided before running")
+	}
+	if nd.ID() != 0 {
+		t.Fatal("id")
+	}
+}

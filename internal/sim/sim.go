@@ -1,0 +1,323 @@
+// Package sim implements the synchronous message-passing system model of
+// Section 3 of the paper: n nodes on an undirected graph G, lock-step
+// rounds, FIFO links, and a choice of communication model — local broadcast
+// (every transmission is heard identically by all neighbors), classical
+// point-to-point (per-neighbor messages, so equivocation is possible), or
+// the hybrid model of Section 6 (a designated subset of nodes may
+// equivocate, all others are restricted to local broadcast).
+//
+// Nodes are deterministic state machines driven by the engine; each round
+// every node's Step runs in its own goroutine and the engine synchronizes
+// on a channel barrier, then routes the collected transmissions through the
+// configured transport. Delivery order is canonicalized (ascending sender
+// id, FIFO within a sender's round output) so executions are reproducible.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"lbcast/internal/graph"
+)
+
+// Value is a binary consensus value.
+type Value uint8
+
+// The two binary consensus values. DefaultValue is substituted by neighbors
+// when a (faulty) node fails to initiate flooding (Section 5.1, step (a)).
+const (
+	Zero Value = 0
+	One  Value = 1
+
+	// DefaultValue is the value assumed for silent nodes.
+	DefaultValue = One
+)
+
+// String renders the value as "0" or "1".
+func (v Value) String() string {
+	if v == Zero {
+		return "0"
+	}
+	return "1"
+}
+
+// Broadcast is the Outgoing.To sentinel meaning "transmit to all
+// neighbors".
+const Broadcast graph.NodeID = -1
+
+// Payload is the content of a message. Implementations must be immutable
+// after construction; Key returns a canonical string identity used for
+// equality ("received identically") and deduplication.
+type Payload interface {
+	Key() string
+}
+
+// Delivery is a received message: payload plus the (authenticated) sender.
+// Per Section 3, "when a message m sent by node u is received by node v,
+// node v knows that m was sent by node u".
+type Delivery struct {
+	From    graph.NodeID
+	Payload Payload
+}
+
+// Outgoing is a transmission request emitted by a node in a round. To is
+// Broadcast or a specific neighbor (the latter is honoured only where the
+// transport permits unicast).
+type Outgoing struct {
+	To      graph.NodeID
+	Payload Payload
+}
+
+// Node is a per-node state machine. Step is called once per round with the
+// messages delivered at the start of that round (those sent in the previous
+// round) and returns this round's transmissions. Implementations must not
+// retain inbox slices.
+type Node interface {
+	// ID returns the node's vertex id.
+	ID() graph.NodeID
+	// Step executes one synchronous round.
+	Step(round int, inbox []Delivery) []Outgoing
+}
+
+// Decider is a Node that eventually decides an output value.
+type Decider interface {
+	Node
+	// Decision returns the decided value; ok is false while undecided.
+	Decision() (Value, bool)
+}
+
+// Topology abstracts who hears whom. The undirected graph case is
+// GraphTopology; the necessity proofs use directed clone networks
+// (adversary package).
+type Topology interface {
+	// N returns the number of nodes.
+	N() int
+	// Receivers returns, in ascending order, the nodes that hear a
+	// broadcast by sender.
+	Receivers(sender graph.NodeID) []graph.NodeID
+}
+
+// GraphTopology adapts an undirected graph: a broadcast by u is heard by
+// u's neighbors.
+type GraphTopology struct {
+	G *graph.Graph
+}
+
+var _ Topology = GraphTopology{}
+
+// N returns the node count.
+func (t GraphTopology) N() int { return t.G.N() }
+
+// Receivers returns the sender's neighbors.
+func (t GraphTopology) Receivers(sender graph.NodeID) []graph.NodeID {
+	return t.G.Neighbors(sender)
+}
+
+// Model selects the communication model.
+type Model int
+
+// The three communication models of the paper.
+const (
+	// LocalBroadcast: every transmission reaches all neighbors
+	// identically (Sections 4–5). Unicast requests are coerced to
+	// broadcast — the model makes equivocation physically impossible.
+	LocalBroadcast Model = iota + 1
+	// PointToPoint: classical model; per-neighbor messages allowed.
+	PointToPoint
+	// Hybrid: nodes in the engine's Equivocators set behave as
+	// point-to-point senders; everyone else is restricted to local
+	// broadcast (Section 6).
+	Hybrid
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case LocalBroadcast:
+		return "local-broadcast"
+	case PointToPoint:
+		return "point-to-point"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Transmission records one physical transmission for tracing: the sender,
+// the payload, and the set of receivers.
+type Transmission struct {
+	Round     int
+	From      graph.NodeID
+	Payload   Payload
+	Receivers []graph.NodeID
+}
+
+// Metrics aggregates execution counters.
+type Metrics struct {
+	Rounds        int // rounds executed
+	Transmissions int // physical sends (a local broadcast counts once)
+	Deliveries    int // message receptions
+}
+
+// Config configures an Engine.
+type Config struct {
+	Topology Topology
+	Model    Model
+	// Equivocators is consulted only under the Hybrid model: members may
+	// address individual neighbors.
+	Equivocators graph.Set
+	// Trace, when set, receives every physical transmission.
+	Trace func(Transmission)
+	// Parallel selects goroutine-per-node round execution (default true
+	// via NewEngine). Sequential execution is provided for debugging.
+	Parallel bool
+}
+
+// Engine drives a set of nodes through synchronous rounds.
+type Engine struct {
+	cfg     Config
+	nodes   []Node
+	inboxes [][]Delivery
+	metrics Metrics
+}
+
+// NewEngine builds an engine over nodes; nodes[i] must have ID i and len
+// must equal the topology size.
+func NewEngine(cfg Config, nodes []Node) (*Engine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: nil topology")
+	}
+	if cfg.Model == 0 {
+		cfg.Model = LocalBroadcast
+	}
+	if len(nodes) != cfg.Topology.N() {
+		return nil, fmt.Errorf("sim: %d nodes for topology of size %d", len(nodes), cfg.Topology.N())
+	}
+	for i, nd := range nodes {
+		if nd == nil {
+			return nil, fmt.Errorf("sim: nil node at %d", i)
+		}
+		if nd.ID() != graph.NodeID(i) {
+			return nil, fmt.Errorf("sim: node at index %d reports id %d", i, nd.ID())
+		}
+	}
+	ns := make([]Node, len(nodes))
+	copy(ns, nodes)
+	return &Engine{
+		cfg:     cfg,
+		nodes:   ns,
+		inboxes: make([][]Delivery, len(nodes)),
+	}, nil
+}
+
+// Metrics returns a copy of the current counters.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// Run executes rounds synchronous rounds. The round number passed to the
+// nodes is global: successive Run calls continue where the previous one
+// stopped.
+func (e *Engine) Run(rounds int) {
+	for r := 0; r < rounds; r++ {
+		e.step(e.metrics.Rounds)
+	}
+}
+
+// RunUntil executes up to maxRounds further rounds, stopping early once
+// done() reports true (checked after each round).
+func (e *Engine) RunUntil(maxRounds int, done func() bool) {
+	for r := 0; r < maxRounds; r++ {
+		e.step(e.metrics.Rounds)
+		if done() {
+			return
+		}
+	}
+}
+
+// step runs a single round: every node consumes its inbox and produces an
+// outbox; the transport routes outboxes into next-round inboxes.
+func (e *Engine) step(round int) {
+	n := len(e.nodes)
+	outboxes := make([][]Outgoing, n)
+	if e.cfg.Parallel {
+		var wg sync.WaitGroup
+		for i := range e.nodes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outboxes[i] = e.nodes[i].Step(round, e.inboxes[i])
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range e.nodes {
+			outboxes[i] = e.nodes[i].Step(round, e.inboxes[i])
+		}
+	}
+
+	next := make([][]Delivery, n)
+	// Ascending sender order + outbox order gives deterministic FIFO
+	// delivery.
+	for i := 0; i < n; i++ {
+		sender := graph.NodeID(i)
+		for _, out := range outboxes[i] {
+			receivers := e.route(sender, out)
+			if len(receivers) == 0 {
+				continue
+			}
+			e.metrics.Transmissions++
+			if e.cfg.Trace != nil {
+				e.cfg.Trace(Transmission{
+					Round:     round,
+					From:      sender,
+					Payload:   out.Payload,
+					Receivers: receivers,
+				})
+			}
+			for _, rcv := range receivers {
+				next[rcv] = append(next[rcv], Delivery{From: sender, Payload: out.Payload})
+				e.metrics.Deliveries++
+			}
+		}
+	}
+	e.inboxes = next
+	e.metrics.Rounds++
+}
+
+// route resolves a transmission to its receiver set under the configured
+// model. Unicast to a non-neighbor is dropped.
+func (e *Engine) route(sender graph.NodeID, out Outgoing) []graph.NodeID {
+	all := e.cfg.Topology.Receivers(sender)
+	mayUnicast := false
+	switch e.cfg.Model {
+	case PointToPoint:
+		mayUnicast = true
+	case Hybrid:
+		mayUnicast = e.cfg.Equivocators.Contains(sender)
+	}
+	if out.To == Broadcast || !mayUnicast {
+		// Local broadcast semantics: the transmission is heard by every
+		// neighbor, whatever the sender intended.
+		return all
+	}
+	for _, r := range all {
+		if r == out.To {
+			return []graph.NodeID{r}
+		}
+	}
+	return nil
+}
+
+// Decisions gathers decisions from all nodes implementing Decider. The
+// returned map has an entry per decided node.
+func (e *Engine) Decisions() map[graph.NodeID]Value {
+	out := make(map[graph.NodeID]Value)
+	for _, nd := range e.nodes {
+		if d, ok := nd.(Decider); ok {
+			if v, decided := d.Decision(); decided {
+				out[nd.ID()] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"lbcast/internal/graph"
+)
+
+// Recorder collects engine transmissions for debugging, experiment
+// archival, and replay analysis. Register its Observe method as
+// Config.Trace. Recorder is safe for the engine's sequential use and for
+// concurrent readers after the run.
+type Recorder struct {
+	mu   sync.Mutex
+	recs []Transmission
+	// MaxRecords bounds memory (0 = unlimited); excess transmissions are
+	// counted but not stored.
+	MaxRecords int
+	dropped    int
+}
+
+// Observe records one transmission; pass this to Config.Trace.
+func (r *Recorder) Observe(tr Transmission) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.MaxRecords > 0 && len(r.recs) >= r.MaxRecords {
+		r.dropped++
+		return
+	}
+	r.recs = append(r.recs, tr)
+}
+
+// Len returns the number of stored transmissions.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// Dropped returns how many transmissions exceeded MaxRecords.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Transmissions returns a copy of the stored records.
+func (r *Recorder) Transmissions() []Transmission {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Transmission, len(r.recs))
+	copy(out, r.recs)
+	return out
+}
+
+// WriteText renders the trace one line per transmission:
+// "round=3 from=2 -> [1 3]  v:1@0->1".
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, tr := range r.Transmissions() {
+		rcv := make([]string, len(tr.Receivers))
+		for i, u := range tr.Receivers {
+			rcv[i] = fmt.Sprintf("%d", u)
+		}
+		if _, err := fmt.Fprintf(w, "round=%d from=%d -> [%s]  %s\n",
+			tr.Round, tr.From, strings.Join(rcv, " "), tr.Payload.Key()); err != nil {
+			return err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d transmissions dropped beyond MaxRecords)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceJSON is the serialized form of one transmission.
+type traceJSON struct {
+	Round     int            `json:"round"`
+	From      graph.NodeID   `json:"from"`
+	Receivers []graph.NodeID `json:"receivers"`
+	Payload   string         `json:"payload"`
+}
+
+// WriteJSON renders the trace as a JSON array of transmission records
+// (payloads serialized by their canonical key).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	recs := r.Transmissions()
+	out := make([]traceJSON, len(recs))
+	for i, tr := range recs {
+		out[i] = traceJSON{
+			Round:     tr.Round,
+			From:      tr.From,
+			Receivers: tr.Receivers,
+			Payload:   tr.Payload.Key(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// RoundsSummary tallies transmissions per round.
+func (r *Recorder) RoundsSummary() map[int]int {
+	out := make(map[int]int)
+	for _, tr := range r.Transmissions() {
+		out[tr.Round]++
+	}
+	return out
+}

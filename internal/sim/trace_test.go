@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lbcast/internal/graph"
+)
+
+func TestRecorderCollectsAndRenders(t *testing.T) {
+	g := line(t, 3)
+	ns := newNodes(3)
+	ns[0].sends = []Outgoing{{To: Broadcast, Payload: textPayload("x")}}
+	ns[2].sends = []Outgoing{{To: Broadcast, Payload: textPayload("y")}}
+	rec := &Recorder{}
+	eng, err := NewEngine(Config{Topology: GraphTopology{G: g}, Trace: rec.Observe}, asNodes(ns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2)
+	if rec.Len() != 2 {
+		t.Fatalf("len = %d", rec.Len())
+	}
+	var text bytes.Buffer
+	if err := rec.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "round=0 from=0 -> [1]  x") {
+		t.Fatalf("text:\n%s", text.String())
+	}
+	var js bytes.Buffer
+	if err := rec.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("json: %v\n%s", err, js.String())
+	}
+	if len(decoded) != 2 || decoded[0]["payload"] != "x" {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if sum := rec.RoundsSummary(); sum[0] != 2 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestRecorderMaxRecords(t *testing.T) {
+	rec := &Recorder{MaxRecords: 1}
+	rec.Observe(Transmission{Round: 0, From: 0, Payload: textPayload("a"), Receivers: []graph.NodeID{1}})
+	rec.Observe(Transmission{Round: 0, From: 1, Payload: textPayload("b"), Receivers: []graph.NodeID{0}})
+	if rec.Len() != 1 || rec.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", rec.Len(), rec.Dropped())
+	}
+	var text bytes.Buffer
+	if err := rec.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "dropped") {
+		t.Fatal("dropped note missing")
+	}
+}

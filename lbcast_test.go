@@ -1,0 +1,121 @@
+package lbcast
+
+import "testing"
+
+func inputMap(vals ...Value) map[NodeID]Value {
+	m := make(map[NodeID]Value, len(vals))
+	for i, v := range vals {
+		m[NodeID(i)] = v
+	}
+	return m
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	g := Figure1a()
+	if rep := CheckLocalBroadcast(g, 1); !rep.OK {
+		t.Fatalf("figure 1a must pass for f=1:\n%s", rep)
+	}
+	res, err := Run(Config{
+		Graph:     g,
+		MaxFaults: 1,
+		Algorithm: Algorithm1,
+		Inputs:    inputMap(0, 1, 0, 1, 1),
+		Byzantine: map[NodeID]Node{3: NewSilentFault(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("consensus failed: %+v", res)
+	}
+	if len(res.Decisions) != 4 {
+		t.Fatalf("decisions = %v", res.Decisions)
+	}
+	if res.Rounds != Algorithm1Rounds(5, 1) {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if res.Transmissions == 0 || res.Deliveries == 0 {
+		t.Fatal("metrics not populated")
+	}
+}
+
+func TestPublicAPIAlgorithm2(t *testing.T) {
+	g := Figure1a()
+	res, err := Run(Config{
+		Graph:     g,
+		MaxFaults: 1,
+		Algorithm: Algorithm2,
+		Inputs:    inputMap(1, 1, 0, 0, 1),
+		Byzantine: map[NodeID]Node{0: NewTamperFault(g, 0, PhaseRounds(g), 11)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("algorithm 2 failed: %+v", res)
+	}
+	if res.Rounds != Algorithm2Rounds(5) {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, Algorithm2Rounds(5))
+	}
+}
+
+func TestPublicAPIEquivocationNeutralizedUnderLB(t *testing.T) {
+	// The headline model property: an equivocator under local broadcast
+	// is harmless because its split messages are physically broadcast.
+	g := Figure1a()
+	res, err := Run(Config{
+		Graph:     g,
+		MaxFaults: 1,
+		Inputs:    inputMap(1, 0, 1, 0, 1),
+		Byzantine: map[NodeID]Node{2: NewEquivocatorFault(g, 2, PhaseRounds(g))},
+		Model:     LocalBroadcast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("equivocator broke consensus under local broadcast: %+v", res)
+	}
+}
+
+func TestPublicAPIHybrid(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := CheckHybrid(g, 1, 1); !rep.OK {
+		t.Fatalf("K5 must pass hybrid f=1,t=1:\n%s", rep)
+	}
+	res, err := Run(Config{
+		Graph:           g,
+		MaxFaults:       1,
+		MaxEquivocating: 1,
+		Algorithm:       Algorithm3,
+		Inputs:          inputMap(0, 1, 0, 1, 0),
+		Byzantine:       map[NodeID]Node{4: NewEquivocatorFault(g, 4, PhaseRounds(g))},
+		Model:           Hybrid,
+		Equivocators:    NewSet(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("hybrid consensus failed: %+v", res)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestMaxFaultsHelpers(t *testing.T) {
+	k7, err := Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxFaultsLocalBroadcast(k7) != 3 || MaxFaultsPointToPoint(k7) != 2 {
+		t.Fatalf("K7 tolerances: LB=%d P2P=%d", MaxFaultsLocalBroadcast(k7), MaxFaultsPointToPoint(k7))
+	}
+}
