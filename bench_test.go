@@ -8,6 +8,7 @@ package lbcast
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -28,9 +29,20 @@ func benchInputs(n int) map[graph.NodeID]sim.Value {
 	return m
 }
 
-func mustRunOK(b *testing.B, spec eval.Spec) {
+// mustSession builds a Session from public options or fails the benchmark.
+func mustSession(b *testing.B, g *Graph, opts ...Option) *Session {
 	b.Helper()
-	res, err := eval.Run(spec)
+	s, err := NewSession(g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// mustRunOK runs the session once and asserts consensus held.
+func mustRunOK(b *testing.B, s *Session) {
+	b.Helper()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -40,33 +52,55 @@ func mustRunOK(b *testing.B, spec eval.Spec) {
 }
 
 // BenchmarkFigure1aCycle (E1): Algorithm 1 on the Figure 1(a) 5-cycle with
-// one tampering fault.
+// one tampering fault. The tamperer is stateful, so the session is rebuilt
+// with a fresh instance per iteration.
 func BenchmarkFigure1aCycle(b *testing.B) {
 	g := gen.Figure1a()
 	for i := 0; i < b.N; i++ {
-		mustRunOK(b, eval.Spec{
-			G: g, F: 1, Algorithm: eval.Algo1,
-			Inputs: benchInputs(g.N()),
-			Byzantine: map[graph.NodeID]sim.Node{
-				2: adversary.NewTamper(g, 2, core.PhaseRounds(g.N()), 42),
-			},
-		})
+		mustRunOK(b, mustSession(b, g,
+			WithFaults(1),
+			WithInputs(benchInputs(g.N())),
+			WithByzantine(map[NodeID]Node{
+				2: NewTamperFault(g, 2, PhaseRounds(g), 42),
+			}),
+		))
 	}
 }
 
+// BenchmarkEarlyTermination pairs the same fault-free Algorithm 1 instance
+// with and without early termination — the session redesign's headline
+// speedup, tracked across PRs via cmd/lbcbench.
+func BenchmarkEarlyTermination(b *testing.B) {
+	g := gen.Figure1a()
+	b.Run("early", func(b *testing.B) {
+		s := mustSession(b, g, WithFaults(1), WithInputs(benchInputs(g.N())))
+		for i := 0; i < b.N; i++ {
+			mustRunOK(b, s)
+		}
+	})
+	b.Run("full-budget", func(b *testing.B) {
+		s := mustSession(b, g, WithFaults(1), WithInputs(benchInputs(g.N())), WithFullBudget())
+		for i := 0; i < b.N; i++ {
+			mustRunOK(b, s)
+		}
+	})
+}
+
 // BenchmarkFigure1bCirculant (E2): Algorithm 1 on the Figure 1(b) stand-in
-// C8(1,2) with two silent faults (f = 2).
+// C8(1,2) with two silent faults (f = 2). Silent faults are stateless, so
+// one session is reused across iterations.
 func BenchmarkFigure1bCirculant(b *testing.B) {
 	g := gen.Figure1b()
+	s := mustSession(b, g,
+		WithFaults(2),
+		WithInputs(benchInputs(g.N())),
+		WithByzantine(map[NodeID]Node{
+			0: NewSilentFault(0),
+			4: NewSilentFault(4),
+		}),
+	)
 	for i := 0; i < b.N; i++ {
-		mustRunOK(b, eval.Spec{
-			G: g, F: 2, Algorithm: eval.Algo1,
-			Inputs: benchInputs(g.N()),
-			Byzantine: map[graph.NodeID]sim.Node{
-				0: &adversary.SilentNode{Me: 0},
-				4: &adversary.SilentNode{Me: 4},
-			},
-		})
+		mustRunOK(b, s)
 	}
 }
 
@@ -117,18 +151,21 @@ func BenchmarkNecessityCut(b *testing.B) {
 }
 
 // BenchmarkSufficiencySweep (E5): Algorithm 1 across every single-fault
-// placement on the 5-cycle.
+// placement on the 5-cycle, with one reusable session per placement.
 func BenchmarkSufficiencySweep(b *testing.B) {
 	g := gen.Figure1a()
+	sessions := make([]*Session, g.N())
+	for z := range sessions {
+		sessions[z] = mustSession(b, g,
+			WithFaults(1),
+			WithInputs(benchInputs(g.N())),
+			WithByzantine(map[NodeID]Node{NodeID(z): NewSilentFault(NodeID(z))}),
+		)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for z := 0; z < g.N(); z++ {
-			mustRunOK(b, eval.Spec{
-				G: g, F: 1, Algorithm: eval.Algo1,
-				Inputs: benchInputs(g.N()),
-				Byzantine: map[graph.NodeID]sim.Node{
-					graph.NodeID(z): &adversary.SilentNode{Me: graph.NodeID(z)},
-				},
-			})
+		for _, s := range sessions {
+			mustRunOK(b, s)
 		}
 	}
 }
@@ -142,31 +179,34 @@ func BenchmarkEfficientRounds(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("algo1/n=%d", n), func(b *testing.B) {
+			s := mustSession(b, g, WithFaults(1), WithInputs(benchInputs(n)))
 			for i := 0; i < b.N; i++ {
-				mustRunOK(b, eval.Spec{G: g, F: 1, Algorithm: eval.Algo1, Inputs: benchInputs(n)})
+				mustRunOK(b, s)
 			}
 		})
 		b.Run(fmt.Sprintf("algo2/n=%d", n), func(b *testing.B) {
+			s := mustSession(b, g, WithFaults(1), WithAlgorithm(Algorithm2), WithInputs(benchInputs(n)))
 			for i := 0; i < b.N; i++ {
-				mustRunOK(b, eval.Spec{G: g, F: 1, Algorithm: eval.Algo2, Inputs: benchInputs(n)})
+				mustRunOK(b, s)
 			}
 		})
 	}
 }
 
 // BenchmarkFaultIdentification (E7): Algorithm 2 with a deterministic
-// tamperer that must be identified.
+// tamperer that must be identified (fresh stateful tamperer per run).
 func BenchmarkFaultIdentification(b *testing.B) {
 	g := gen.Figure1a()
 	for i := 0; i < b.N; i++ {
 		tamper := adversary.NewTamper(g, 2, core.PhaseRounds(g.N()), 7)
 		tamper.FlipProb = 1
 		tamper.DropProb = 0
-		mustRunOK(b, eval.Spec{
-			G: g, F: 1, Algorithm: eval.Algo2,
-			Inputs:    benchInputs(g.N()),
-			Byzantine: map[graph.NodeID]sim.Node{2: tamper},
-		})
+		mustRunOK(b, mustSession(b, g,
+			WithFaults(1),
+			WithAlgorithm(Algorithm2),
+			WithInputs(benchInputs(g.N())),
+			WithByzantine(map[NodeID]Node{2: tamper}),
+		))
 	}
 }
 
@@ -178,15 +218,17 @@ func BenchmarkHybridTradeoff(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		mustRunOK(b, eval.Spec{
-			G: g, F: 1, T: 1, Algorithm: eval.Algo3,
-			Model:        sim.Hybrid,
-			Equivocators: graph.NewSet(4),
-			Inputs:       benchInputs(g.N()),
-			Byzantine: map[graph.NodeID]sim.Node{
-				4: &adversary.EquivocatorNode{G: g, Me: 4, PhaseLen: core.PhaseRounds(g.N())},
-			},
-		})
+		mustRunOK(b, mustSession(b, g,
+			WithFaults(1),
+			WithEquivocating(1),
+			WithAlgorithm(Algorithm3),
+			WithModel(Hybrid),
+			WithEquivocators(NewSet(4)),
+			WithInputs(benchInputs(g.N())),
+			WithByzantine(map[NodeID]Node{
+				4: NewEquivocatorFault(g, 4, PhaseRounds(g)),
+			}),
+		))
 	}
 }
 
@@ -197,15 +239,15 @@ func BenchmarkModelComparison(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	inputs := map[graph.NodeID]sim.Value{0: sim.One, 1: sim.One, 2: sim.One}
+	inputs := map[NodeID]Value{0: One, 1: One, 2: One}
 	for i := 0; i < b.N; i++ {
-		mustRunOK(b, eval.Spec{
-			G: g, F: 1, Algorithm: eval.Algo1,
-			Inputs: inputs,
-			Byzantine: map[graph.NodeID]sim.Node{
-				0: &adversary.EquivocatorNode{G: g, Me: 0, PhaseLen: core.PhaseRounds(g.N())},
-			},
-		})
+		mustRunOK(b, mustSession(b, g,
+			WithFaults(1),
+			WithInputs(inputs),
+			WithByzantine(map[NodeID]Node{
+				0: NewEquivocatorFault(g, 0, PhaseRounds(g)),
+			}),
+		))
 	}
 }
 
@@ -272,18 +314,33 @@ func BenchmarkP2PBaseline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	s := mustSession(b, g,
+		WithFaults(1),
+		WithAlgorithm(Algorithm2),
+		WithInputs(benchInputs(g.N())),
+	)
 	for i := 0; i < b.N; i++ {
-		res, err := Run(Config{
-			Graph:     g,
-			MaxFaults: 1,
-			Algorithm: Algorithm2,
-			Inputs:    benchInputs(g.N()),
-		})
+		mustRunOK(b, s)
+	}
+}
+
+// BenchmarkParallelSweep: the E5-style strategy sweep through the parallel
+// sweep subsystem at GOMAXPROCS workers.
+func BenchmarkParallelSweep(b *testing.B) {
+	grid := eval.Grid{
+		Graphs:     []eval.GraphCase{{Label: "figure1a", G: gen.Figure1a()}},
+		Faults:     []int{1},
+		Strategies: []string{"none", "silent", "tamper", "forge"},
+		Placements: 2,
+		Seed:       7,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunSweep(context.Background(), grid, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if !res.OK() {
-			b.Fatal("consensus failed")
+		if res.Stats.OK != res.Stats.Cells {
+			b.Fatalf("sweep violations: %+v", res.Stats)
 		}
 	}
 }

@@ -1,0 +1,195 @@
+// Command lbcbench runs the library's representative benchmark workloads
+// via testing.Benchmark and emits the measurements as JSON, so successive
+// PRs can track the performance trajectory in checked-in BENCH_*.json
+// files without parsing `go test -bench` text output.
+//
+// Usage:
+//
+//	lbcbench                      # all workloads, JSON to stdout
+//	lbcbench -filter algo1        # substring-filtered workloads
+//	lbcbench -out BENCH_session.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"lbcast"
+	"lbcast/internal/eval"
+	"lbcast/internal/graph/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbcbench:", err)
+		os.Exit(1)
+	}
+}
+
+// Measurement is one workload's recorded result.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// workload binds a benchmark name to its body.
+type workload struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// mustSession builds a session or aborts the benchmark.
+func mustSession(b *testing.B, g *lbcast.Graph, opts ...lbcast.Option) *lbcast.Session {
+	b.Helper()
+	s, err := lbcast.NewSession(g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// runSession runs the session once and asserts consensus held.
+func runSession(b *testing.B, s *lbcast.Session) {
+	b.Helper()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.OK() {
+		b.Fatalf("consensus failed: %+v", res)
+	}
+}
+
+func alternatingInputs(n int) map[lbcast.NodeID]lbcast.Value {
+	m := make(map[lbcast.NodeID]lbcast.Value, n)
+	for i := 0; i < n; i++ {
+		m[lbcast.NodeID(i)] = lbcast.Value(i % 2)
+	}
+	return m
+}
+
+// workloads returns the benchmark suite. The early/full pair on the same
+// instance makes the early-termination speedup directly visible in the
+// recorded numbers.
+func workloads() []workload {
+	return []workload{
+		{"session/algo1/figure1a/early", func(b *testing.B) {
+			g := lbcast.Figure1a()
+			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithInputs(alternatingInputs(g.N())))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runSession(b, s)
+			}
+		}},
+		{"session/algo1/figure1a/full-budget", func(b *testing.B) {
+			g := lbcast.Figure1a()
+			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithInputs(alternatingInputs(g.N())),
+				lbcast.WithFullBudget())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runSession(b, s)
+			}
+		}},
+		{"session/algo1/figure1a/tamper", func(b *testing.B) {
+			g := lbcast.Figure1a()
+			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithInputs(alternatingInputs(g.N())),
+				lbcast.WithByzantine(map[lbcast.NodeID]lbcast.Node{
+					2: lbcast.NewTamperFault(g, 2, lbcast.PhaseRounds(g), 42),
+				}))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runSession(b, s)
+			}
+		}},
+		{"session/algo2/figure1a", func(b *testing.B) {
+			g := lbcast.Figure1a()
+			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithAlgorithm(lbcast.Algorithm2),
+				lbcast.WithInputs(alternatingInputs(g.N())))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runSession(b, s)
+			}
+		}},
+		{"sweep/figure1a/strategies", func(b *testing.B) {
+			grid := eval.Grid{
+				Graphs:     []eval.GraphCase{{Label: "figure1a", G: gen.Figure1a()}},
+				Faults:     []int{1},
+				Strategies: []string{"none", "silent", "tamper", "forge"},
+				Placements: 2,
+				Seed:       7,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.RunSweep(context.Background(), grid, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.OK != res.Stats.Cells {
+					b.Fatalf("sweep violations: %+v", res.Stats)
+				}
+			}
+		}},
+		{"montecarlo/figure1a/16-trials", func(b *testing.B) {
+			g := gen.Figure1a()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
+					G: g, F: 1, Algorithm: eval.Algo1, Trials: 16, Seed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OK != res.Trials {
+					b.Fatalf("violations: %+v", res.Violations)
+				}
+			}
+		}},
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lbcbench", flag.ContinueOnError)
+	out := fs.String("out", "", "write JSON to this file instead of stdout")
+	filter := fs.String("filter", "", "only run workloads whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ms []Measurement
+	for _, wl := range workloads() {
+		if *filter != "" && !strings.Contains(wl.name, *filter) {
+			continue
+		}
+		r := testing.Benchmark(wl.fn)
+		ms = append(ms, Measurement{
+			Name:        wl.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("no workloads match filter %q", *filter)
+	}
+	dst := w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms)
+}

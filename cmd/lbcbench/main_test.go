@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBenchFiltered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-filter", "session/algo2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(buf.Bytes(), &ms); err != nil {
+		t.Fatalf("json: %v\n%s", err, buf.String())
+	}
+	if len(ms) != 1 || ms[0].Name != "session/algo2/figure1a" {
+		t.Fatalf("measurements = %+v", ms)
+	}
+	if ms[0].Iterations <= 0 || ms[0].NsPerOp <= 0 {
+		t.Fatalf("empty measurement: %+v", ms[0])
+	}
+}
+
+func TestRunBenchOutFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run is slow")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-filter", "session/algo2", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(data, &ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("measurements = %+v", ms)
+	}
+}
+
+func TestRunBenchUnknownFilter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-filter", "no-such-workload"}, &buf); err == nil {
+		t.Fatal("unmatched filter accepted")
+	}
+}
+
+func TestWorkloadNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, wl := range workloads() {
+		if seen[wl.name] {
+			t.Fatalf("duplicate workload %q", wl.name)
+		}
+		seen[wl.name] = true
+	}
+}

@@ -1,14 +1,20 @@
 // Command lbcexp regenerates the experiment suite indexed in DESIGN.md §4
-// and recorded in EXPERIMENTS.md: one table per paper artifact.
+// and recorded in EXPERIMENTS.md: one table per paper artifact. The
+// experiment grid runs through the parallel sweep subsystem: experiments
+// execute concurrently on a bounded worker pool, and the sweeps inside
+// them fan out as well. Output is identical whatever the worker count.
 //
 // Usage:
 //
 //	lbcexp            # run the fast experiments
 //	lbcexp -all       # include the slow ones
 //	lbcexp -id E4     # run a single experiment
+//	lbcexp -workers 4 # bound the worker pool (default GOMAXPROCS)
+//	lbcexp -json      # machine-readable output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,13 +31,35 @@ func main() {
 	}
 }
 
+// expResult is one experiment's slot in the result table.
+type expResult struct {
+	tab     *eval.Table
+	err     error
+	skipped bool
+	elapsed time.Duration
+}
+
+// expJSON is the machine-readable form of one experiment.
+type expJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Paper   string     `json:"paper"`
+	Skipped bool       `json:"skipped,omitempty"`
+	Header  []string   `json:"header,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcexp", flag.ContinueOnError)
 	all := fs.Bool("all", false, "include slow experiments")
-	id := fs.String("id", "", "run a single experiment by id (E1..E11)")
+	id := fs.String("id", "", "run a single experiment by id (E1..E14)")
+	workers := fs.Int("workers", 0, "max concurrently executing experiments/sweep cells (0 = GOMAXPROCS); never affects results")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
 	exps := eval.All()
 	if *id != "" {
 		e, ok := eval.Find(*id)
@@ -40,19 +68,65 @@ func run(args []string, w io.Writer) error {
 		}
 		exps = []eval.Experiment{e}
 	}
-	for _, e := range exps {
+
+	// -workers bounds TOTAL parallelism, so the two pool levels must not
+	// multiply: with several experiments, the pool runs across
+	// experiments and each experiment's internal sweeps run serially;
+	// with a single experiment, its internal sweeps get the whole pool.
+	expWorkers, sweepWorkers := *workers, 1
+	if len(exps) == 1 {
+		expWorkers, sweepWorkers = 1, *workers
+	}
+	eval.SetDefaultSweepWorkers(sweepWorkers)
+	defer eval.SetDefaultSweepWorkers(0)
+
+	// The experiment grid fans out on the pool; results land in their
+	// experiment's slot, so output order is fixed regardless of
+	// completion order.
+	results := make([]expResult, len(exps))
+	eval.RunPool(expWorkers, len(exps), func(idx int) {
+		e := exps[idx]
 		if e.Slow && !*all && *id == "" {
-			fmt.Fprintf(w, "== %s: %s (skipped; pass -all) ==\n\n", e.ID, e.Title)
-			continue
+			results[idx] = expResult{skipped: true}
+			return
 		}
 		start := time.Now()
 		tab, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		results[idx] = expResult{tab: tab, err: err, elapsed: time.Since(start)}
+	})
+
+	if *jsonOut {
+		out := make([]expJSON, 0, len(exps))
+		for i, e := range exps {
+			r := results[i]
+			if r.err != nil {
+				return fmt.Errorf("%s: %w", e.ID, r.err)
+			}
+			ej := expJSON{ID: e.ID, Title: e.Title, Paper: e.Paper, Skipped: r.skipped}
+			if r.tab != nil {
+				ej.Header = r.tab.Header
+				ej.Rows = r.tab.Rows
+				ej.Notes = r.tab.Notes
+			}
+			out = append(out, ej)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	for i, e := range exps {
+		r := results[i]
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", e.ID, r.err)
+		}
+		if r.skipped {
+			fmt.Fprintf(w, "== %s: %s (skipped; pass -all) ==\n\n", e.ID, e.Title)
+			continue
 		}
 		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
-		fmt.Fprintf(w, "paper artifact: %s\n\n%s", e.Paper, tab)
-		fmt.Fprintf(w, "(%s)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "paper artifact: %s\n\n%s", e.Paper, r.tab)
+		fmt.Fprintf(w, "(%s)\n\n", r.elapsed.Round(time.Millisecond))
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -31,5 +32,41 @@ func TestRunExpUnknownID(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-id", "E99"}, &buf); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestRunExpDeterministicAcrossWorkerCounts: the suite's results must not
+// depend on the worker pool size.
+func TestRunExpDeterministicAcrossWorkerCounts(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, workers := range []string{"1", "2", "8"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-json", "-workers", workers}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("worker count changed the results:\n--- workers=1 ---\n%s\n--- other ---\n%s",
+				outputs[0], outputs[i])
+		}
+	}
+}
+
+func TestRunExpJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "E9", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("json: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 1 || decoded[0]["id"] != "E9" {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if _, ok := decoded[0]["rows"]; !ok {
+		t.Fatal("rows missing from JSON")
 	}
 }

@@ -1,22 +1,27 @@
 // Command lbcmc runs a randomized Monte Carlo robustness sweep: repeated
 // consensus executions with random inputs, random fault placements, and a
 // random strategy (silent / tamper / equivocate / forge) per trial, all
-// reproducible from a seed. On graphs satisfying the paper's conditions
-// the expected tally is trials/trials.
+// reproducible from a seed. Trials run in parallel on a bounded worker
+// pool; each trial derives its randomness from its own seed, so results
+// are identical whatever the worker count. On graphs satisfying the
+// paper's conditions the expected tally is trials/trials.
 //
 // Usage:
 //
 //	lbcmc -graph figure1a -f 1 -trials 50 -seed 7
 //	lbcmc -graph circulant:8:1,2 -f 2 -faults 1 -algorithm 2 -trials 25
+//	lbcmc -graph figure1a -trials 100 -workers 4 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"lbcast/internal/eval"
+	"lbcast/internal/graph"
 	"lbcast/internal/graph/gen"
 )
 
@@ -27,6 +32,24 @@ func main() {
 	}
 }
 
+// mcJSON is the machine-readable sweep summary.
+type mcJSON struct {
+	Graph      string            `json:"graph"`
+	Algorithm  string            `json:"algorithm"`
+	F          int               `json:"f"`
+	Trials     int               `json:"trials"`
+	Seed       int64             `json:"seed"`
+	OK         int               `json:"ok"`
+	Violations []mcViolationJSON `json:"violations,omitempty"`
+}
+
+type mcViolationJSON struct {
+	Trial    int            `json:"trial"`
+	Faulty   []graph.NodeID `json:"faulty"`
+	Strategy string         `json:"strategy"`
+	Outcome  eval.Outcome   `json:"outcome"`
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcmc", flag.ContinueOnError)
 	spec := fs.String("graph", "figure1a", "graph spec")
@@ -35,6 +58,8 @@ func run(args []string, w io.Writer) error {
 	algo := fs.Int("algorithm", 1, "algorithm: 1 (tight) or 2 (efficient)")
 	trials := fs.Int("trials", 25, "number of trials")
 	seed := fs.Int64("seed", 1, "sweep seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,15 +83,37 @@ func run(args []string, w io.Writer) error {
 		Algorithm: alg,
 		Trials:    *trials,
 		Seed:      *seed,
+		Workers:   *workers,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "graph: %s\nalgorithm=%s f=%d trials=%d seed=%d\n", g, alg, *f, *trials, *seed)
-	fmt.Fprintf(w, "consensus held in %d/%d trials\n", res.OK, res.Trials)
-	for _, v := range res.Violations {
-		fmt.Fprintf(w, "VIOLATION trial=%d faulty=%v strategy=%s agreement=%v validity=%v decisions=%v\n",
-			v.Trial, v.Faulty, v.Strategy, v.Outcome.Agreement, v.Outcome.Validity, v.Outcome.Decisions)
+	if *jsonOut {
+		out := mcJSON{
+			Graph:     g.String(),
+			Algorithm: alg.String(),
+			F:         *f,
+			Trials:    res.Trials,
+			Seed:      *seed,
+			OK:        res.OK,
+		}
+		for _, v := range res.Violations {
+			out.Violations = append(out.Violations, mcViolationJSON{
+				Trial: v.Trial, Faulty: v.Faulty, Strategy: v.Strategy, Outcome: v.Outcome,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "graph: %s\nalgorithm=%s f=%d trials=%d seed=%d\n", g, alg, *f, *trials, *seed)
+		fmt.Fprintf(w, "consensus held in %d/%d trials\n", res.OK, res.Trials)
+		for _, v := range res.Violations {
+			fmt.Fprintf(w, "VIOLATION trial=%d faulty=%v strategy=%s agreement=%v validity=%v decisions=%v\n",
+				v.Trial, v.Faulty, v.Strategy, v.Outcome.Agreement, v.Outcome.Validity, v.Outcome.Decisions)
+		}
 	}
 	if len(res.Violations) > 0 {
 		return fmt.Errorf("%d violations observed", len(res.Violations))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -20,6 +21,30 @@ func TestRunMCAlgorithm2(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-graph", "figure1a", "-f", "1", "-algorithm", "2", "-trials", "6"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunMCJSONDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, workers := range []string{"1", "2", "6"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-graph", "figure1a", "-f", "1", "-trials", "12",
+			"-seed", "9", "-workers", workers, "-json"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("worker count changed the results:\n%s\nvs\n%s", outputs[0], outputs[i])
+		}
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal([]byte(outputs[0]), &decoded); err != nil {
+		t.Fatalf("json: %v\n%s", err, outputs[0])
+	}
+	if decoded["ok"] != float64(12) {
+		t.Fatalf("decoded = %v", decoded)
 	}
 }
 

@@ -1,13 +1,18 @@
 // Command lbcsim runs a single Byzantine consensus execution on a graph
-// and reports decisions, consensus properties, and costs.
+// and reports decisions, consensus properties, and costs. Runs terminate
+// early once every honest node has decided; pass -full-budget for the
+// paper's worst-case round accounting.
 //
 // Usage:
 //
 //	lbcsim -graph figure1a -f 1 -algorithm 1 -inputs 01011 -faulty 2 -strategy tamper
 //	lbcsim -graph circulant:8:1,2 -f 2 -algorithm 2 -inputs 01010101 -faulty 0,4 -strategy silent
+//	lbcsim -graph figure1a -full-budget          # always run the full round budget
+//	lbcsim -graph figure1a -rounds 12            # override the round budget
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +46,8 @@ func run(args []string, w io.Writer) error {
 	strategy := fs.String("strategy", "silent", "fault strategy: silent, tamper, equivocate, forge")
 	seed := fs.Int64("seed", 1, "adversary seed")
 	tracePath := fs.String("trace", "", "write a transmission trace to this file (.json for JSON, else text)")
+	rounds := fs.Int("rounds", 0, "override the round budget (0 = algorithm default)")
+	fullBudget := fs.Bool("full-budget", false, "disable early termination; always run the full round budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,12 +107,18 @@ func run(args []string, w io.Writer) error {
 		Byzantine:    byz,
 		Model:        model,
 		Equivocators: equiv,
+		Rounds:       *rounds,
+		FullBudget:   *fullBudget,
 	}
 	if *tracePath != "" {
 		rec = &sim.Recorder{}
-		spec2.Trace = rec.Observe
+		spec2.Observer = rec
 	}
-	res, err := eval.Run(spec2)
+	session, err := eval.NewSession(spec2)
+	if err != nil {
+		return err
+	}
+	res, err := session.Run(context.Background())
 	if err != nil {
 		return err
 	}
@@ -118,8 +131,8 @@ func run(args []string, w io.Writer) error {
 
 	fmt.Fprintf(w, "graph: %s\n", g)
 	fmt.Fprintf(w, "algorithm: %s  f=%d t=%d  faulty=%v strategy=%s\n", alg, *f, *t, faulty, *strategy)
-	fmt.Fprintf(w, "rounds=%d transmissions=%d deliveries=%d\n",
-		res.Rounds, res.Metrics.Transmissions, res.Metrics.Deliveries)
+	fmt.Fprintf(w, "rounds=%d/%d transmissions=%d deliveries=%d\n",
+		res.Rounds, res.Budget, res.Metrics.Transmissions, res.Metrics.Deliveries)
 	fmt.Fprintln(w, "decisions (honest nodes):")
 	for _, u := range g.Nodes() {
 		if v, ok := res.Decisions[u]; ok {

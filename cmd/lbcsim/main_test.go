@@ -32,6 +32,38 @@ func TestRunSimWithTrace(t *testing.T) {
 	}
 }
 
+func TestRunSimEarlyVsFullBudget(t *testing.T) {
+	var fast bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-f", "1"}, &fast); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fast.String(), "rounds=12/36") {
+		t.Fatalf("early run rounds:\n%s", fast.String())
+	}
+	var full bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-f", "1", "-full-budget"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(full.String(), "rounds=36/36") {
+		t.Fatalf("full-budget run rounds:\n%s", full.String())
+	}
+}
+
+func TestRunSimRoundsOverride(t *testing.T) {
+	var buf bytes.Buffer
+	// 3 rounds cannot complete a phase: termination fails, run errors.
+	err := run([]string{"-graph", "figure1a", "-rounds", "3", "-full-budget"}, &buf)
+	if err == nil {
+		t.Fatal("truncated run reported consensus")
+	}
+	if !strings.Contains(buf.String(), "rounds=3/3") {
+		t.Fatalf("override not applied:\n%s", buf.String())
+	}
+	if err := run([]string{"-graph", "figure1a", "-rounds", "-2"}, &buf); err == nil {
+		t.Fatal("negative round budget accepted")
+	}
+}
+
 func TestRunSimAlgorithm2And3(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-graph", "figure1a", "-algorithm", "2", "-faulty", "0"}, &buf); err != nil {

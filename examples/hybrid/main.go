@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,20 +45,23 @@ func main() {
 	// Node 4 is an equivocating fault: under the Hybrid transport it may
 	// send different values to different neighbors (listed in
 	// Equivocators), which local broadcast would make impossible.
-	result, err := lbcast.Run(lbcast.Config{
-		Graph:           g,
-		MaxFaults:       1,
-		MaxEquivocating: 1,
-		Algorithm:       lbcast.Algorithm3,
-		Model:           lbcast.Hybrid,
-		Equivocators:    lbcast.NewSet(4),
-		Inputs: map[lbcast.NodeID]lbcast.Value{
+	session, err := lbcast.NewSession(g,
+		lbcast.WithFaults(1),
+		lbcast.WithEquivocating(1),
+		lbcast.WithAlgorithm(lbcast.Algorithm3),
+		lbcast.WithModel(lbcast.Hybrid),
+		lbcast.WithEquivocators(lbcast.NewSet(4)),
+		lbcast.WithInputs(map[lbcast.NodeID]lbcast.Value{
 			0: lbcast.One, 1: lbcast.Zero, 2: lbcast.One, 3: lbcast.One, 4: lbcast.Zero,
-		},
-		Byzantine: map[lbcast.NodeID]lbcast.Node{
+		}),
+		lbcast.WithByzantine(map[lbcast.NodeID]lbcast.Node{
 			4: lbcast.NewEquivocatorFault(g, 4, lbcast.PhaseRounds(g)),
-		},
-	})
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

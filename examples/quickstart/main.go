@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,18 +24,25 @@ func main() {
 		log.Fatal("graph does not satisfy the conditions")
 	}
 
-	// Run Algorithm 1 with node 2 Byzantine (a message-tampering relay).
-	result, err := lbcast.Run(lbcast.Config{
-		Graph:     g,
-		MaxFaults: 1,
-		Algorithm: lbcast.Algorithm1,
-		Inputs: map[lbcast.NodeID]lbcast.Value{
+	// Build a session running Algorithm 1 with node 2 Byzantine (a
+	// message-tampering relay). The session validates the configuration
+	// once and can be run any number of times; each run stops as soon as
+	// every honest node has decided instead of burning Algorithm 1's
+	// exponential worst-case round budget.
+	session, err := lbcast.NewSession(g,
+		lbcast.WithFaults(1),
+		lbcast.WithAlgorithm(lbcast.Algorithm1),
+		lbcast.WithInputs(map[lbcast.NodeID]lbcast.Value{
 			0: lbcast.Zero, 1: lbcast.One, 2: lbcast.One, 3: lbcast.Zero, 4: lbcast.One,
-		},
-		Byzantine: map[lbcast.NodeID]lbcast.Node{
+		}),
+		lbcast.WithByzantine(map[lbcast.NodeID]lbcast.Node{
 			2: lbcast.NewTamperFault(g, 2, lbcast.PhaseRounds(g), 42),
-		},
-	})
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,5 +53,6 @@ func main() {
 	}
 	fmt.Printf("agreement=%v validity=%v termination=%v\n",
 		result.Agreement, result.Validity, result.Termination)
-	fmt.Printf("cost: %d rounds, %d transmissions\n", result.Rounds, result.Transmissions)
+	fmt.Printf("cost: %d rounds (budget %d), %d transmissions\n",
+		result.Rounds, result.RoundBudget, result.Transmissions)
 }

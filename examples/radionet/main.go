@@ -10,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"lbcast"
 )
@@ -45,16 +47,22 @@ func main() {
 	// Radio 7 is compromised: it tampers with every reading it relays.
 	// Because its transmissions are overheard by all its neighbors, the
 	// tampering cannot be targeted — and Algorithm 2 (the mesh is
-	// 2f-connected for f = 2) identifies and routes around it.
-	result, err := lbcast.Run(lbcast.Config{
-		Graph:     mesh,
-		MaxFaults: 2,
-		Algorithm: lbcast.Algorithm2,
-		Inputs:    inputs,
-		Byzantine: map[lbcast.NodeID]lbcast.Node{
+	// 2f-connected for f = 2) identifies and routes around it. The
+	// session's context deadline bounds the wall-clock cost.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	session, err := lbcast.NewSession(mesh,
+		lbcast.WithFaults(2),
+		lbcast.WithAlgorithm(lbcast.Algorithm2),
+		lbcast.WithInputs(inputs),
+		lbcast.WithByzantine(map[lbcast.NodeID]lbcast.Node{
 			7: lbcast.NewTamperFault(mesh, 7, lbcast.PhaseRounds(mesh), 99),
-		},
-	})
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,6 +24,16 @@ type PhaseNode struct {
 	roundInPhase int
 	flooder      *flood.Flooder
 	decided      bool
+
+	// Early-decision support (EnableEarlyDecision). phaseStartGamma is
+	// the value flooded in the current phase; earlyDecided/earlyValue
+	// latch a decision reached before the final phase via the observed
+	// unanimity rule. An early-decided node keeps executing phases
+	// unchanged so that the other nodes' executions are unaffected.
+	earlyOK         bool
+	earlyDecided    bool
+	earlyValue      sim.Value
+	phaseStartGamma sim.Value
 }
 
 var (
@@ -73,12 +83,33 @@ func (nd *PhaseNode) ID() graph.NodeID { return nd.me }
 // Gamma exposes the current state γv (for tests and tracing).
 func (nd *PhaseNode) Gamma() sim.Value { return nd.gamma }
 
-// Decision reports the decided output after all phases complete.
+// EnableEarlyDecision lets the node decide before the final phase via the
+// observed-unanimity rule: at the end of a phase, if the node received the
+// value x it flooded this phase from every other node along f+1 internally
+// node-disjoint paths, then (with at most f actual faults) at least one
+// path per node is fault-free, so every non-faulty node's state was x at
+// the start of the phase. Unanimity of the non-faulty states is preserved
+// by step (c) under any Byzantine behavior — adopting ¬x would require a
+// receipt of ¬x along f+1 node-disjoint paths, one of which would be
+// fault-free with a non-faulty origin — so the final decision is already
+// determined to be x and the node may report it now.
+//
+// The node keeps executing all phases identically after deciding early
+// (so other nodes' executions are byte-for-byte unchanged); only
+// Decision() is affected. The engine layer stops the run once every
+// honest node reports a decision.
+func (nd *PhaseNode) EnableEarlyDecision() { nd.earlyOK = true }
+
+// Decision reports the decided output: after all phases complete, or as
+// soon as the early-decision rule fires (EnableEarlyDecision).
 func (nd *PhaseNode) Decision() (sim.Value, bool) {
-	if !nd.decided {
-		return 0, false
+	if nd.decided {
+		return nd.gamma, true
 	}
-	return nd.gamma, true
+	if nd.earlyDecided {
+		return nd.earlyValue, true
+	}
+	return 0, false
 }
 
 // Step advances the node by one synchronous round.
@@ -92,6 +123,7 @@ func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 	case 0:
 		// Step (a): initiate flooding of γv.
 		nd.flooder = flood.New(nd.g, nd.me)
+		nd.phaseStartGamma = nd.gamma
 		out = nd.flooder.Start(flood.ValueBody{Value: nd.gamma})
 	case 1:
 		// Initiations arrive now; after processing, substitute the
@@ -120,6 +152,10 @@ func (nd *PhaseNode) endPhase() {
 	spec := nd.phases[nd.phaseIdx]
 	excl := spec.F.Union(spec.T)
 	receipts := nd.flooder.Receipts()
+	if nd.earlyOK && !nd.earlyDecided && nd.observedUnanimity(receipts) {
+		nd.earlyDecided = true
+		nd.earlyValue = nd.phaseStartGamma
+	}
 
 	// Step (b): for each u ∈ V−T pick the (deterministic) uv-path Puv
 	// that excludes F∪T and read the value received along it. Zv collects
@@ -159,6 +195,30 @@ func (nd *PhaseNode) endPhase() {
 			return
 		}
 	}
+}
+
+// observedUnanimity implements the early-decision predicate: the value x
+// this node flooded at the start of the phase was also received from every
+// other node along f+1 internally node-disjoint paths (no exclusions).
+// With at most f actual faults, at least one of any f+1 internally
+// disjoint paths has a fault-free interior, so a matching receipt proves
+// the origin really flooded x — over all origins, that every non-faulty
+// node's state is x.
+func (nd *PhaseNode) observedUnanimity(receipts []flood.Receipt) bool {
+	want := flood.ValueBody{Value: nd.phaseStartGamma}.Key()
+	for _, u := range nd.g.Nodes() {
+		if u == nd.me {
+			continue
+		}
+		fil := flood.Filter{
+			Origins: graph.NewSet(u),
+			BodyKey: want,
+		}
+		if !flood.ReceivedOnDisjointPaths(receipts, fil, nd.f+1, flood.InternallyDisjoint) {
+			return false
+		}
+	}
+	return true
 }
 
 // selectAvBv implements the four-case Av/Bv selection of step (c)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"lbcast/internal/adversary"
@@ -91,32 +92,33 @@ type sweepOutcome struct {
 	runs, ok int
 }
 
-// runSweep executes every (faultSet, strategy, inputs) combination and
-// tallies consensus successes.
+// runSweep executes every (faultSet, strategy, inputs) combination through
+// the parallel Sweep subsystem and tallies consensus successes. Results
+// are deterministic whatever the worker count.
 func runSweep(g *graph.Graph, f int, alg Algorithm, faultSets []graph.Set, strategies []strategyKind, patterns [][]sim.Value) (sweepOutcome, error) {
-	var out sweepOutcome
-	for _, fs := range faultSets {
-		for _, st := range strategies {
-			for pi, pat := range patterns {
-				spec := Spec{
-					G:         g,
-					F:         f,
-					Algorithm: alg,
-					Inputs:    inputPattern(g.N(), pat),
-					Byzantine: buildByzantine(g, fs, st, int64(pi)*1007+13),
-				}
-				res, err := Run(spec)
-				if err != nil {
-					return out, err
-				}
-				out.runs++
-				if res.OK() {
-					out.ok++
-				}
-			}
+	names := make([]string, len(strategies))
+	for i, st := range strategies {
+		names[i] = string(st)
+	}
+	grid := Grid{
+		Graphs:     []GraphCase{{Label: g.String(), G: g}},
+		Faults:     []int{f},
+		Algorithms: []Algorithm{alg},
+		Strategies: names,
+		FaultSets:  faultSets,
+		Patterns:   patterns,
+		Seed:       13,
+	}
+	res, err := RunSweep(context.Background(), grid, DefaultSweepWorkers())
+	if err != nil {
+		return sweepOutcome{}, err
+	}
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			return sweepOutcome{}, fmt.Errorf("eval: sweep cell %d (%s): %s", c.Index, c.Strategy, c.Err)
 		}
 	}
-	return out, nil
+	return sweepOutcome{runs: res.Stats.Cells, ok: res.Stats.OK}, nil
 }
 
 // E1Figure1a reproduces Figure 1(a): the 5-cycle satisfies the tight

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -27,6 +28,10 @@ type MonteCarloConfig struct {
 	Seed int64
 	// Strategies to draw from (default: silent, tamper, equivocate).
 	Strategies []string
+	// Workers bounds the worker pool (default runtime.GOMAXPROCS).
+	// Results are identical for every worker count: each trial derives
+	// all of its randomness from its own seed.
+	Workers int
 }
 
 // MonteCarloResult tallies a sweep.
@@ -44,12 +49,22 @@ type MonteCarloViolation struct {
 	Outcome  Outcome
 }
 
-// MonteCarlo runs the sweep. On graphs satisfying the paper's conditions
-// the expected result is OK == Trials; any violation is returned with its
-// reproduction data.
+// MonteCarlo runs the sweep on a bounded worker pool. On graphs
+// satisfying the paper's conditions the expected result is OK == Trials;
+// any violation is returned with its reproduction data. Each trial draws
+// all of its randomness from a per-trial seed derived from cfg.Seed, so
+// results are reproducible and independent of the worker count.
 func MonteCarlo(cfg MonteCarloConfig) (MonteCarloResult, error) {
+	return MonteCarloContext(context.Background(), cfg)
+}
+
+// MonteCarloContext is MonteCarlo with cancellation support.
+func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloResult, error) {
 	if cfg.G == nil {
 		return MonteCarloResult{}, fmt.Errorf("eval: nil graph")
+	}
+	if cfg.Trials < 0 {
+		return MonteCarloResult{}, fmt.Errorf("eval: negative trial count %d", cfg.Trials)
 	}
 	if cfg.Trials == 0 {
 		cfg.Trials = 20
@@ -63,56 +78,90 @@ func MonteCarlo(cfg MonteCarloConfig) (MonteCarloResult, error) {
 	if len(cfg.Strategies) == 0 {
 		cfg.Strategies = []string{"silent", "tamper", "equivocate", "forge"}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	n := cfg.G.N()
+	for _, s := range cfg.Strategies {
+		switch s {
+		case "silent", "tamper", "equivocate", "forge":
+		default:
+			return MonteCarloResult{}, fmt.Errorf("eval: unknown strategy %q", s)
+		}
+	}
+	results := make([]mcTrialResult, cfg.Trials)
+	RunPool(cfg.Workers, cfg.Trials, func(trial int) {
+		results[trial] = runMonteCarloTrial(ctx, cfg, trial)
+	})
+
 	res := MonteCarloResult{Trials: cfg.Trials}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		inputs := make(map[graph.NodeID]sim.Value, n)
-		for i := 0; i < n; i++ {
-			inputs[graph.NodeID(i)] = sim.Value(rng.Intn(2))
+	for _, r := range results {
+		if r.err != nil {
+			return res, r.err
 		}
-		perm := rng.Perm(n)
-		faulty := make([]graph.NodeID, 0, cfg.Faults)
-		for _, p := range perm[:cfg.Faults] {
-			faulty = append(faulty, graph.NodeID(p))
-		}
-		strat := cfg.Strategies[rng.Intn(len(cfg.Strategies))]
-		byz := make(map[graph.NodeID]sim.Node, len(faulty))
-		phaseLen := core.PhaseRounds(n)
-		for _, u := range faulty {
-			switch strat {
-			case "silent":
-				byz[u] = &adversary.SilentNode{Me: u}
-			case "tamper":
-				byz[u] = adversary.NewTamper(cfg.G, u, phaseLen, rng.Int63())
-			case "equivocate":
-				byz[u] = &adversary.EquivocatorNode{G: cfg.G, Me: u, PhaseLen: phaseLen}
-			case "forge":
-				byz[u] = adversary.NewForger(cfg.G, u, phaseLen, rng.Int63())
-			default:
-				return res, fmt.Errorf("eval: unknown strategy %q", strat)
-			}
-		}
-		out, err := Run(Spec{
-			G:         cfg.G,
-			F:         cfg.F,
-			Algorithm: cfg.Algorithm,
-			Inputs:    inputs,
-			Byzantine: byz,
-		})
-		if err != nil {
-			return res, err
-		}
-		if out.OK() {
+		if r.violation == nil {
 			res.OK++
 			continue
 		}
-		res.Violations = append(res.Violations, MonteCarloViolation{
+		res.Violations = append(res.Violations, *r.violation)
+	}
+	return res, nil
+}
+
+// mcTrialResult is one trial's slot in the result table.
+type mcTrialResult struct {
+	violation *MonteCarloViolation
+	err       error
+}
+
+// runMonteCarloTrial executes one trial; all randomness derives from the
+// trial's own seed.
+func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) (out mcTrialResult) {
+	rng := rand.New(rand.NewSource(cellSeed(cfg.Seed, trial)))
+	n := cfg.G.N()
+	inputs := make(map[graph.NodeID]sim.Value, n)
+	for i := 0; i < n; i++ {
+		inputs[graph.NodeID(i)] = sim.Value(rng.Intn(2))
+	}
+	perm := rng.Perm(n)
+	faulty := make([]graph.NodeID, 0, cfg.Faults)
+	for _, p := range perm[:cfg.Faults] {
+		faulty = append(faulty, graph.NodeID(p))
+	}
+	strat := cfg.Strategies[rng.Intn(len(cfg.Strategies))]
+	byz := make(map[graph.NodeID]sim.Node, len(faulty))
+	phaseLen := core.PhaseRounds(n)
+	for _, u := range faulty {
+		switch strat {
+		case "silent":
+			byz[u] = &adversary.SilentNode{Me: u}
+		case "tamper":
+			byz[u] = adversary.NewTamper(cfg.G, u, phaseLen, rng.Int63())
+		case "equivocate":
+			byz[u] = &adversary.EquivocatorNode{G: cfg.G, Me: u, PhaseLen: phaseLen}
+		case "forge":
+			byz[u] = adversary.NewForger(cfg.G, u, phaseLen, rng.Int63())
+		}
+	}
+	s, err := NewSession(Spec{
+		G:         cfg.G,
+		F:         cfg.F,
+		Algorithm: cfg.Algorithm,
+		Inputs:    inputs,
+		Byzantine: byz,
+	})
+	if err != nil {
+		out.err = err
+		return out
+	}
+	run, err := s.Run(ctx)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if !run.OK() {
+		out.violation = &MonteCarloViolation{
 			Trial:    trial,
 			Faulty:   faulty,
 			Strategy: strat,
-			Outcome:  out,
-		})
+			Outcome:  run,
+		}
 	}
-	return res, nil
+	return out
 }

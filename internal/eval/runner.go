@@ -4,6 +4,8 @@
 package eval
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
 	"lbcast/internal/adversary"
@@ -41,6 +43,11 @@ func (a Algorithm) String() string {
 	}
 }
 
+// MarshalJSON encodes the algorithm by name.
+func (a Algorithm) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
 // Spec describes one complete execution.
 type Spec struct {
 	G *graph.Graph
@@ -48,7 +55,7 @@ type Spec struct {
 	F int
 	// T is the equivocation bound (Algo3 only).
 	T int
-	// Algorithm selects the honest protocol.
+	// Algorithm selects the honest protocol (defaults to Algo1).
 	Algorithm Algorithm
 	// Inputs maps every node to its input (faulty nodes may be omitted).
 	Inputs map[graph.NodeID]sim.Value
@@ -62,31 +69,106 @@ type Spec struct {
 	// Rounds overrides the computed round budget (0 = derive from the
 	// algorithm).
 	Rounds int
-	// Trace, when set, receives every physical transmission.
-	Trace func(sim.Transmission)
+	// FullBudget disables early termination: the execution always runs
+	// the complete round budget, as the paper's pseudocode is written.
+	// The default runs round by round and stops as soon as every honest
+	// node has decided — identical decisions, far fewer rounds on
+	// non-adversarial executions (see core.PhaseNode.EnableEarlyDecision
+	// for the soundness argument).
+	FullBudget bool
+	// Sequential disables the engine's goroutine-per-node round
+	// execution (useful for debugging and deterministic profiling).
+	Sequential bool
+	// Observer, when set, receives the execution's round, transmission,
+	// decision and completion events.
+	Observer sim.Observer
+}
+
+// normalize centralizes the zero-value defaulting the layers above used
+// to do ad hoc, and validates the spec. It is the single place implicit
+// defaults are applied: Algorithm 0 means Algo1, Model 0 means
+// LocalBroadcast.
+func (s *Spec) normalize() error {
+	if s.G == nil {
+		return fmt.Errorf("eval: nil graph")
+	}
+	n := s.G.N()
+	if s.Algorithm == 0 {
+		s.Algorithm = Algo1
+	}
+	switch s.Algorithm {
+	case Algo1, Algo2, Algo3:
+	default:
+		return fmt.Errorf("eval: unknown algorithm %s", s.Algorithm)
+	}
+	if s.Model == 0 {
+		s.Model = sim.LocalBroadcast
+	}
+	switch s.Model {
+	case sim.LocalBroadcast, sim.PointToPoint, sim.Hybrid:
+	default:
+		return fmt.Errorf("eval: unknown model %s", s.Model)
+	}
+	if s.F < 0 {
+		return fmt.Errorf("eval: negative fault bound f=%d", s.F)
+	}
+	if s.T < 0 {
+		return fmt.Errorf("eval: negative equivocation bound t=%d", s.T)
+	}
+	if s.T > s.F {
+		return fmt.Errorf("eval: equivocation bound t=%d exceeds fault bound f=%d", s.T, s.F)
+	}
+	if s.Rounds < 0 {
+		return fmt.Errorf("eval: negative round budget %d", s.Rounds)
+	}
+	for u := range s.Inputs {
+		if int(u) < 0 || int(u) >= n {
+			return fmt.Errorf("eval: input for out-of-range node %d (n=%d)", u, n)
+		}
+	}
+	for u, nd := range s.Byzantine {
+		if int(u) < 0 || int(u) >= n {
+			return fmt.Errorf("eval: Byzantine override for out-of-range node %d (n=%d)", u, n)
+		}
+		if nd == nil {
+			return fmt.Errorf("eval: nil Byzantine node at %d", u)
+		}
+	}
+	for u := range s.Equivocators {
+		if int(u) < 0 || int(u) >= n {
+			return fmt.Errorf("eval: equivocator out of range: node %d (n=%d)", u, n)
+		}
+	}
+	return nil
 }
 
 // Outcome is the judged result of one execution.
 type Outcome struct {
 	// Decisions holds the honest nodes' outputs.
-	Decisions map[graph.NodeID]sim.Value
+	Decisions map[graph.NodeID]sim.Value `json:"decisions"`
 	// Agreement: all honest nodes decided the same value.
-	Agreement bool
+	Agreement bool `json:"agreement"`
 	// Validity: every honest output equals some honest node's input.
-	Validity bool
+	Validity bool `json:"validity"`
 	// Termination: every honest node decided.
-	Termination bool
-	// Rounds is the number of rounds executed.
-	Rounds int
+	Termination bool `json:"termination"`
+	// Rounds is the number of rounds actually executed (less than Budget
+	// when the run terminated early).
+	Rounds int `json:"rounds"`
+	// Budget is the round budget the execution was allowed.
+	Budget int `json:"budget"`
 	// Metrics are the engine counters.
-	Metrics sim.Metrics
+	Metrics sim.Metrics `json:"metrics"`
 }
 
 // OK reports whether all three consensus properties hold.
 func (o Outcome) OK() bool { return o.Agreement && o.Validity && o.Termination }
 
-// HonestFactory returns the honest-node constructor for spec.
+// HonestFactory returns the honest-node constructor for spec. Unless the
+// spec demands the full budget, phase-based nodes are built with early
+// decision enabled.
 func (s Spec) HonestFactory() adversary.HonestFactory {
+	early := !s.FullBudget
 	switch s.Algorithm {
 	case Algo2:
 		return func(u graph.NodeID, input sim.Value) sim.Node {
@@ -94,11 +176,19 @@ func (s Spec) HonestFactory() adversary.HonestFactory {
 		}
 	case Algo3:
 		return func(u graph.NodeID, input sim.Value) sim.Node {
-			return core.NewHybridNode(s.G, s.F, s.T, u, input)
+			nd := core.NewHybridNode(s.G, s.F, s.T, u, input)
+			if early {
+				nd.EnableEarlyDecision()
+			}
+			return nd
 		}
 	default:
 		return func(u graph.NodeID, input sim.Value) sim.Node {
-			return core.NewAlgo1Node(s.G, s.F, u, input)
+			nd := core.NewAlgo1Node(s.G, s.F, u, input)
+			if early {
+				nd.EnableEarlyDecision()
+			}
+			return nd
 		}
 	}
 }
@@ -116,12 +206,42 @@ func (s Spec) DefaultRounds() int {
 	}
 }
 
-// Run executes the spec and judges the outcome.
-func Run(spec Spec) (Outcome, error) {
-	g := spec.G
-	if g == nil {
-		return Outcome{}, fmt.Errorf("eval: nil graph")
+// Session is a validated, reusable execution plan: one normalized Spec
+// that can be run any number of times. Each Run builds fresh protocol
+// nodes and a fresh engine, and the Spec is never mutated after
+// NewSession; runs are therefore independent, except that the Spec's
+// Observer and Byzantine node instances are shared by every run — for
+// concurrent Runs they must be safe to share (stateless strategies, a
+// mutex-guarded observer).
+type Session struct {
+	spec Spec
+}
+
+// NewSession validates and normalizes the spec and returns a reusable
+// Session. All defaulting happens here, once: the zero Algorithm becomes
+// Algo1 and the zero Model becomes LocalBroadcast; nonsense (negative
+// bounds, inputs or overrides for out-of-range nodes, t > f) is rejected
+// with a descriptive error.
+func NewSession(spec Spec) (*Session, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
 	}
+	return &Session{spec: spec}, nil
+}
+
+// Spec returns the session's normalized spec.
+func (s *Session) Spec() Spec { return s.spec }
+
+// Run executes one instance of the session's spec and judges the outcome.
+//
+// The engine is driven round by round. Unless the spec demands the full
+// budget, the run stops as soon as every honest node has decided — on
+// benign executions this cuts Algorithm 1's exponential budget down to a
+// couple of phases. The context is checked between rounds; cancellation
+// aborts the run mid-execution and returns ctx's error.
+func (s *Session) Run(ctx context.Context) (Outcome, error) {
+	spec := s.spec
+	g := spec.G
 	factory := spec.HonestFactory()
 	nodes := make([]sim.Node, g.N())
 	honest := graph.NewSet()
@@ -136,31 +256,51 @@ func Run(spec Spec) (Outcome, error) {
 		honest.Add(u)
 		honestInputs[u] = in
 	}
-	model := spec.Model
-	if model == 0 {
-		model = sim.LocalBroadcast
-	}
 	eng, err := sim.NewEngine(sim.Config{
 		Topology:     sim.GraphTopology{G: g},
-		Model:        model,
+		Model:        spec.Model,
 		Equivocators: spec.Equivocators,
-		Trace:        spec.Trace,
-		Parallel:     true,
+		Observer:     spec.Observer,
+		Parallel:     !spec.Sequential,
 	}, nodes)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("eval: %w", err)
 	}
-	rounds := spec.Rounds
-	if rounds == 0 {
-		rounds = spec.DefaultRounds()
+	budget := spec.Rounds
+	if budget == 0 {
+		budget = spec.DefaultRounds()
 	}
-	eng.Run(rounds)
-	return Judge(eng, honest, honestInputs, rounds), nil
+	for r := 0; r < budget; r++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, fmt.Errorf("eval: run canceled after %d of %d rounds: %w",
+				eng.Metrics().Rounds, budget, err)
+		}
+		eng.Step()
+		if !spec.FullBudget && eng.AllDecided(honest) {
+			break
+		}
+	}
+	out := Judge(eng, honest, honestInputs, budget)
+	if spec.Observer != nil {
+		spec.Observer.Done(eng.Metrics())
+	}
+	return out, nil
+}
+
+// Run executes the spec once and judges the outcome. It is the one-shot
+// form of NewSession(spec).Run(context.Background()).
+func Run(spec Spec) (Outcome, error) {
+	s, err := NewSession(spec)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return s.Run(context.Background())
 }
 
 // Judge evaluates the consensus properties over the honest nodes of a
-// finished engine run.
-func Judge(eng *sim.Engine, honest graph.Set, honestInputs map[graph.NodeID]sim.Value, rounds int) Outcome {
+// finished engine run. budget is the round allowance the run had; the
+// rounds actually executed are read from the engine.
+func Judge(eng *sim.Engine, honest graph.Set, honestInputs map[graph.NodeID]sim.Value, budget int) Outcome {
 	all := eng.Decisions()
 	decisions := make(map[graph.NodeID]sim.Value)
 	term := true
@@ -201,14 +341,17 @@ func Judge(eng *sim.Engine, honest graph.Set, honestInputs map[graph.NodeID]sim.
 		Agreement:   agreement && term,
 		Validity:    validity && term,
 		Termination: term,
-		Rounds:      rounds,
+		Rounds:      eng.Metrics().Rounds,
+		Budget:      budget,
 		Metrics:     eng.Metrics(),
 	}
 }
 
 // RunAttackExecution runs one execution of a necessity Attack with honest
 // nodes built by the spec's factory, under the hybrid transport when the
-// execution has equivocators.
+// execution has equivocators. Attack executions replay scripted
+// transcripts against the worst case, so they always run the full round
+// budget.
 func RunAttackExecution(g *graph.Graph, f, t int, alg Algorithm, ex adversary.AttackExecution, rounds int) (Outcome, error) {
 	model := sim.LocalBroadcast
 	if ex.Equivocators.Len() > 0 {
@@ -224,5 +367,6 @@ func RunAttackExecution(g *graph.Graph, f, t int, alg Algorithm, ex adversary.At
 		Model:        model,
 		Equivocators: ex.Equivocators,
 		Rounds:       rounds,
+		FullBudget:   true,
 	})
 }

@@ -1,0 +1,96 @@
+package sim
+
+import "lbcast/internal/graph"
+
+// Observer receives the engine's execution events. It replaces the old
+// bare Trace callback: where Trace saw only physical transmissions, an
+// Observer also sees round boundaries, per-node decisions as they happen,
+// and the end of the execution — enough to drive progress displays,
+// structured trace archives, and streaming metrics without polling the
+// engine.
+//
+// The engine invokes observers synchronously from its (single) routing
+// goroutine, in deterministic order: RoundStart, then every Transmission
+// of the round in canonical delivery order, then a Decision event per node
+// that decided during the round (ascending node id). Done is emitted by
+// the layer that owns the execution (eval.Session) once the run is
+// complete, after the final round's events.
+//
+// Implementations that only care about a subset of events should embed
+// NoopObserver and override what they need.
+type Observer interface {
+	// RoundStart announces that round is about to execute.
+	RoundStart(round int)
+	// Transmission reports one physical transmission (a local broadcast
+	// counts once, whatever the receiver count).
+	Transmission(tr Transmission)
+	// Decision reports that node decided value v during round.
+	Decision(node graph.NodeID, v Value, round int)
+	// Done reports the end of the execution with the final counters.
+	Done(m Metrics)
+}
+
+// NoopObserver is the no-op base for partial Observer implementations.
+type NoopObserver struct{}
+
+var _ Observer = NoopObserver{}
+
+// RoundStart implements Observer.
+func (NoopObserver) RoundStart(int) {}
+
+// Transmission implements Observer.
+func (NoopObserver) Transmission(Transmission) {}
+
+// Decision implements Observer.
+func (NoopObserver) Decision(graph.NodeID, Value, int) {}
+
+// Done implements Observer.
+func (NoopObserver) Done(Metrics) {}
+
+// MultiObserver fans every event out to a list of observers, in order.
+// A nil MultiObserver entry is skipped.
+type MultiObserver []Observer
+
+var _ Observer = MultiObserver{}
+
+// Observers combines observers into one; nils are dropped.
+func Observers(obs ...Observer) Observer {
+	out := make(MultiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+// RoundStart implements Observer.
+func (m MultiObserver) RoundStart(round int) {
+	for _, o := range m {
+		o.RoundStart(round)
+	}
+}
+
+// Transmission implements Observer.
+func (m MultiObserver) Transmission(tr Transmission) {
+	for _, o := range m {
+		o.Transmission(tr)
+	}
+}
+
+// Decision implements Observer.
+func (m MultiObserver) Decision(node graph.NodeID, v Value, round int) {
+	for _, o := range m {
+		o.Decision(node, v, round)
+	}
+}
+
+// Done implements Observer.
+func (m MultiObserver) Done(metrics Metrics) {
+	for _, o := range m {
+		o.Done(metrics)
+	}
+}

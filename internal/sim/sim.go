@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -144,6 +145,11 @@ func (m Model) String() string {
 	}
 }
 
+// MarshalJSON encodes the model by name.
+func (m Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
 // Transmission records one physical transmission for tracing: the sender,
 // the payload, and the set of receivers.
 type Transmission struct {
@@ -155,9 +161,9 @@ type Transmission struct {
 
 // Metrics aggregates execution counters.
 type Metrics struct {
-	Rounds        int // rounds executed
-	Transmissions int // physical sends (a local broadcast counts once)
-	Deliveries    int // message receptions
+	Rounds        int `json:"rounds"`        // rounds executed
+	Transmissions int `json:"transmissions"` // physical sends (a local broadcast counts once)
+	Deliveries    int `json:"deliveries"`    // message receptions
 }
 
 // Config configures an Engine.
@@ -167,8 +173,9 @@ type Config struct {
 	// Equivocators is consulted only under the Hybrid model: members may
 	// address individual neighbors.
 	Equivocators graph.Set
-	// Trace, when set, receives every physical transmission.
-	Trace func(Transmission)
+	// Observer, when set, receives round, transmission and decision
+	// events (see Observer). Use sim.Observers to combine several.
+	Observer Observer
 	// Parallel selects goroutine-per-node round execution (default true
 	// via NewEngine). Sequential execution is provided for debugging.
 	Parallel bool
@@ -180,6 +187,7 @@ type Engine struct {
 	nodes   []Node
 	inboxes [][]Delivery
 	metrics Metrics
+	decided []bool // decision-event edge detection, per node
 }
 
 // NewEngine builds an engine over nodes; nodes[i] must have ID i and len
@@ -208,6 +216,7 @@ func NewEngine(cfg Config, nodes []Node) (*Engine, error) {
 		cfg:     cfg,
 		nodes:   ns,
 		inboxes: make([][]Delivery, len(nodes)),
+		decided: make([]bool, len(nodes)),
 	}, nil
 }
 
@@ -219,7 +228,7 @@ func (e *Engine) Metrics() Metrics { return e.metrics }
 // stopped.
 func (e *Engine) Run(rounds int) {
 	for r := 0; r < rounds; r++ {
-		e.step(e.metrics.Rounds)
+		e.Step()
 	}
 }
 
@@ -227,9 +236,40 @@ func (e *Engine) Run(rounds int) {
 // done() reports true (checked after each round).
 func (e *Engine) RunUntil(maxRounds int, done func() bool) {
 	for r := 0; r < maxRounds; r++ {
-		e.step(e.metrics.Rounds)
+		e.Step()
 		if done() {
 			return
+		}
+	}
+}
+
+// Step executes exactly one synchronous round. Callers that need
+// per-round control — early-termination predicates, context
+// cancellation — drive the engine with Step instead of Run.
+func (e *Engine) Step() {
+	round := e.metrics.Rounds
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.RoundStart(round)
+	}
+	e.step(round)
+	if e.cfg.Observer != nil {
+		e.emitDecisions(round)
+	}
+}
+
+// emitDecisions fires a Decision event for every node that newly decided.
+func (e *Engine) emitDecisions(round int) {
+	for i, nd := range e.nodes {
+		if e.decided[i] {
+			continue
+		}
+		d, ok := nd.(Decider)
+		if !ok {
+			continue
+		}
+		if v, decidedNow := d.Decision(); decidedNow {
+			e.decided[i] = true
+			e.cfg.Observer.Decision(nd.ID(), v, round)
 		}
 	}
 }
@@ -266,8 +306,8 @@ func (e *Engine) step(round int) {
 				continue
 			}
 			e.metrics.Transmissions++
-			if e.cfg.Trace != nil {
-				e.cfg.Trace(Transmission{
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.Transmission(Transmission{
 					Round:     round,
 					From:      sender,
 					Payload:   out.Payload,
@@ -306,6 +346,29 @@ func (e *Engine) route(sender graph.NodeID, out Outgoing) []graph.NodeID {
 		}
 	}
 	return nil
+}
+
+// NodeDecision returns node u's decision, if u implements Decider and has
+// decided.
+func (e *Engine) NodeDecision(u graph.NodeID) (Value, bool) {
+	if int(u) < 0 || int(u) >= len(e.nodes) {
+		return 0, false
+	}
+	d, ok := e.nodes[u].(Decider)
+	if !ok {
+		return 0, false
+	}
+	return d.Decision()
+}
+
+// AllDecided reports whether every node in the set has decided.
+func (e *Engine) AllDecided(nodes graph.Set) bool {
+	for u := range nodes {
+		if _, ok := e.NodeDecision(u); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Decisions gathers decisions from all nodes implementing Decider. The

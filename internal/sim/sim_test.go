@@ -231,21 +231,106 @@ func TestEngineValidation(t *testing.T) {
 	}
 }
 
-func TestTraceCapturesTransmissions(t *testing.T) {
+// eventLog records every observer event as a string, for order checks.
+type eventLog struct {
+	NoopObserver
+	events []string
+}
+
+func (l *eventLog) RoundStart(round int) {
+	l.events = append(l.events, fmt.Sprintf("round(%d)", round))
+}
+
+func (l *eventLog) Transmission(tr Transmission) {
+	l.events = append(l.events, fmt.Sprintf("tx(%d,%d,%s)", tr.Round, tr.From, tr.Payload.Key()))
+}
+
+func (l *eventLog) Decision(node graph.NodeID, v Value, round int) {
+	l.events = append(l.events, fmt.Sprintf("decide(%d,%s,%d)", node, v, round))
+}
+
+func (l *eventLog) Done(m Metrics) {
+	l.events = append(l.events, fmt.Sprintf("done(%d)", m.Rounds))
+}
+
+func TestObserverCapturesTransmissions(t *testing.T) {
 	g := line(t, 3)
 	ns := newNodes(3)
 	ns[0].sends = []Outgoing{{To: Broadcast, Payload: textPayload("t")}}
-	var seen []Transmission
+	rec := &Recorder{}
 	eng, err := NewEngine(Config{
 		Topology: GraphTopology{G: g},
-		Trace:    func(tr Transmission) { seen = append(seen, tr) },
+		Observer: rec,
 	}, asNodes(ns))
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng.Run(1)
+	seen := rec.Transmissions()
 	if len(seen) != 1 || seen[0].From != 0 || len(seen[0].Receivers) != 1 {
 		t.Fatalf("trace = %+v", seen)
+	}
+}
+
+// decideAt decides a fixed value once the given round has executed.
+type decideAt struct {
+	me    graph.NodeID
+	at    int
+	val   Value
+	round int
+}
+
+func (d *decideAt) ID() graph.NodeID { return d.me }
+
+func (d *decideAt) Step(round int, _ []Delivery) []Outgoing {
+	d.round = round + 1
+	return nil
+}
+
+func (d *decideAt) Decision() (Value, bool) {
+	if d.round > d.at {
+		return d.val, true
+	}
+	return 0, false
+}
+
+func TestObserverEventOrderAndDecisions(t *testing.T) {
+	g := line(t, 2)
+	log := &eventLog{}
+	nodes := []Node{
+		&decideAt{me: 0, at: 0, val: One},
+		&decideAt{me: 1, at: 1, val: Zero},
+	}
+	eng, err := NewEngine(Config{Topology: GraphTopology{G: g}, Observer: log}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2)
+	want := []string{"round(0)", "decide(0,1,0)", "round(1)", "decide(1,0,1)"}
+	if fmt.Sprint(log.events) != fmt.Sprint(want) {
+		t.Fatalf("events = %v, want %v", log.events, want)
+	}
+	if v, ok := eng.NodeDecision(0); !ok || v != One {
+		t.Fatalf("NodeDecision(0) = %v %v", v, ok)
+	}
+	if !eng.AllDecided(graph.NewSet(0, 1)) {
+		t.Fatal("AllDecided false after both decided")
+	}
+	if eng.AllDecided(graph.NewSet(0, 1, 5)) {
+		t.Fatal("out-of-range node reported decided")
+	}
+}
+
+func TestMultiObserverFanout(t *testing.T) {
+	a, b := &eventLog{}, &eventLog{}
+	obs := Observers(a, nil, b)
+	obs.RoundStart(3)
+	obs.Done(Metrics{Rounds: 3})
+	if len(a.events) != 2 || len(b.events) != 2 {
+		t.Fatalf("fanout missed events: a=%v b=%v", a.events, b.events)
+	}
+	if single := Observers(a); single != Observer(a) {
+		t.Fatal("single observer not unwrapped")
 	}
 }
 

@@ -11,10 +11,13 @@ import (
 )
 
 // Recorder collects engine transmissions for debugging, experiment
-// archival, and replay analysis. Register its Observe method as
-// Config.Trace. Recorder is safe for the engine's sequential use and for
-// concurrent readers after the run.
+// archival, and replay analysis. It implements Observer (recording every
+// Transmission event and ignoring the rest): register it as
+// Config.Observer, or combine it with other observers via sim.Observers.
+// Recorder is safe for the engine's sequential use and for concurrent
+// readers after the run.
 type Recorder struct {
+	NoopObserver
 	mu   sync.Mutex
 	recs []Transmission
 	// MaxRecords bounds memory (0 = unlimited); excess transmissions are
@@ -23,8 +26,10 @@ type Recorder struct {
 	dropped    int
 }
 
-// Observe records one transmission; pass this to Config.Trace.
-func (r *Recorder) Observe(tr Transmission) {
+var _ Observer = (*Recorder)(nil)
+
+// Transmission records one transmission; this is the Observer event hook.
+func (r *Recorder) Transmission(tr Transmission) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.MaxRecords > 0 && len(r.recs) >= r.MaxRecords {

@@ -15,7 +15,7 @@ func TestRecorderCollectsAndRenders(t *testing.T) {
 	ns[0].sends = []Outgoing{{To: Broadcast, Payload: textPayload("x")}}
 	ns[2].sends = []Outgoing{{To: Broadcast, Payload: textPayload("y")}}
 	rec := &Recorder{}
-	eng, err := NewEngine(Config{Topology: GraphTopology{G: g}, Trace: rec.Observe}, asNodes(ns))
+	eng, err := NewEngine(Config{Topology: GraphTopology{G: g}, Observer: rec}, asNodes(ns))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,8 +48,8 @@ func TestRecorderCollectsAndRenders(t *testing.T) {
 
 func TestRecorderMaxRecords(t *testing.T) {
 	rec := &Recorder{MaxRecords: 1}
-	rec.Observe(Transmission{Round: 0, From: 0, Payload: textPayload("a"), Receivers: []graph.NodeID{1}})
-	rec.Observe(Transmission{Round: 0, From: 1, Payload: textPayload("b"), Receivers: []graph.NodeID{0}})
+	rec.Transmission(Transmission{Round: 0, From: 0, Payload: textPayload("a"), Receivers: []graph.NodeID{1}})
+	rec.Transmission(Transmission{Round: 0, From: 1, Payload: textPayload("b"), Receivers: []graph.NodeID{0}})
 	if rec.Len() != 1 || rec.Dropped() != 1 {
 		t.Fatalf("len=%d dropped=%d", rec.Len(), rec.Dropped())
 	}

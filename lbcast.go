@@ -23,11 +23,20 @@
 //     point-to-point, and hybrid transports, plus a library of Byzantine
 //     strategies for fault injection.
 //
+// Executions are driven through a Session: NewSession(graph, options...)
+// validates the configuration once and Session.Run(ctx) executes it —
+// reusable across runs, cancellable via context, observable through the
+// Observer interface, and early-terminating by default (the run stops as
+// soon as every honest node has decided instead of burning the
+// algorithm's worst-case round budget). The one-shot Run(Config) form is
+// kept as a convenience wrapper over Session.
+//
 // See the examples directory for runnable walkthroughs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology.
 package lbcast
 
 import (
+	"context"
 	"fmt"
 
 	"lbcast/internal/check"
@@ -173,8 +182,11 @@ type Result struct {
 	Agreement   bool
 	Validity    bool
 	Termination bool
-	// Rounds is the number of synchronous rounds executed.
+	// Rounds is the number of synchronous rounds actually executed; it
+	// is below RoundBudget when the run terminated early.
 	Rounds int
+	// RoundBudget is the worst-case round allowance the run had.
+	RoundBudget int
 	// Transmissions counts physical sends (a local broadcast counts
 	// once); Deliveries counts message receptions.
 	Transmissions int
@@ -185,37 +197,26 @@ type Result struct {
 func (r Result) OK() bool { return r.Agreement && r.Validity && r.Termination }
 
 // Run executes one consensus instance and judges agreement, validity and
-// termination over the honest nodes. It does not verify the feasibility
-// conditions first — combine with the Check functions to interpret
-// failures on sub-threshold graphs.
+// termination over the honest nodes. It is the one-shot form of
+// NewSession(...).Run(context.Background()); like every Session run it
+// terminates early once all honest nodes have decided. It does not verify
+// the feasibility conditions first — combine with the Check functions to
+// interpret failures on sub-threshold graphs.
 func Run(cfg Config) (Result, error) {
 	if cfg.Graph == nil {
 		return Result{}, fmt.Errorf("lbcast: Config.Graph is required")
 	}
-	alg := cfg.Algorithm
-	if alg == 0 {
-		alg = Algorithm1
-	}
-	out, err := eval.Run(eval.Spec{
-		G:            cfg.Graph,
-		F:            cfg.MaxFaults,
-		T:            cfg.MaxEquivocating,
-		Algorithm:    alg,
-		Inputs:       cfg.Inputs,
-		Byzantine:    cfg.Byzantine,
-		Model:        cfg.Model,
-		Equivocators: cfg.Equivocators,
-	})
+	s, err := NewSession(cfg.Graph,
+		WithAlgorithm(cfg.Algorithm),
+		WithModel(cfg.Model),
+		WithFaults(cfg.MaxFaults),
+		WithEquivocating(cfg.MaxEquivocating),
+		WithInputs(cfg.Inputs),
+		WithByzantine(cfg.Byzantine),
+		WithEquivocators(cfg.Equivocators),
+	)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Decisions:     out.Decisions,
-		Agreement:     out.Agreement,
-		Validity:      out.Validity,
-		Termination:   out.Termination,
-		Rounds:        out.Rounds,
-		Transmissions: out.Metrics.Transmissions,
-		Deliveries:    out.Metrics.Deliveries,
-	}, nil
+	return s.Run(context.Background())
 }

@@ -31,8 +31,11 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	if len(res.Decisions) != 4 {
 		t.Fatalf("decisions = %v", res.Decisions)
 	}
-	if res.Rounds != Algorithm1Rounds(5, 1) {
-		t.Fatalf("rounds = %d", res.Rounds)
+	if res.RoundBudget != Algorithm1Rounds(5, 1) {
+		t.Fatalf("budget = %d, want %d", res.RoundBudget, Algorithm1Rounds(5, 1))
+	}
+	if res.Rounds > res.RoundBudget {
+		t.Fatalf("rounds = %d exceeds budget %d", res.Rounds, res.RoundBudget)
 	}
 	if res.Transmissions == 0 || res.Deliveries == 0 {
 		t.Fatal("metrics not populated")
@@ -54,8 +57,11 @@ func TestPublicAPIAlgorithm2(t *testing.T) {
 	if !res.OK() {
 		t.Fatalf("algorithm 2 failed: %+v", res)
 	}
-	if res.Rounds != Algorithm2Rounds(5) {
-		t.Fatalf("rounds = %d, want %d", res.Rounds, Algorithm2Rounds(5))
+	if res.RoundBudget != Algorithm2Rounds(5) {
+		t.Fatalf("budget = %d, want %d", res.RoundBudget, Algorithm2Rounds(5))
+	}
+	if res.Rounds > res.RoundBudget {
+		t.Fatalf("rounds = %d exceeds budget %d", res.Rounds, res.RoundBudget)
 	}
 }
 
