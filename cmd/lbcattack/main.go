@@ -9,6 +9,7 @@
 //	lbcattack -graph edges:4:0-1,1-2,0-2,0-3 -f 1      # degree attack
 //	lbcattack -graph edges:5:0-1,1-2,2-3,3-4,0-2 -f 1  # cut attack
 //	lbcattack -graph complete:6 -f 2 -t 2              # hybrid D.1 attack
+//	lbcattack -graph complete:4 -f 1 -json             # machine-readable
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"io"
 	"os"
 
+	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
 	"lbcast/internal/graph/gen"
 )
@@ -28,11 +30,26 @@ func main() {
 	}
 }
 
+// attackJSON is the machine-readable demonstration record.
+type attackJSON struct {
+	Graph    string     `json:"graph"`
+	F        int        `json:"f"`
+	T        int        `json:"t"`
+	Lemma    string     `json:"lemma"`
+	Reason   string     `json:"reason"`
+	Rounds   int        `json:"rounds"`
+	Violated bool       `json:"violated"`
+	Header   []string   `json:"header"`
+	Rows     [][]string `json:"rows"`
+	Notes    []string   `json:"notes,omitempty"`
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcattack", flag.ContinueOnError)
 	spec := fs.String("graph", "", "graph spec (required)")
 	f := fs.Int("f", 1, "fault bound f")
 	t := fs.Int("t", 0, "equivocation bound t (0 = pure local broadcast)")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,23 +60,45 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "graph: %s\n", g)
 
 	fa, err := eval.FindAttack(g, *f, *t)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "violated condition: %s (Lemma %s construction)\n", fa.Reason, fa.Lemma)
-	fmt.Fprintf(w, "running the three scripted executions (%d rounds each)...\n\n", fa.Attack.Rounds)
-
+	// Text mode narrates progressively: the found condition prints before
+	// the (potentially slow) scripted executions run.
+	if !*jsonOut {
+		fmt.Fprintf(w, "graph: %s\n", g)
+		fmt.Fprintf(w, "violated condition: %s (Lemma %s construction)\n", fa.Reason, fa.Lemma)
+		fmt.Fprintf(w, "running the three scripted executions (%d rounds each)...\n\n", fa.Attack.Rounds)
+	}
 	table, violated, err := eval.RunFoundAttack(g, fa)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(w, table)
+	if *jsonOut {
+		if err := cliutil.WriteJSON(w, attackJSON{
+			Graph:    g.String(),
+			F:        *f,
+			T:        *t,
+			Lemma:    fa.Lemma,
+			Reason:   fa.Reason,
+			Rounds:   fa.Attack.Rounds,
+			Violated: violated,
+			Header:   table.Header,
+			Rows:     table.Rows,
+			Notes:    table.Notes,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(w, table)
+	}
 	if !violated {
 		return fmt.Errorf("no violation observed (unexpected: the lemma guarantees one)")
 	}
-	fmt.Fprintln(w, "\nconsensus violated, as Theorem 4.1/6.1 predicts for this graph")
+	if !*jsonOut {
+		fmt.Fprintln(w, "\nconsensus violated, as Theorem 4.1/6.1 predicts for this graph")
+	}
 	return nil
 }

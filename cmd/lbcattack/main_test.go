@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -15,6 +16,24 @@ func TestRunAttackFindsViolation(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "VIOLATED") || !strings.Contains(out, "Lemma A.1") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunAttackJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "edges:4:0-1,1-2,0-2,0-3", "-f", "1", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Lemma    string     `json:"lemma"`
+		Violated bool       `json:"violated"`
+		Rows     [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Lemma != "A.1" || !out.Violated || len(out.Rows) == 0 {
+		t.Fatalf("unexpected JSON report: %+v", out)
 	}
 }
 

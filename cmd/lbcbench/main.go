@@ -12,15 +12,16 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
 	"lbcast"
+	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
 	"lbcast/internal/graph/gen"
 )
@@ -110,6 +111,26 @@ func workloads() []workload {
 				runSession(b, s)
 			}
 		}},
+		{"session/algo1/figure1b/early", func(b *testing.B) {
+			g := lbcast.Figure1b()
+			s := mustSession(b, g, lbcast.WithFaults(2), lbcast.WithInputs(alternatingInputs(g.N())))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runSession(b, s)
+			}
+		}},
+		{"session/algo2/figure1b/tamper", func(b *testing.B) {
+			g := lbcast.Figure1b()
+			s := mustSession(b, g, lbcast.WithFaults(2), lbcast.WithAlgorithm(lbcast.Algorithm2),
+				lbcast.WithInputs(alternatingInputs(g.N())),
+				lbcast.WithByzantine(map[lbcast.NodeID]lbcast.Node{
+					3: lbcast.NewTamperFault(g, 3, lbcast.PhaseRounds(g), 5),
+				}))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runSession(b, s)
+			}
+		}},
 		{"session/algo2/figure1a", func(b *testing.B) {
 			g := lbcast.Figure1a()
 			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithAlgorithm(lbcast.Algorithm2),
@@ -160,8 +181,20 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcbench", flag.ContinueOnError)
 	out := fs.String("out", "", "write JSON to this file instead of stdout")
 	filter := fs.String("filter", "", "only run workloads whose name contains this substring")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark runs to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	var ms []Measurement
 	for _, wl := range workloads() {
@@ -180,16 +213,13 @@ func run(args []string, w io.Writer) error {
 	if len(ms) == 0 {
 		return fmt.Errorf("no workloads match filter %q", *filter)
 	}
-	dst := w
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		dst = f
+		return cliutil.WriteJSON(f, ms)
 	}
-	enc := json.NewEncoder(dst)
-	enc.SetIndent("", "  ")
-	return enc.Encode(ms)
+	return cliutil.WriteJSON(w, ms)
 }

@@ -13,7 +13,7 @@ func TestRunBenchFiltered(t *testing.T) {
 		t.Skip("benchmark run is slow")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-filter", "session/algo2"}, &buf); err != nil {
+	if err := run([]string{"-filter", "session/algo2/figure1a"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var ms []Measurement
@@ -34,7 +34,7 @@ func TestRunBenchOutFile(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-filter", "session/algo2", "-out", path}, &buf); err != nil {
+	if err := run([]string{"-filter", "session/algo2/figure1a", "-out", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -8,6 +8,7 @@
 //	lbccheck -graph cycle:5 -f 1
 //	lbccheck -graph circulant:8:1,2 -f 2 -t 1
 //	lbccheck -graph edges:4:0-1,1-2,2-3,3-0 -f 1
+//	lbccheck -graph figure1a -f 1 -json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"lbcast/internal/check"
+	"lbcast/internal/cliutil"
 	"lbcast/internal/graph/gen"
 )
 
@@ -27,11 +29,29 @@ func main() {
 	}
 }
 
+// checkJSON is the machine-readable report of all feasibility checks.
+type checkJSON struct {
+	Graph          string       `json:"graph"`
+	N              int          `json:"n"`
+	M              int          `json:"m"`
+	MinDegree      int          `json:"min_degree"`
+	Connectivity   int          `json:"connectivity"`
+	F              int          `json:"f"`
+	T              int          `json:"t"`
+	LocalBroadcast check.Report `json:"local_broadcast"`
+	Efficient      check.Report `json:"efficient"`
+	Hybrid         check.Report `json:"hybrid"`
+	PointToPoint   check.Report `json:"point_to_point"`
+	MaxFLocal      int          `json:"max_f_local_broadcast"`
+	MaxFP2P        int          `json:"max_f_point_to_point"`
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbccheck", flag.ContinueOnError)
 	spec := fs.String("graph", "figure1a", "graph spec (see internal/graph/gen.ParseSpec)")
 	f := fs.Int("f", 1, "maximum number of Byzantine faults")
 	t := fs.Int("t", 0, "maximum number of equivocating faults (hybrid model)")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,15 +59,32 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "graph: %s\n", g)
-	fmt.Fprintf(w, "n=%d m=%d min-degree=%d connectivity=%d\n\n",
-		g.N(), g.M(), g.MinDegree(), g.VertexConnectivity())
+	out := checkJSON{
+		Graph:          g.String(),
+		N:              g.N(),
+		M:              g.M(),
+		MinDegree:      g.MinDegree(),
+		Connectivity:   g.VertexConnectivity(),
+		F:              *f,
+		T:              *t,
+		LocalBroadcast: check.LocalBroadcast(g, *f),
+		Efficient:      check.Efficient(g, *f),
+		Hybrid:         check.Hybrid(g, *f, *t),
+		PointToPoint:   check.PointToPoint(g, *f),
+		MaxFLocal:      check.MaxTolerableLocalBroadcast(g),
+		MaxFP2P:        check.MaxTolerablePointToPoint(g),
+	}
+	return cliutil.Emit(w, *jsonOut, out, func(w io.Writer) error {
+		fmt.Fprintf(w, "graph: %s\n", out.Graph)
+		fmt.Fprintf(w, "n=%d m=%d min-degree=%d connectivity=%d\n\n",
+			out.N, out.M, out.MinDegree, out.Connectivity)
 
-	fmt.Fprintf(w, "local broadcast (Theorem 4.1/5.1), f=%d:\n%s\n\n", *f, check.LocalBroadcast(g, *f))
-	fmt.Fprintf(w, "efficient algorithm (Theorem 5.6), f=%d:\n%s\n\n", *f, check.Efficient(g, *f))
-	fmt.Fprintf(w, "hybrid model (Theorem 6.1), f=%d t=%d:\n%s\n\n", *f, *t, check.Hybrid(g, *f, *t))
-	fmt.Fprintf(w, "point-to-point baseline, f=%d:\n%s\n\n", *f, check.PointToPoint(g, *f))
-	fmt.Fprintf(w, "max tolerable f: local-broadcast=%d point-to-point=%d\n",
-		check.MaxTolerableLocalBroadcast(g), check.MaxTolerablePointToPoint(g))
-	return nil
+		fmt.Fprintf(w, "local broadcast (Theorem 4.1/5.1), f=%d:\n%s\n\n", *f, out.LocalBroadcast)
+		fmt.Fprintf(w, "efficient algorithm (Theorem 5.6), f=%d:\n%s\n\n", *f, out.Efficient)
+		fmt.Fprintf(w, "hybrid model (Theorem 6.1), f=%d t=%d:\n%s\n\n", *f, *t, out.Hybrid)
+		fmt.Fprintf(w, "point-to-point baseline, f=%d:\n%s\n\n", *f, out.PointToPoint)
+		fmt.Fprintf(w, "max tolerable f: local-broadcast=%d point-to-point=%d\n",
+			out.MaxFLocal, out.MaxFP2P)
+		return nil
+	})
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -20,6 +21,27 @@ func TestRunCheckFigure1a(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunCheckJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "figure1a", "-f", "1", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		N              int `json:"n"`
+		Connectivity   int `json:"connectivity"`
+		LocalBroadcast struct {
+			OK bool `json:"ok"`
+		} `json:"local_broadcast"`
+		MaxFLocal int `json:"max_f_local_broadcast"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.N != 5 || out.Connectivity != 2 || !out.LocalBroadcast.OK || out.MaxFLocal != 1 {
+		t.Fatalf("unexpected JSON report: %+v", out)
 	}
 }
 

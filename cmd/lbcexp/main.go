@@ -14,13 +14,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
 )
 
@@ -110,9 +110,7 @@ func run(args []string, w io.Writer) error {
 			}
 			out = append(out, ej)
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		return cliutil.WriteJSON(w, out)
 	}
 
 	for i, e := range exps {

@@ -14,12 +14,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
 	"lbcast/internal/graph"
 	"lbcast/internal/graph/gen"
@@ -102,9 +102,7 @@ func run(args []string, w io.Writer) error {
 				Trial: v.Trial, Faulty: v.Faulty, Strategy: v.Strategy, Outcome: v.Outcome,
 			})
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := cliutil.WriteJSON(w, out); err != nil {
 			return err
 		}
 	} else {

@@ -1,0 +1,213 @@
+package lbcast
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lbcast/internal/adversary"
+)
+
+// The golden parity suite pins the observable behavior of fixed scenarios —
+// decisions, rounds, round budget, metrics, and the complete canonical
+// transmission trace (which fixes delivery order, since the engine delivers
+// in trace order) — against checked-in golden files generated before the
+// compact message-identity refactor. Representation changes (path interning,
+// integer-keyed dedup, indexed receipt stores, engine worker pool) must keep
+// every scenario byte-identical; run with -update-golden only for a change
+// that is intentionally allowed to alter executions.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden parity files from the current implementation")
+
+// goldenTransmission is one physical transmission in canonical trace order.
+type goldenTransmission struct {
+	Round     int      `json:"round"`
+	From      NodeID   `json:"from"`
+	Receivers []NodeID `json:"receivers"`
+	Payload   string   `json:"payload"`
+}
+
+// goldenRun is the full recorded execution of one scenario. The complete
+// canonical transmission trace is always pinned via its SHA-256 digest;
+// traces small enough to diff by eye are additionally stored inline.
+type goldenRun struct {
+	Decisions     map[NodeID]Value     `json:"decisions"`
+	Agreement     bool                 `json:"agreement"`
+	Validity      bool                 `json:"validity"`
+	Termination   bool                 `json:"termination"`
+	Rounds        int                  `json:"rounds"`
+	RoundBudget   int                  `json:"round_budget"`
+	Transmissions int                  `json:"transmissions"`
+	Deliveries    int                  `json:"deliveries"`
+	TraceLen      int                  `json:"trace_len"`
+	TraceSHA256   string               `json:"trace_sha256"`
+	Trace         []goldenTransmission `json:"trace,omitempty"`
+}
+
+// maxInlineTrace bounds the transmissions stored verbatim in a golden file;
+// larger traces (transcript payloads run to megabytes) keep only the digest.
+const maxInlineTrace = 600
+
+// goldenScenario builds a fresh option list per run so that stateful
+// adversaries (tamper, forge) restart identically for the parallel and
+// sequential executions.
+type goldenScenario struct {
+	name  string
+	graph func() *Graph
+	opts  func(g *Graph) []Option
+}
+
+func goldenScenarios(t *testing.T) []goldenScenario {
+	t.Helper()
+	alternating := func(n int) map[NodeID]Value {
+		m := make(map[NodeID]Value, n)
+		for i := 0; i < n; i++ {
+			m[NodeID(i)] = Value(i % 2)
+		}
+		return m
+	}
+	complete5 := func() *Graph {
+		g, err := Complete(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	return []goldenScenario{
+		{"algo1-figure1a-benign", Figure1a, func(g *Graph) []Option {
+			return []Option{WithFaults(1), WithInputs(alternating(g.N()))}
+		}},
+		{"algo1-figure1a-full-budget", Figure1a, func(g *Graph) []Option {
+			return []Option{WithFaults(1), WithInputs(alternating(g.N())), WithFullBudget()}
+		}},
+		{"algo1-figure1a-silent", Figure1a, func(g *Graph) []Option {
+			return []Option{WithFaults(1), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{2: NewSilentFault(2)})}
+		}},
+		{"algo1-figure1a-tamper", Figure1a, func(g *Graph) []Option {
+			return []Option{WithFaults(1), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{2: NewTamperFault(g, 2, PhaseRounds(g), 42)})}
+		}},
+		{"algo1-figure1a-forge", Figure1a, func(g *Graph) []Option {
+			return []Option{WithFaults(1), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{2: adversary.NewForger(g, 2, PhaseRounds(g), 7)})}
+		}},
+		{"algo1-figure1b-f2-benign", Figure1b, func(g *Graph) []Option {
+			return []Option{WithFaults(2), WithInputs(alternating(g.N()))}
+		}},
+		{"algo1-figure1b-f2-tamper", Figure1b, func(g *Graph) []Option {
+			return []Option{WithFaults(2), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{1: NewTamperFault(g, 1, PhaseRounds(g), 9), 4: NewSilentFault(4)})}
+		}},
+		{"algo2-figure1a-benign", Figure1a, func(g *Graph) []Option {
+			return []Option{WithFaults(1), WithAlgorithm(Algorithm2), WithInputs(alternating(g.N()))}
+		}},
+		{"algo2-figure1b-tamper", Figure1b, func(g *Graph) []Option {
+			return []Option{WithFaults(2), WithAlgorithm(Algorithm2), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{3: NewTamperFault(g, 3, PhaseRounds(g), 5)})}
+		}},
+		{"algo3-k5-equivocate", complete5, func(g *Graph) []Option {
+			return []Option{WithFaults(1), WithEquivocating(1), WithAlgorithm(Algorithm3),
+				WithModel(Hybrid), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{4: NewEquivocatorFault(g, 4, PhaseRounds(g))}),
+				WithEquivocators(NewSet(4))}
+		}},
+	}
+}
+
+// runGolden executes one scenario once and captures the full observable run.
+func runGolden(t *testing.T, sc goldenScenario, sequential bool) goldenRun {
+	t.Helper()
+	g := sc.graph()
+	rec := &TraceRecorder{}
+	opts := append(sc.opts(g), WithObserver(rec))
+	if sequential {
+		opts = append(opts, WithSequential())
+	}
+	s, err := NewSession(g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := goldenRun{
+		Decisions:     res.Decisions,
+		Agreement:     res.Agreement,
+		Validity:      res.Validity,
+		Termination:   res.Termination,
+		Rounds:        res.Rounds,
+		RoundBudget:   res.RoundBudget,
+		Transmissions: res.Transmissions,
+		Deliveries:    res.Deliveries,
+	}
+	h := sha256.New()
+	recs := rec.Transmissions()
+	out.TraceLen = len(recs)
+	for _, tr := range recs {
+		gt := goldenTransmission{
+			Round:     tr.Round,
+			From:      tr.From,
+			Receivers: tr.Receivers,
+			Payload:   tr.Payload.Key(),
+		}
+		line, err := json.Marshal(gt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(line)
+		h.Write([]byte{'\n'})
+		if len(recs) <= maxInlineTrace {
+			out.Trace = append(out.Trace, gt)
+		}
+	}
+	out.TraceSHA256 = hex.EncodeToString(h.Sum(nil))
+	return out
+}
+
+func goldenJSON(t *testing.T, run goldenRun) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(run); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenParity(t *testing.T) {
+	for _, sc := range goldenScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", sc.name+".json")
+			parallel := goldenJSON(t, runGolden(t, sc, false))
+			sequential := goldenJSON(t, runGolden(t, sc, true))
+			// Engine parallelism must never affect the execution.
+			if !bytes.Equal(parallel, sequential) {
+				t.Fatalf("parallel and sequential executions diverge:\nparallel:   %s\nsequential: %s", parallel, sequential)
+			}
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, parallel, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(parallel, want) {
+				t.Errorf("execution diverges from golden %s\ngot:  %s\nwant: %s", path, parallel, want)
+			}
+		})
+	}
+}

@@ -22,16 +22,16 @@ import (
 // Report is the outcome of a feasibility check: the verdict plus the
 // individual condition evaluations.
 type Report struct {
-	OK         bool
-	Conditions []Condition
+	OK         bool        `json:"ok"`
+	Conditions []Condition `json:"conditions"`
 }
 
 // Condition is one evaluated requirement.
 type Condition struct {
-	Name     string
-	Required int
-	Actual   int
-	OK       bool
+	Name     string `json:"name"`
+	Required int    `json:"required"`
+	Actual   int    `json:"actual"`
+	OK       bool   `json:"ok"`
 }
 
 // String renders the report in one line per condition.

@@ -1,0 +1,25 @@
+// Package cliutil holds the output helpers shared by the cmd/ tools, so
+// every command's -json mode emits the same encoding (two-space indented,
+// trailing newline) and text/JSON selection follows one pattern.
+package cliutil
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON encodes v in the tools' canonical JSON form.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Emit writes v as JSON when jsonOut is set and otherwise renders the
+// human-readable form via text.
+func Emit(w io.Writer, jsonOut bool, v any, text func(io.Writer) error) error {
+	if jsonOut {
+		return WriteJSON(w, v)
+	}
+	return text(w)
+}

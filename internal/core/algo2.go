@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,14 +55,31 @@ type TranscriptBody struct {
 
 var _ flood.Body = TranscriptBody{}
 
-// Key returns the full canonical identity (observed node plus transcript).
+// Key returns the full canonical identity (observed node plus transcript),
+// rendered as "tr:<observed>:<entries joined by ;>".
 func (b TranscriptBody) Key() string {
-	return fmt.Sprintf("tr:%d:%s", b.Observed, strings.Join(b.Entries, ";"))
+	obs := strconv.Itoa(int(b.Observed))
+	n := len("tr:") + len(obs) + 1
+	for _, e := range b.Entries {
+		n += len(e) + 1
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	sb.WriteString("tr:")
+	sb.WriteString(obs)
+	sb.WriteByte(':')
+	for i, e := range b.Entries {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(e)
+	}
+	return sb.String()
 }
 
 // Slot identifies the report instance independent of its content: one
 // transcript claim per (reporter, observed) pair.
-func (b TranscriptBody) Slot() string { return fmt.Sprintf("tr:%d", b.Observed) }
+func (b TranscriptBody) Slot() string { return "tr:" + strconv.Itoa(int(b.Observed)) }
 
 // DecisionBody is the phase-3 payload flooded by type B nodes.
 type DecisionBody struct {
@@ -73,7 +89,12 @@ type DecisionBody struct {
 var _ flood.Body = DecisionBody{}
 
 // Key returns the canonical identity.
-func (b DecisionBody) Key() string { return "d:" + b.Value.String() }
+func (b DecisionBody) Key() string {
+	if b.Value == sim.Zero {
+		return "d:0"
+	}
+	return "d:1"
+}
 
 // Slot returns the per-origin instance id (one decision per node).
 func (DecisionBody) Slot() string { return "d" }
@@ -85,6 +106,13 @@ type EfficientNode struct {
 	f     int
 	input sim.Value
 
+	// arena is the per-run path arena shared by all three phases'
+	// flooding sessions (and by the synthetic zv-paths of reliable
+	// transcript grouping).
+	arena *graph.PathArena
+	// paths memoizes the fault-identification walk layouts, shared by all
+	// nodes of an execution (see NewEfficientNodeShared).
+	paths   *graph.DisjointPathsCache
 	flooder *flood.Flooder
 	round   int
 
@@ -93,8 +121,8 @@ type EfficientNode struct {
 	heard map[graph.NodeID][]string // neighbor -> ordered transmission keys
 	sent  []string                  // own ordered transmission keys
 
-	phase1Receipts []flood.Receipt
-	phase2Receipts []flood.Receipt
+	phase1Receipts *flood.ReceiptStore
+	phase2Receipts *flood.ReceiptStore
 
 	// Post-phase-2 state.
 	identified graph.Set // identified faulty nodes
@@ -111,6 +139,32 @@ type EfficientNode struct {
 type transcriptInfo struct {
 	known   bool
 	entries []string
+	// index maps a transmission key to its first well-formed occurrence,
+	// built lazily for the fault-identification walks (which probe two
+	// keys per path node; a linear rescan per probe is quadratic).
+	index map[string]entryHit
+}
+
+// entryHit locates a transcript entry: its recorded round and its position
+// in the entry list.
+type entryHit struct{ round, pos int }
+
+// hit returns the first transcript occurrence of key, if any.
+func (ti *transcriptInfo) hit(key string) (entryHit, bool) {
+	if ti.index == nil {
+		ti.index = make(map[string]entryHit, len(ti.entries))
+		for pos, e := range ti.entries {
+			r, k, ok := splitEntry(e)
+			if !ok {
+				continue
+			}
+			if _, dup := ti.index[k]; !dup {
+				ti.index[k] = entryHit{round: r, pos: pos}
+			}
+		}
+	}
+	h, ok := ti.index[key]
+	return h, ok
 }
 
 type relValue struct {
@@ -126,11 +180,22 @@ var (
 // NewEfficientNode builds a non-faulty Algorithm 2 node. The graph must be
 // 2f-connected (Theorem 5.6); the constructor does not re-verify this.
 func NewEfficientNode(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *EfficientNode {
+	return NewEfficientNodeShared(g, f, me, input, graph.NewDisjointPathsCache(g))
+}
+
+// NewEfficientNodeShared is NewEfficientNode with a caller-supplied
+// disjoint-paths cache. Passing one cache to every node of an execution
+// computes each of fault identification's n² max-flow walk layouts once
+// per run instead of once per node; the cache is concurrency-safe and
+// never affects results.
+func NewEfficientNodeShared(g *graph.Graph, f int, me graph.NodeID, input sim.Value, paths *graph.DisjointPathsCache) *EfficientNode {
 	return &EfficientNode{
 		g:           g,
 		me:          me,
 		f:           f,
 		input:       input,
+		arena:       graph.NewPathArena(g),
+		paths:       paths,
 		heard:       make(map[graph.NodeID][]string),
 		transcripts: make(map[graph.NodeID]*transcriptInfo),
 		relValues:   make(map[graph.NodeID]*relValue),
@@ -184,7 +249,7 @@ func (nd *EfficientNode) stepPhase1(r int, inbox []sim.Delivery) []sim.Outgoing 
 	var out []sim.Outgoing
 	switch r {
 	case 0:
-		nd.flooder = flood.New(nd.g, nd.me)
+		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
 		out = nd.flooder.Start(flood.ValueBody{Value: nd.input})
 	case 1:
 		out = nd.flooder.Deliver(inbox)
@@ -196,7 +261,7 @@ func (nd *EfficientNode) stepPhase1(r int, inbox []sim.Delivery) []sim.Outgoing 
 	}
 	nd.recordSent(r, out)
 	if r == flood.Rounds(nd.g.N())-1 {
-		nd.phase1Receipts = nd.flooder.Receipts()
+		nd.phase1Receipts = nd.flooder.Store()
 	}
 	return out
 }
@@ -204,7 +269,7 @@ func (nd *EfficientNode) stepPhase1(r int, inbox []sim.Delivery) []sim.Outgoing 
 func (nd *EfficientNode) stepPhase2(r int, inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	if r == 0 {
-		nd.flooder = flood.New(nd.g, nd.me)
+		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
 		bodies := make([]flood.Body, 0, nd.g.Degree(nd.me))
 		for _, z := range nd.g.Neighbors(nd.me) {
 			entries := make([]string, len(nd.heard[z]))
@@ -216,7 +281,7 @@ func (nd *EfficientNode) stepPhase2(r int, inbox []sim.Delivery) []sim.Outgoing 
 		out = nd.flooder.Deliver(inbox)
 	}
 	if r == flood.Rounds(nd.g.N())-1 {
-		nd.phase2Receipts = nd.flooder.Receipts()
+		nd.phase2Receipts = nd.flooder.Store()
 		nd.identifyFaults()
 		nd.typeA = nd.identified.Len() >= nd.f && nd.f > 0
 	}
@@ -226,7 +291,7 @@ func (nd *EfficientNode) stepPhase2(r int, inbox []sim.Delivery) []sim.Outgoing 
 func (nd *EfficientNode) stepPhase3(r int, inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	if r == 0 {
-		nd.flooder = flood.New(nd.g, nd.me)
+		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
 		if !nd.typeA {
 			// Type B: decide the majority of reliably received input
 			// values (ties go to 0) and flood the decision.
@@ -255,7 +320,7 @@ func (nd *EfficientNode) finish() {
 		if nd.identified.Contains(r.Origin) {
 			continue // decision claimed by a known-faulty node
 		}
-		if !r.Path.Excludes(nd.identified) {
+		if !nd.arena.ExcludesInternal(r.PathID, nd.identified) {
 			continue // a faulty relay could have tampered
 		}
 		nd.decision = db.Value
@@ -272,7 +337,7 @@ func (nd *EfficientNode) finish() {
 // strings (the synchronous engine delivers everything one round after
 // transmission).
 func transcriptEntry(round int, key string) string {
-	return fmt.Sprintf("%d|%s", round, key)
+	return strconv.Itoa(round) + "|" + key
 }
 
 // splitEntry recovers (round, key) from a transcript entry; ok is false
@@ -289,13 +354,24 @@ func splitEntry(e string) (round int, key string, ok bool) {
 	return r, e[i+1:], true
 }
 
+// msgKey renders a message's canonical identity, reusing the arena's
+// cached path keys when the carried Π is a real path; forged provenance
+// (not internable) falls back to the allocating rendering, so transcript
+// content is identical either way.
+func (nd *EfficientNode) msgKey(m flood.Msg) string {
+	if pid := nd.arena.Intern(m.Pi); pid != graph.NoPath {
+		return m.Body.Key() + "@" + nd.arena.Key(pid)
+	}
+	return m.Key()
+}
+
 // recordHeard appends every phase-1 flood transmission heard from each
 // neighbor to the per-neighbor transcript log. stepRound is the round the
 // inbox was *delivered* in; the transmissions happened one round earlier.
 func (nd *EfficientNode) recordHeard(stepRound int, inbox []sim.Delivery) {
 	for _, d := range inbox {
 		if m, ok := d.Payload.(flood.Msg); ok {
-			nd.heard[d.From] = append(nd.heard[d.From], transcriptEntry(stepRound-1, m.Key()))
+			nd.heard[d.From] = append(nd.heard[d.From], transcriptEntry(stepRound-1, nd.msgKey(m)))
 		}
 	}
 }
@@ -305,7 +381,7 @@ func (nd *EfficientNode) recordHeard(stepRound int, inbox []sim.Delivery) {
 func (nd *EfficientNode) recordSent(stepRound int, out []sim.Outgoing) {
 	for _, o := range out {
 		if m, ok := o.Payload.(flood.Msg); ok {
-			nd.sent = append(nd.sent, transcriptEntry(stepRound, m.Key()))
+			nd.sent = append(nd.sent, transcriptEntry(stepRound, nd.msgKey(m)))
 		}
 	}
 }
@@ -328,15 +404,7 @@ func (nd *EfficientNode) computeReliableValue(u graph.NodeID) (sim.Value, bool) 
 	if nd.g.HasEdge(u, nd.me) {
 		// Clause 2: direct neighbors hear the initiation (or apply the
 		// default substitution) themselves.
-		direct := graph.Path{u, nd.me}.Key()
-		for _, r := range nd.phase1Receipts {
-			if r.Origin == u && r.Path.Key() == direct {
-				if v, ok := r.Value(); ok {
-					return v, true
-				}
-			}
-		}
-		return 0, false
+		return nd.phase1Receipts.ValueAt(nd.arena.Intern(graph.Path{u, nd.me}))
 	}
 	// Clause 3: identical value along f+1 internally-disjoint uv-paths.
 	for _, delta := range []sim.Value{sim.Zero, sim.One} {
@@ -351,18 +419,19 @@ func (nd *EfficientNode) computeReliableValue(u graph.NodeID) (sim.Value, bool) 
 	return 0, false
 }
 
-// reliableTranscript returns z's complete ordered phase-1 transcript if it
-// is reliably known to this node: own log for itself and for direct
-// neighbors, otherwise an identical transcript claim received along f+1
-// internally-disjoint zv-paths (each path being z, then a reporting
-// neighbor of z, then the report flood's relay path).
-func (nd *EfficientNode) reliableTranscript(z graph.NodeID) ([]string, bool) {
+// reliableTranscriptInfo returns the cached record of z's complete ordered
+// phase-1 transcript, if it is reliably known to this node: own log for
+// itself and for direct neighbors, otherwise an identical transcript claim
+// received along f+1 internally-disjoint zv-paths (each path being z, then
+// a reporting neighbor of z, then the report flood's relay path).
+func (nd *EfficientNode) reliableTranscriptInfo(z graph.NodeID) *transcriptInfo {
 	if c, ok := nd.transcripts[z]; ok {
-		return c.entries, c.known
+		return c
 	}
 	entries, known := nd.computeReliableTranscript(z)
-	nd.transcripts[z] = &transcriptInfo{known: known, entries: entries}
-	return entries, known
+	ti := &transcriptInfo{known: known, entries: entries}
+	nd.transcripts[z] = ti
+	return ti
 }
 
 func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bool) {
@@ -379,7 +448,7 @@ func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bo
 		paths []flood.Receipt // synthetic receipts with the z-prefixed path
 	}
 	groups := make(map[string]*claimGroup)
-	for _, r := range nd.phase2Receipts {
+	for i, r := range nd.phase2Receipts.All() {
 		tb, ok := r.Body.(TranscriptBody)
 		if !ok || tb.Observed != z {
 			continue
@@ -387,19 +456,22 @@ func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bo
 		// The reporter (flood origin) must be a neighbor of z, and z must
 		// not appear on the relay path, otherwise z·path is not a simple
 		// zv-path.
-		if !nd.g.HasEdge(r.Origin, z) || r.Path.Contains(z) {
+		if !nd.g.HasEdge(r.Origin, z) || nd.arena.Contains(r.PathID, z) {
 			continue
 		}
-		key := tb.Key()
+		key := nd.phase2Receipts.BodyKey(i)
 		grp, ok := groups[key]
 		if !ok {
 			grp = &claimGroup{body: tb}
 			groups[key] = grp
 		}
-		zp := make(graph.Path, 0, len(r.Path)+1)
+		// Intern the synthetic zv-path z·relay; it is a valid simple path
+		// (z–reporter is an edge, z is not on the relay path).
+		relay := nd.phase2Receipts.Path(r)
+		zp := make(graph.Path, 0, len(relay)+1)
 		zp = append(zp, z)
-		zp = append(zp, r.Path...)
-		grp.paths = append(grp.paths, flood.Receipt{Origin: z, Path: zp, Body: tb})
+		zp = append(zp, relay...)
+		grp.paths = append(grp.paths, flood.Receipt{Origin: z, PathID: nd.arena.Intern(zp), Body: tb})
 	}
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
@@ -408,7 +480,7 @@ func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bo
 	sort.Strings(keys)
 	for _, k := range keys {
 		grp := groups[k]
-		if flood.SelectDisjoint(grp.paths, nd.f+1, flood.InternallyDisjoint) != nil {
+		if flood.SelectDisjoint(nd.arena, grp.paths, nd.f+1, flood.InternallyDisjoint) != nil {
 			return grp.body.Entries, true
 		}
 	}
@@ -427,7 +499,7 @@ func (nd *EfficientNode) identifyFaults() {
 			if u == w {
 				continue
 			}
-			for _, p := range nd.g.DisjointPaths(w, u, 2*nd.f, nil) {
+			for _, p := range nd.paths.DisjointPaths(w, u, 2*nd.f) {
 				nd.walkPath(p, b)
 			}
 		}
@@ -450,6 +522,15 @@ func (nd *EfficientNode) walkPath(p graph.Path, b sim.Value) {
 	// Transmissions at rounds <= lastVisible are recorded by reporters
 	// (heard one round later, still inside phase 1).
 	lastVisible := flood.Rounds(nd.g.N()) - 2
+	// Intern the walked path once: every prefix p[:i] is then an ancestor
+	// entry whose canonical key is cached in the arena, instead of being
+	// re-joined from digits at every probe.
+	prefixIDs := make([]graph.PathID, len(p))
+	for at, i := nd.arena.Intern(p), len(p)-1; i >= 0; at, i = nd.arena.Parent(at), i-1 {
+		prefixIDs[i] = at
+	}
+	goodBody := flood.ValueBody{Value: b}.Key()
+	badBody := flood.ValueBody{Value: 1 - b}.Key()
 	prev := 0 // round of the established predecessor transmission
 	for i := 1; i < len(p)-1; i++ {
 		z := p[i]
@@ -460,29 +541,23 @@ func (nd *EfficientNode) walkPath(p graph.Path, b sim.Value) {
 			prev = due
 			continue
 		}
-		tr, known := nd.reliableTranscript(z)
-		if !known {
+		ti := nd.reliableTranscriptInfo(z)
+		if !ti.known {
 			// Not reliably observable ⇒ z is non-faulty (Lemma C.2
 			// contrapositive); its honest forward keeps the timeline.
 			prev = due
 			continue
 		}
-		prefix := p[:i] // the Π of z's expected forward
-		wantGood := flood.Msg{Body: flood.ValueBody{Value: b}, Pi: prefix}.Key()
-		wantBad := flood.Msg{Body: flood.ValueBody{Value: 1 - b}, Pi: prefix}.Key()
-		foundRound, foundKey := -1, ""
-		for _, e := range tr {
-			r, key, ok := splitEntry(e)
-			if !ok {
-				continue
-			}
-			if key == wantGood || key == wantBad {
-				foundRound, foundKey = r, key
-				break
-			}
-		}
+		// The Π of z's expected forward is p[:i]; the keys match
+		// flood.Msg.Key for (value, Π).
+		prefixKey := "@" + nd.arena.Key(prefixIDs[i-1])
+		gHit, gOK := ti.hit(goodBody + prefixKey)
+		bHit, bOK := ti.hit(badBody + prefixKey)
+		// The verdict reads z's FIRST transmission for this slot: the
+		// earlier transcript position wins when both contents appear.
+		tampered := bOK && (!gOK || bHit.pos < gHit.pos)
 		switch {
-		case foundKey == "":
+		case !gOK && !bOK:
 			if due <= lastVisible {
 				// Obligated inside the observable window but silent.
 				nd.identified.Add(z)
@@ -490,19 +565,19 @@ func (nd *EfficientNode) walkPath(p graph.Path, b sim.Value) {
 			// Otherwise the forward would fall outside the window:
 			// unobservable, no verdict.
 			return
-		case foundKey == wantBad:
+		case tampered:
 			// z's first transmission for this slot carried the flipped
 			// value: tampering (an honest node forwards exactly what the
 			// established predecessor content was).
 			nd.identified.Add(z)
 			return
-		case foundRound != due:
+		case gHit.round != due:
 			// Right value, wrong round: an honest node forwards exactly
 			// one round after its predecessor.
 			nd.identified.Add(z)
 			return
 		default:
-			prev = foundRound
+			prev = gHit.round
 		}
 	}
 }
@@ -562,8 +637,8 @@ func (nd *EfficientNode) majorityNonFaulty() sim.Value {
 // path that excludes the identified fault set. All such receipts agree,
 // because every internal node on such a path is non-faulty.
 func (nd *EfficientNode) valueAlongCleanPath(w graph.NodeID) (sim.Value, bool) {
-	for _, r := range nd.phase1Receipts {
-		if r.Origin != w || !r.Path.Excludes(nd.identified) {
+	for r := range nd.phase1Receipts.FromOrigin(w) {
+		if !nd.arena.ExcludesInternal(r.PathID, nd.identified) {
 			continue
 		}
 		if v, ok := r.Value(); ok {

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// BenchmarkPhaseNodeEndPhase isolates the steps (b)+(c) evaluation — the
+// per-phase query load over the receipt store (chosen-path reads and the
+// disjoint-receipt predicate) — on a complete Figure 1(b) flooding phase.
+func BenchmarkPhaseNodeEndPhase(b *testing.B) {
+	g := gen.Figure1b()
+	n := g.N()
+	f := 2
+	nodes := make([]sim.Node, n)
+	phaseNodes := make([]*PhaseNode, n)
+	for i := range nodes {
+		phaseNodes[i] = NewAlgo1Node(g, f, graph.NodeID(i), sim.Value(i%2))
+		phaseNodes[i].EnableEarlyDecision()
+		nodes[i] = phaseNodes[i]
+	}
+	eng, err := sim.NewEngine(sim.Config{Topology: sim.GraphTopology{G: g}}, nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	// Run one phase minus its final round, so the flooder holds a full
+	// session's receipts but endPhase has not fired yet.
+	eng.Run(PhaseRounds(n) - 1)
+	nd := phaseNodes[0]
+	input := nd.gamma
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reset the per-phase outputs so every iteration evaluates the
+		// same state.
+		nd.gamma = input
+		nd.earlyDecided = false
+		nd.endPhase()
+	}
+}

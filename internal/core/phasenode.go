@@ -25,6 +25,16 @@ type PhaseNode struct {
 	flooder      *flood.Flooder
 	decided      bool
 
+	// arena is the per-run path arena shared by every phase's flooding
+	// session: interned prefixes are reused phase over phase and PathIDs
+	// stay stable, which lets stepB cache chosen paths as integers.
+	arena *graph.PathArena
+	// stepB caches the deterministic step-(b) path choice per (origin,
+	// exclusion set). Phases with equal F∪T (every Algorithm 3 run has
+	// many) then skip the BFS entirely, and the cached PathID makes the
+	// receipt read an O(1) index lookup.
+	stepB map[stepBKey]graph.PathID
+
 	// Early-decision support (EnableEarlyDecision). phaseStartGamma is
 	// the value flooded in the current phase; earlyDecided/earlyValue
 	// latch a decision reached before the final phase via the observed
@@ -34,6 +44,15 @@ type PhaseNode struct {
 	earlyDecided    bool
 	earlyValue      sim.Value
 	phaseStartGamma sim.Value
+}
+
+// stepBKey identifies one step-(b) choice: the origin u and the exclusion
+// set F∪T, as a bitmask when the arena is exact (n ≤ 64) and as the
+// canonical set string otherwise.
+type stepBKey struct {
+	u    graph.NodeID
+	mask uint64
+	excl string
 }
 
 var (
@@ -60,6 +79,8 @@ func newPhaseNode(g *graph.Graph, f int, me graph.NodeID, input sim.Value, phase
 		f:      f,
 		phases: phases,
 		gamma:  input,
+		arena:  graph.NewPathArena(g),
+		stepB:  make(map[stepBKey]graph.PathID),
 	}
 }
 
@@ -122,7 +143,7 @@ func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 	switch nd.roundInPhase {
 	case 0:
 		// Step (a): initiate flooding of γv.
-		nd.flooder = flood.New(nd.g, nd.me)
+		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
 		nd.phaseStartGamma = nd.gamma
 		out = nd.flooder.Start(flood.ValueBody{Value: nd.gamma})
 	case 1:
@@ -151,8 +172,8 @@ func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 func (nd *PhaseNode) endPhase() {
 	spec := nd.phases[nd.phaseIdx]
 	excl := spec.F.Union(spec.T)
-	receipts := nd.flooder.Receipts()
-	if nd.earlyOK && !nd.earlyDecided && nd.observedUnanimity(receipts) {
+	st := nd.flooder.Store()
+	if nd.earlyOK && !nd.earlyDecided && nd.observedUnanimity(st) {
 		nd.earlyDecided = true
 		nd.earlyValue = nd.phaseStartGamma
 	}
@@ -167,7 +188,7 @@ func (nd *PhaseNode) endPhase() {
 		if spec.T.Contains(u) {
 			continue
 		}
-		val, ok := nd.valueAlongChosenPath(u, excl, receipts)
+		val, ok := nd.valueAlongChosenPath(u, excl, st)
 		if ok && val == sim.Zero {
 			zv.Add(u)
 		} else {
@@ -190,7 +211,7 @@ func (nd *PhaseNode) endPhase() {
 			BodyKey: flood.ValueBody{Value: delta}.Key(),
 			Exclude: excl,
 		}
-		if flood.ReceivedOnDisjointPaths(receipts, fil, nd.f+1, flood.DisjointExceptLast) {
+		if flood.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.DisjointExceptLast) {
 			nd.gamma = delta
 			return
 		}
@@ -204,7 +225,7 @@ func (nd *PhaseNode) endPhase() {
 // disjoint paths has a fault-free interior, so a matching receipt proves
 // the origin really flooded x — over all origins, that every non-faulty
 // node's state is x.
-func (nd *PhaseNode) observedUnanimity(receipts []flood.Receipt) bool {
+func (nd *PhaseNode) observedUnanimity(st *flood.ReceiptStore) bool {
 	want := flood.ValueBody{Value: nd.phaseStartGamma}.Key()
 	for _, u := range nd.g.Nodes() {
 		if u == nd.me {
@@ -214,7 +235,7 @@ func (nd *PhaseNode) observedUnanimity(receipts []flood.Receipt) bool {
 			Origins: graph.NewSet(u),
 			BodyKey: want,
 		}
-		if !flood.ReceivedOnDisjointPaths(receipts, fil, nd.f+1, flood.InternallyDisjoint) {
+		if !flood.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.InternallyDisjoint) {
 			return false
 		}
 	}
@@ -242,29 +263,41 @@ func selectAvBv(zv, nv, fSet graph.Set, f, phi int) (av, bv graph.Set) {
 	}
 }
 
+// chosenPath returns the interned step-(b) path choice for origin u under
+// exclusion set excl, NoPath if none exists. The BFS runs once per
+// distinct (u, excl) over the node's whole run.
+func (nd *PhaseNode) chosenPath(u graph.NodeID, excl graph.Set) graph.PathID {
+	key := stepBKey{u: u}
+	if nd.arena.Exact() {
+		key.mask = graph.SetMask(excl)
+	} else {
+		key.excl = excl.String()
+	}
+	if pid, ok := nd.stepB[key]; ok {
+		return pid
+	}
+	pid := graph.NoPath
+	if puv := nd.g.ShortestPathExcluding(u, nd.me, excl); puv != nil {
+		pid = nd.arena.Intern(puv)
+	}
+	nd.stepB[key] = pid
+	return pid
+}
+
 // valueAlongChosenPath implements the step-(b) read: choose a single
 // uv-path excluding excl (BFS-shortest, hence identical across phases and
 // runs) and return the value recorded along exactly that path, if any.
-func (nd *PhaseNode) valueAlongChosenPath(u graph.NodeID, excl graph.Set, receipts []flood.Receipt) (sim.Value, bool) {
+func (nd *PhaseNode) valueAlongChosenPath(u graph.NodeID, excl graph.Set, st *flood.ReceiptStore) (sim.Value, bool) {
 	if u == nd.me {
 		return nd.gamma, true
 	}
-	puv := nd.g.ShortestPathExcluding(u, nd.me, excl)
-	if puv == nil {
+	pid := nd.chosenPath(u, excl)
+	if pid == graph.NoPath {
 		// Cannot happen on graphs satisfying the theorem's conditions
 		// (Lemma 5.4 / D.4); treat as "nothing received".
 		return 0, false
 	}
-	want := puv.Key()
-	for _, r := range receipts {
-		if r.Origin != u || r.Path.Key() != want {
-			continue
-		}
-		if v, ok := r.Value(); ok {
-			return v, true
-		}
-	}
-	return 0, false
+	return st.ValueAt(pid)
 }
 
 // String renders a compact description for traces.

@@ -145,6 +145,10 @@ func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) (o
 		Algorithm: cfg.Algorithm,
 		Inputs:    inputs,
 		Byzantine: byz,
+		// When trials run in parallel, stepping each trial's nodes
+		// sequentially avoids oversubscription; a single-worker sweep
+		// keeps node-level parallelism. Never affects results.
+		Sequential: effectiveWorkers(cfg.Workers, cfg.Trials) > 1,
 	})
 	if err != nil {
 		out.err = err

@@ -171,8 +171,12 @@ func (s Spec) HonestFactory() adversary.HonestFactory {
 	early := !s.FullBudget
 	switch s.Algorithm {
 	case Algo2:
+		// One disjoint-paths cache per run: every node shares the
+		// fault-identification walk layouts instead of recomputing the
+		// same max-flows.
+		paths := graph.NewDisjointPathsCache(s.G)
 		return func(u graph.NodeID, input sim.Value) sim.Node {
-			return core.NewEfficientNode(s.G, s.F, u, input)
+			return core.NewEfficientNodeShared(s.G, s.F, u, input, paths)
 		}
 	case Algo3:
 		return func(u graph.NodeID, input sim.Value) sim.Node {
@@ -266,6 +270,7 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, fmt.Errorf("eval: %w", err)
 	}
+	defer eng.Close()
 	budget := spec.Rounds
 	if budget == 0 {
 		budget = spec.DefaultRounds()

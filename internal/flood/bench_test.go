@@ -1,0 +1,119 @@
+package flood
+
+import (
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// The micro-benchmarks isolate the flooding hot paths so the compact
+// message-identity layer's wins are attributable: Deliver (interning +
+// integer dedup + receipt recording), Candidates (indexed filtering), and
+// SelectDisjoint (mask-based backtracking).
+
+// recordedRounds captures, for one observer node, the complete per-round
+// inbox stream of a fault-free all-origins flooding session on g.
+func recordedRounds(b *testing.B, g *graph.Graph, me graph.NodeID) [][]sim.Delivery {
+	b.Helper()
+	n := g.N()
+	flooders := make([]*Flooder, n)
+	rounds := make([][]sim.Delivery, 0, Rounds(n))
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		flooders[i] = New(g, graph.NodeID(i))
+	}
+	inboxes := make([][]sim.Delivery, n)
+	for r := 0; r < Rounds(n); r++ {
+		rounds = append(rounds, append([]sim.Delivery(nil), inboxes[me]...))
+		outs := make([][]sim.Outgoing, n)
+		for i := range flooders {
+			if r == 0 {
+				outs[i] = flooders[i].Start(ValueBody{Value: sim.Value(i % 2)})
+				continue
+			}
+			// Copy: Deliver's buffer is reused, but we fan it out below.
+			outs[i] = append([]sim.Outgoing(nil), flooders[i].Deliver(inboxes[i])...)
+		}
+		next := make([][]sim.Delivery, n)
+		for i, out := range outs {
+			for _, o := range out {
+				for _, rcv := range g.Neighbors(graph.NodeID(i)) {
+					next[rcv] = append(next[rcv], sim.Delivery{From: graph.NodeID(i), Payload: o.Payload})
+				}
+			}
+		}
+		inboxes = next
+	}
+	return rounds
+}
+
+// benchDeliver replays a recorded inbox stream against a fresh flooder.
+func benchDeliver(b *testing.B, g *graph.Graph, me graph.NodeID) {
+	b.Helper()
+	rounds := recordedRounds(b, g, me)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := New(g, me)
+		f.Start(ValueBody{Value: sim.One})
+		for _, inbox := range rounds {
+			f.Deliver(inbox)
+		}
+	}
+}
+
+func BenchmarkFlooderDeliverFigure1b(b *testing.B) {
+	benchDeliver(b, gen.Figure1b(), 0)
+}
+
+func BenchmarkFlooderDeliverHarary(b *testing.B) {
+	g, err := gen.Harary(4, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDeliver(b, g, 0)
+}
+
+// sessionStore floods every origin through g and returns node me's store.
+func sessionStore(b *testing.B, g *graph.Graph, me graph.NodeID) *ReceiptStore {
+	b.Helper()
+	rounds := recordedRounds(b, g, me)
+	f := New(g, me)
+	f.Start(ValueBody{Value: sim.One})
+	for _, inbox := range rounds {
+		f.Deliver(inbox)
+	}
+	return f.Store()
+}
+
+func BenchmarkCandidatesFigure1b(b *testing.B) {
+	g := gen.Figure1b()
+	st := sessionStore(b, g, 0)
+	fil := Filter{
+		Origins: graph.NewSet(4),
+		BodyKey: ValueBody{Value: sim.Value(0)}.Key(),
+		Exclude: graph.NewSet(2, 6),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Candidates(st, fil)) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+func BenchmarkSelectDisjointFigure1b(b *testing.B) {
+	g := gen.Figure1b()
+	st := sessionStore(b, g, 0)
+	cands := Candidates(st, Filter{Origins: graph.NewSet(4)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if SelectDisjoint(st.Arena(), cands, 3, InternallyDisjoint) == nil {
+			b.Fatal("selection must exist on C8(1,2)")
+		}
+	}
+}

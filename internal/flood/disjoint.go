@@ -17,7 +17,9 @@ import (
 // Both are exact set-packing searches by backtracking. Candidate counts are
 // small in this library's regime (n ≤ ~16, f ≤ 4) and the searches are
 // heavily pruned, so exact search is affordable; the existence guarantees
-// are Lemma 5.5 / D.5 and Lemma C.2.
+// are Lemma 5.5 / D.5 and Lemma C.2. Candidate filtering runs on the
+// store's origin index and the arena's path bitmasks, and the pairwise
+// disjointness tests inside the backtracking are O(1) mask intersections.
 
 // DisjointMode selects the disjointness notion of Section 3.
 type DisjointMode int
@@ -34,13 +36,13 @@ const (
 	DisjointExceptLast
 )
 
-// pairwiseOK reports whether paths a and b are disjoint under mode.
-func pairwiseOK(mode DisjointMode, a, b graph.Path) bool {
+// pairwiseOK reports whether interned paths a and b are disjoint under mode.
+func pairwiseOK(ar *graph.PathArena, mode DisjointMode, a, b graph.PathID) bool {
 	switch mode {
 	case InternallyDisjoint:
-		return graph.InternallyDisjoint(a, b)
+		return ar.InternallyDisjointIDs(a, b)
 	case DisjointExceptLast:
-		return graph.DisjointExceptLast(a, b)
+		return ar.DisjointExceptLastIDs(a, b)
 	default:
 		return false
 	}
@@ -58,37 +60,76 @@ type Filter struct {
 	Exclude graph.Set
 }
 
-// Candidates returns the receipts matching fil, deduplicated by path (the
-// first accepted content for a path is the relevant one; rule (ii) already
-// guarantees at most one content per (sender, slot, path)).
-func Candidates(receipts []Receipt, fil Filter) []Receipt {
-	seen := make(map[string]bool)
+// Candidates returns the store's receipts matching fil, deduplicated by
+// path (the first accepted content for a path is the relevant one; rule
+// (ii) already guarantees at most one content per (sender, slot, path)).
+// When fil.Origins is set, only the matching origin buckets are visited.
+func Candidates(st *ReceiptStore, fil Filter) []Receipt {
+	ar := st.Arena()
+	useMask := ar.Exact() && fil.Exclude.Len() > 0
+	var exclMask uint64
+	if useMask {
+		exclMask = graph.SetMask(fil.Exclude)
+	}
+	seen := make(map[graph.PathID]struct{})
 	var out []Receipt
-	for _, r := range receipts {
-		if fil.Origins != nil && !fil.Origins.Contains(r.Origin) {
-			continue
+	visit := func(i int32) {
+		r := st.receipts[i]
+		if fil.BodyKey != "" && st.bodyKeys[i] != fil.BodyKey {
+			return
 		}
-		if fil.BodyKey != "" && r.Body.Key() != fil.BodyKey {
-			continue
+		if useMask {
+			if !ar.ExcludesInternalMask(r.PathID, exclMask) {
+				return
+			}
+		} else if fil.Exclude != nil && !ar.ExcludesInternal(r.PathID, fil.Exclude) {
+			return
 		}
-		if fil.Exclude != nil && !r.Path.Excludes(fil.Exclude) {
-			continue
+		if _, dup := seen[r.PathID]; dup {
+			return
 		}
-		pk := r.Path.Key()
-		if seen[pk] {
-			continue
-		}
-		seen[pk] = true
+		seen[r.PathID] = struct{}{}
 		out = append(out, r)
+	}
+	if fil.Origins != nil {
+		// Gather the matching origin buckets and merge them back into
+		// global acceptance order, so the output order is identical to
+		// the pre-index flat-slice scan. A single bucket (the common
+		// query) is already in acceptance order.
+		var buckets [][]int32
+		for _, o := range fil.Origins.Slice() {
+			if int(o) < 0 || int(o) >= len(st.byOrigin) || len(st.byOrigin[o]) == 0 {
+				continue
+			}
+			buckets = append(buckets, st.byOrigin[o])
+		}
+		if len(buckets) == 1 {
+			for _, i := range buckets[0] {
+				visit(i)
+			}
+			return out
+		}
+		var idxs []int32
+		for _, b := range buckets {
+			idxs = append(idxs, b...)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, i := range idxs {
+			visit(i)
+		}
+		return out
+	}
+	for i := range st.receipts {
+		visit(int32(i))
 	}
 	return out
 }
 
 // SelectDisjoint searches for k pairwise-disjoint (under mode) receipt
-// paths among candidates. It returns one such selection, or nil if none
-// exists. The search is exact: if nil is returned, no k disjoint candidates
-// exist.
-func SelectDisjoint(candidates []Receipt, k int, mode DisjointMode) []Receipt {
+// paths among candidates, whose PathIDs must live in ar. It returns one
+// such selection, or nil if none exists. The search is exact: if nil is
+// returned, no k disjoint candidates exist.
+func SelectDisjoint(ar *graph.PathArena, candidates []Receipt, k int, mode DisjointMode) []Receipt {
 	if k <= 0 {
 		return []Receipt{}
 	}
@@ -99,7 +140,7 @@ func SelectDisjoint(candidates []Receipt, k int, mode DisjointMode) []Receipt {
 	// the search tree.
 	cs := make([]Receipt, len(candidates))
 	copy(cs, candidates)
-	sort.SliceStable(cs, func(i, j int) bool { return len(cs[i].Path) < len(cs[j].Path) })
+	sort.SliceStable(cs, func(i, j int) bool { return ar.PathLen(cs[i].PathID) < ar.PathLen(cs[j].PathID) })
 
 	chosen := make([]Receipt, 0, k)
 	var rec func(start int) bool
@@ -114,7 +155,7 @@ func SelectDisjoint(candidates []Receipt, k int, mode DisjointMode) []Receipt {
 		for i := start; i < len(cs); i++ {
 			ok := true
 			for _, c := range chosen {
-				if !pairwiseOK(mode, c.Path, cs[i].Path) {
+				if !pairwiseOK(ar, mode, c.PathID, cs[i].PathID) {
 					ok = false
 					break
 				}
@@ -138,10 +179,10 @@ func SelectDisjoint(candidates []Receipt, k int, mode DisjointMode) []Receipt {
 	return nil
 }
 
-// ReceivedOnDisjointPaths reports whether the receipts contain k
+// ReceivedOnDisjointPaths reports whether the store contains k
 // pairwise-disjoint paths (under mode) matching fil. This is the predicate
 // of step (c) ("v receives value δ along any f+1 node-disjoint Avv-paths
 // that exclude F") and of Definition C.1's third clause.
-func ReceivedOnDisjointPaths(receipts []Receipt, fil Filter, k int, mode DisjointMode) bool {
-	return SelectDisjoint(Candidates(receipts, fil), k, mode) != nil
+func ReceivedOnDisjointPaths(st *ReceiptStore, fil Filter, k int, mode DisjointMode) bool {
+	return SelectDisjoint(st.Arena(), Candidates(st, fil), k, mode) != nil
 }

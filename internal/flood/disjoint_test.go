@@ -9,81 +9,115 @@ import (
 	"lbcast/internal/sim"
 )
 
-func receipt(v sim.Value, path ...graph.NodeID) Receipt {
-	return Receipt{
-		Origin: path[0],
-		Path:   graph.Path(path),
-		Body:   ValueBody{Value: v},
+// testStore builds a ReceiptStore over a complete graph on n nodes, so any
+// sequence of distinct nodes is a valid simple path. n > 64 exercises the
+// arena's non-exact mask fallback.
+type testStore struct {
+	st *ReceiptStore
+}
+
+func newTestStore(t *testing.T, n int) *testStore {
+	t.Helper()
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
+	return &testStore{st: NewReceiptStore(graph.NewPathArena(g))}
+}
+
+func (b *testStore) add(t *testing.T, v sim.Value, path ...graph.NodeID) Receipt {
+	t.Helper()
+	pid := b.st.Arena().Intern(graph.Path(path))
+	if pid == graph.NoPath {
+		t.Fatalf("path %v not internable", path)
+	}
+	r := Receipt{Origin: path[0], PathID: pid, Body: ValueBody{Value: v}}
+	b.st.Add(r)
+	return r
 }
 
 func TestCandidatesFiltering(t *testing.T) {
-	rs := []Receipt{
-		receipt(sim.One, 0, 1, 4),
-		receipt(sim.One, 0, 2, 4),
-		receipt(sim.Zero, 0, 3, 4),
-		receipt(sim.One, 5, 3, 4),
-		receipt(sim.One, 0, 1, 4), // duplicate path
-	}
-	got := Candidates(rs, Filter{Origins: graph.NewSet(0), BodyKey: ValueBody{Value: sim.One}.Key()})
+	b := newTestStore(t, 7)
+	b.add(t, sim.One, 0, 1, 4)
+	b.add(t, sim.One, 0, 2, 4)
+	b.add(t, sim.Zero, 0, 3, 4)
+	b.add(t, sim.One, 5, 3, 4)
+	b.add(t, sim.One, 0, 1, 4) // duplicate path
+	got := Candidates(b.st, Filter{Origins: graph.NewSet(0), BodyKey: ValueBody{Value: sim.One}.Key()})
 	if len(got) != 2 {
 		t.Fatalf("candidates = %v", got)
 	}
 	// Exclusion filter removes paths with internal members of the set.
-	got = Candidates(rs, Filter{Exclude: graph.NewSet(3)})
+	got = Candidates(b.st, Filter{Exclude: graph.NewSet(3)})
 	for _, r := range got {
-		if r.Path.Contains(3) && r.Path[0] != 3 && r.Path[len(r.Path)-1] != 3 {
-			t.Fatalf("excluded internal node survived: %v", r)
+		p := b.st.Path(r)
+		if p.Contains(3) && p[0] != 3 && p[len(p)-1] != 3 {
+			t.Fatalf("excluded internal node survived: %v", p)
 		}
 	}
 }
 
 func TestSelectDisjointExact(t *testing.T) {
+	b := newTestStore(t, 7)
+	ar := b.st.Arena()
 	// Three Uv-paths to 6; paths a and b disjoint, c conflicts with both.
-	a := receipt(sim.One, 0, 1, 6)
-	b := receipt(sim.One, 2, 3, 6)
-	c := receipt(sim.One, 4, 1, 6) // shares internal node 1 with a
-	d := receipt(sim.One, 4, 5, 6)
+	a := b.add(t, sim.One, 0, 1, 6)
+	bb := b.add(t, sim.One, 2, 3, 6)
+	c := b.add(t, sim.One, 4, 1, 6) // shares internal node 1 with a
+	d := b.add(t, sim.One, 4, 5, 6)
 
-	if got := SelectDisjoint([]Receipt{a, b, c}, 2, DisjointExceptLast); got == nil {
+	if got := SelectDisjoint(ar, []Receipt{a, bb, c}, 2, DisjointExceptLast); got == nil {
 		t.Fatal("2 disjoint exist (a,b) but not found")
 	}
-	if got := SelectDisjoint([]Receipt{a, c}, 2, DisjointExceptLast); got != nil {
+	if got := SelectDisjoint(ar, []Receipt{a, c}, 2, DisjointExceptLast); got != nil {
 		t.Fatalf("impossible selection returned %v", got)
 	}
-	if got := SelectDisjoint([]Receipt{a, b, c, d}, 3, DisjointExceptLast); got == nil {
+	if got := SelectDisjoint(ar, []Receipt{a, bb, c, d}, 3, DisjointExceptLast); got == nil {
 		t.Fatal("3 disjoint exist (a,b,d) but not found")
 	}
-	if got := SelectDisjoint([]Receipt{a, b, c, d}, 4, DisjointExceptLast); got != nil {
+	if got := SelectDisjoint(ar, []Receipt{a, bb, c, d}, 4, DisjointExceptLast); got != nil {
 		t.Fatal("4 disjoint cannot exist")
 	}
 }
 
 func TestSelectDisjointModes(t *testing.T) {
+	b := newTestStore(t, 7)
+	ar := b.st.Arena()
 	// uv-paths share BOTH endpoints: internally disjoint mode accepts
 	// them; except-last mode rejects (same origin).
-	a := receipt(sim.One, 0, 1, 6)
-	b := receipt(sim.One, 0, 2, 6)
-	if SelectDisjoint([]Receipt{a, b}, 2, InternallyDisjoint) == nil {
+	a := b.add(t, sim.One, 0, 1, 6)
+	bb := b.add(t, sim.One, 0, 2, 6)
+	if SelectDisjoint(ar, []Receipt{a, bb}, 2, InternallyDisjoint) == nil {
 		t.Fatal("internally disjoint uv-paths rejected")
 	}
-	if SelectDisjoint([]Receipt{a, b}, 2, DisjointExceptLast) != nil {
+	if SelectDisjoint(ar, []Receipt{a, bb}, 2, DisjointExceptLast) != nil {
 		t.Fatal("shared-origin paths accepted in Uv mode")
 	}
 }
 
 func TestSelectDisjointEdgeCases(t *testing.T) {
-	if got := SelectDisjoint(nil, 0, InternallyDisjoint); got == nil || len(got) != 0 {
+	ar := newTestStore(t, 3).st.Arena()
+	if got := SelectDisjoint(ar, nil, 0, InternallyDisjoint); got == nil || len(got) != 0 {
 		t.Fatal("k=0 should return empty selection")
 	}
-	if SelectDisjoint(nil, 1, InternallyDisjoint) != nil {
+	if SelectDisjoint(ar, nil, 1, InternallyDisjoint) != nil {
 		t.Fatal("no candidates should fail")
 	}
 }
 
 // TestQuickSelectDisjointSoundness: any selection returned is genuinely
-// pairwise disjoint; and a greedy baseline never beats the exact search.
+// pairwise disjoint; and the exact search is monotone in k. The 100-node
+// graph forces the arena beyond the 64-node exact-mask regime.
 func TestQuickSelectDisjointSoundness(t *testing.T) {
+	b := newTestStore(t, 100)
+	ar := b.st.Arena()
+	if ar.Exact() {
+		t.Fatal("100-node arena should not be mask-exact")
+	}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		dest := graph.NodeID(99)
@@ -104,10 +138,10 @@ func TestQuickSelectDisjointSoundness(t *testing.T) {
 				continue
 			}
 			p = append(p, dest)
-			cands = append(cands, Receipt{Origin: p[0], Path: p, Body: ValueBody{Value: sim.One}})
+			cands = append(cands, Receipt{Origin: p[0], PathID: ar.Intern(p), Body: ValueBody{Value: sim.One}})
 		}
 		for k := 1; k <= 4; k++ {
-			sel := SelectDisjoint(cands, k, DisjointExceptLast)
+			sel := SelectDisjoint(ar, cands, k, DisjointExceptLast)
 			if sel == nil {
 				continue
 			}
@@ -116,7 +150,7 @@ func TestQuickSelectDisjointSoundness(t *testing.T) {
 			}
 			for i := range sel {
 				for j := i + 1; j < len(sel); j++ {
-					if !graph.DisjointExceptLast(sel[i].Path, sel[j].Path) {
+					if !graph.DisjointExceptLast(ar.Path(sel[i].PathID), ar.Path(sel[j].PathID)) {
 						return false
 					}
 				}
@@ -124,8 +158,8 @@ func TestQuickSelectDisjointSoundness(t *testing.T) {
 		}
 		// Monotonicity: if k disjoint exist, k-1 must too.
 		for k := 4; k >= 2; k-- {
-			if SelectDisjoint(cands, k, DisjointExceptLast) != nil &&
-				SelectDisjoint(cands, k-1, DisjointExceptLast) == nil {
+			if SelectDisjoint(ar, cands, k, DisjointExceptLast) != nil &&
+				SelectDisjoint(ar, cands, k-1, DisjointExceptLast) == nil {
 				return false
 			}
 		}
@@ -137,16 +171,15 @@ func TestQuickSelectDisjointSoundness(t *testing.T) {
 }
 
 func TestReceivedOnDisjointPaths(t *testing.T) {
-	rs := []Receipt{
-		receipt(sim.One, 0, 1, 6),
-		receipt(sim.One, 2, 3, 6),
-		receipt(sim.Zero, 4, 5, 6),
-	}
+	b := newTestStore(t, 7)
+	b.add(t, sim.One, 0, 1, 6)
+	b.add(t, sim.One, 2, 3, 6)
+	b.add(t, sim.Zero, 4, 5, 6)
 	fil := Filter{BodyKey: ValueBody{Value: sim.One}.Key()}
-	if !ReceivedOnDisjointPaths(rs, fil, 2, DisjointExceptLast) {
+	if !ReceivedOnDisjointPaths(b.st, fil, 2, DisjointExceptLast) {
 		t.Fatal("two disjoint 1-receipts exist")
 	}
-	if ReceivedOnDisjointPaths(rs, fil, 3, DisjointExceptLast) {
+	if ReceivedOnDisjointPaths(b.st, fil, 3, DisjointExceptLast) {
 		t.Fatal("only two 1-receipts exist")
 	}
 }

@@ -20,12 +20,17 @@
 // phase-2 report flooding has one slot per (reporter, observed sender,
 // observed path) so that a faulty forwarder cannot smuggle two conflicting
 // contents for the same report past rule (ii).
+//
+// Message identity is compact: incoming paths are interned into a
+// graph.PathArena (validating rules (i) and (iii) in the same walk), the
+// rule-(ii) dedup map is keyed by an integer (sender, slot, path) struct
+// instead of a formatted string, and receipts are held in an indexed
+// ReceiptStore. Wire payloads still carry the explicit Π node sequence —
+// a Byzantine sender may forge any path, so identity must be established
+// by the receiver, not trusted from the wire.
 package flood
 
 import (
-	"fmt"
-	"strings"
-
 	"lbcast/internal/graph"
 	"lbcast/internal/sim"
 )
@@ -47,8 +52,14 @@ type ValueBody struct {
 
 var _ Body = ValueBody{}
 
-// Key returns the canonical identity.
-func (b ValueBody) Key() string { return "v:" + b.Value.String() }
+// Key returns the canonical identity (a static string: this runs on every
+// receipt record and body-key filter).
+func (b ValueBody) Key() string {
+	if b.Value == sim.Zero {
+		return "v:0"
+	}
+	return "v:1"
+}
 
 // Slot returns the per-origin instance id (a node floods one value).
 func (ValueBody) Slot() string { return "" }
@@ -68,10 +79,12 @@ func (m Msg) Key() string {
 
 // Receipt records one rule-(iv) acceptance: node v received Body along the
 // full origin→v path (the paper's "received value b along path Π·u",
-// extended with the receiving node so the path is a genuine uv-path).
+// extended with the receiving node so the path is a genuine uv-path). The
+// path is identified by its PathID in the owning ReceiptStore's arena;
+// materialize it with ReceiptStore.Path when rendering.
 type Receipt struct {
 	Origin graph.NodeID
-	Path   graph.Path // Path[0] == Origin, Path[len-1] == receiving node
+	PathID graph.PathID
 	Body   Body
 }
 
@@ -84,9 +97,13 @@ func (r Receipt) Value() (sim.Value, bool) {
 	return vb.Value, true
 }
 
-// String renders the receipt.
-func (r Receipt) String() string {
-	return fmt.Sprintf("%s along %s", r.Body.Key(), r.Path)
+// acceptKey is the rule-(ii) dedup key: (direct sender, slot, Π). The slot
+// string is interned to a small integer and Π is the PathID of the
+// message's carried path (NoPath for an initiation's empty Π).
+type acceptKey struct {
+	from graph.NodeID
+	slot int32
+	path graph.PathID
 }
 
 // Flooder is the per-node flooding state machine for one flooding session.
@@ -98,21 +115,39 @@ type Flooder struct {
 	g  *graph.Graph
 	me graph.NodeID
 
-	// accepted keys "sender|slot|pathKey" for rule (ii).
-	accepted map[string]bool
+	arena *graph.PathArena
+	// slots interns Body.Slot() strings for the integer dedup key.
+	slots map[string]int32
+	// accepted holds the rule-(ii) keys already taken.
+	accepted map[acceptKey]struct{}
 	// initiatedBy[u] is true once an initiation (empty Π) was accepted
 	// from neighbor u, used by the default-message rule.
 	initiatedBy map[graph.NodeID]bool
-	receipts    []Receipt
+	store       *ReceiptStore
+	// fwdBuf is the reused Deliver output buffer; its contents are valid
+	// until the next Deliver call.
+	fwdBuf []sim.Outgoing
 }
 
-// New creates a flooder for node me on graph g.
+// New creates a flooder for node me on graph g with a private path arena.
 func New(g *graph.Graph, me graph.NodeID) *Flooder {
+	return NewWithArena(g, me, graph.NewPathArena(g))
+}
+
+// NewWithArena creates a flooder sharing an existing arena. Multi-phase
+// protocols pass one per-run arena to every phase's flooder, so interned
+// prefixes are reused and PathIDs stay stable across phases. The arena is
+// not safe for concurrent use; sharing is per protocol node, not across
+// nodes.
+func NewWithArena(g *graph.Graph, me graph.NodeID, arena *graph.PathArena) *Flooder {
 	return &Flooder{
 		g:           g,
 		me:          me,
-		accepted:    make(map[string]bool),
+		arena:       arena,
+		slots:       make(map[string]int32),
+		accepted:    make(map[acceptKey]struct{}),
 		initiatedBy: make(map[graph.NodeID]bool),
+		store:       NewReceiptStore(arena),
 	}
 }
 
@@ -121,80 +156,101 @@ func New(g *graph.Graph, me graph.NodeID) *Flooder {
 // (a simple path has at most n nodes; rule (iii) stops anything longer).
 func Rounds(n int) int { return n + 1 }
 
+// slotID interns a slot string.
+func (f *Flooder) slotID(slot string) int32 {
+	if slot == "" {
+		return 0
+	}
+	if id, ok := f.slots[slot]; ok {
+		return id
+	}
+	id := int32(len(f.slots)) + 1
+	f.slots[slot] = id
+	return id
+}
+
 // Start returns the initiation transmissions for the given bodies and, for
 // each, records the trivial self receipt (the paper: "node v is deemed to
 // have received its own γv along path Pvv containing only node v").
 func (f *Flooder) Start(bodies ...Body) []sim.Outgoing {
 	out := make([]sim.Outgoing, 0, len(bodies))
+	self := f.arena.Root(f.me)
 	for _, b := range bodies {
-		f.receipts = append(f.receipts, Receipt{
-			Origin: f.me,
-			Path:   graph.Path{f.me},
-			Body:   b,
-		})
+		f.store.Add(Receipt{Origin: f.me, PathID: self, Body: b})
 		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: b, Pi: nil}})
 	}
 	return out
 }
 
 // Deliver applies rules (i)–(iv) to one round's inbox and returns the
-// forward transmissions. Non-flood payloads in the inbox are ignored.
+// forward transmissions. Non-flood payloads in the inbox are ignored. The
+// returned slice is reused by the next Deliver call; callers must not
+// retain it across rounds (the engine consumes it within the round).
 func (f *Flooder) Deliver(inbox []sim.Delivery) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := f.fwdBuf[:0]
 	for _, d := range inbox {
 		m, ok := d.Payload.(Msg)
 		if !ok {
 			continue
 		}
-		if fwd, accepted := f.deliverOne(d.From, m); accepted && fwd != nil {
-			out = append(out, *fwd)
+		if fwd, accepted := f.deliverOne(d.From, m); accepted {
+			out = append(out, fwd)
 		}
 	}
+	f.fwdBuf = out
 	return out
 }
 
-// deliverOne processes a single received message, returning the forward (or
-// nil if the message terminates at this node) and whether it was accepted.
-func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (*sim.Outgoing, bool) {
+// deliverOne processes a single received message, returning the forward
+// and whether it was accepted.
+func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (sim.Outgoing, bool) {
 	if m.Body == nil {
-		return nil, false
-	}
-	full := m.Pi.Append(from) // Π·u
-	// Rule (i): Π·u must be a simple path of G ending at the sender. (A
-	// faulty sender can only forge provenance along real paths ending at
-	// itself.)
-	if !full.ValidIn(f.g) || !full.IsSimple() {
-		return nil, false
+		return sim.Outgoing{}, false
 	}
 	// The direct sender must actually be a neighbor (self-deliveries are
 	// impossible too); the engine guarantees this, but a defensive check
 	// keeps the flooder safe when driven directly.
 	if !f.g.HasEdge(from, f.me) {
-		return nil, false
+		return sim.Outgoing{}, false
+	}
+	// Rule (i): Π·u must be a simple path of G ending at the sender. (A
+	// faulty sender can only forge provenance along real paths ending at
+	// itself.) Interning validates node membership, adjacency, and
+	// simplicity in one walk; shared prefixes resolve to O(1) lookups.
+	full := f.arena.Intern(m.Pi)
+	if len(m.Pi) > 0 && full == graph.NoPath {
+		return sim.Outgoing{}, false
+	}
+	full = f.arena.Extend(full, from) // Π·u (Root(u) for an initiation)
+	if full == graph.NoPath {
+		return sim.Outgoing{}, false
 	}
 	// Rule (ii): first content accepted for (sender, slot, Π) wins.
-	key := dedupKey(from, m.Body.Slot(), m.Pi)
-	if f.accepted[key] {
-		return nil, false
+	key := acceptKey{from: from, slot: f.slotID(m.Body.Slot()), path: f.arena.Parent(full)}
+	if _, dup := f.accepted[key]; dup {
+		return sim.Outgoing{}, false
 	}
-	// Rule (iii): discard if Π already contains me.
-	if m.Pi.Contains(f.me) {
-		return nil, false
+	// Rule (iii): discard if Π already contains me. Π·u contains me iff Π
+	// does — the sender u is a neighbor, never me.
+	if f.arena.Contains(full, f.me) {
+		return sim.Outgoing{}, false
 	}
-	f.accepted[key] = true
+	f.accepted[key] = struct{}{}
 	if len(m.Pi) == 0 {
 		f.initiatedBy[from] = true
 	}
 	// Rule (iv): record receipt along Π·u (·me) and forward (body, Π·u).
-	f.receipts = append(f.receipts, Receipt{
-		Origin: full[0],
-		Path:   full.Append(f.me),
+	// The receipt extension is valid by construction: from–me is an edge
+	// and me is not on Π·u.
+	f.store.Add(Receipt{
+		Origin: f.arena.Origin(full),
+		PathID: f.arena.Extend(full, f.me),
 		Body:   m.Body,
 	})
 	// A message whose path would exceed the graph cannot be extended
 	// further by anyone, but forwarding is still required so neighbors
 	// record their receipts.
-	return &sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: m.Body, Pi: full}}, true
+	return sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: m.Body, Pi: f.arena.Path(full)}}, true
 }
 
 // SynthesizeMissing applies the default-message rule of step (a): for every
@@ -207,31 +263,29 @@ func (f *Flooder) SynthesizeMissing(mk func(neighbor graph.NodeID) Body) []sim.O
 		if f.initiatedBy[u] {
 			continue
 		}
-		if fwd, accepted := f.deliverOne(u, Msg{Body: mk(u), Pi: nil}); accepted && fwd != nil {
-			out = append(out, *fwd)
+		if fwd, accepted := f.deliverOne(u, Msg{Body: mk(u), Pi: nil}); accepted {
+			out = append(out, fwd)
 		}
 	}
 	return out
 }
 
+// Store returns the flooder's indexed receipt store.
+func (f *Flooder) Store() *ReceiptStore { return f.store }
+
+// Arena returns the flooder's path arena.
+func (f *Flooder) Arena() *graph.PathArena { return f.arena }
+
 // Receipts returns all recorded receipts in acceptance order. The slice is
 // shared; callers must not modify it.
-func (f *Flooder) Receipts() []Receipt { return f.receipts }
+func (f *Flooder) Receipts() []Receipt { return f.store.All() }
 
 // ReceiptsFromOrigin returns receipts whose provenance path starts at
 // origin.
 func (f *Flooder) ReceiptsFromOrigin(origin graph.NodeID) []Receipt {
 	var out []Receipt
-	for _, r := range f.receipts {
-		if r.Origin == origin {
-			out = append(out, r)
-		}
+	for r := range f.store.FromOrigin(origin) {
+		out = append(out, r)
 	}
 	return out
-}
-
-func dedupKey(from graph.NodeID, slot string, pi graph.Path) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%s|%s", from, slot, pi.Key())
-	return sb.String()
 }

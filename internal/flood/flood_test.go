@@ -30,7 +30,7 @@ func TestStartRecordsSelfReceipt(t *testing.T) {
 		t.Fatalf("initiations = %v", out)
 	}
 	rs := f.Receipts()
-	if len(rs) != 1 || rs[0].Origin != 2 || rs[0].Path.Key() != "2" {
+	if len(rs) != 1 || rs[0].Origin != 2 || f.Store().Path(rs[0]).Key() != "2" {
 		t.Fatalf("self receipt = %v", rs)
 	}
 	if v, ok := rs[0].Value(); !ok || v != sim.One {
@@ -99,7 +99,7 @@ func TestRuleIVRecordsAndForwards(t *testing.T) {
 		t.Fatalf("forwarded Π = %v", out[0].Payload)
 	}
 	rs := f.Receipts()
-	if len(rs) != 1 || rs[0].Path.Key() != "0->1->2" || rs[0].Origin != 0 {
+	if len(rs) != 1 || f.Store().Path(rs[0]).Key() != "0->1->2" || rs[0].Origin != 0 {
 		t.Fatalf("receipt = %v", rs)
 	}
 }
@@ -146,7 +146,7 @@ func TestFullFloodOnEngine(t *testing.T) {
 	rs := flooders[2].ReceiptsFromOrigin(0)
 	keys := map[string]bool{}
 	for _, r := range rs {
-		keys[r.Path.Key()] = true
+		keys[flooders[2].Store().Path(r).Key()] = true
 		if v, ok := r.Value(); !ok || v != sim.One {
 			t.Fatalf("receipt value wrong: %v", r)
 		}

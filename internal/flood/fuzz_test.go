@@ -43,7 +43,7 @@ func TestQuickFlooderRejectsForgeries(t *testing.T) {
 		}
 		seenPaths := map[string]bool{}
 		for _, r := range f.Receipts() {
-			p := r.Path
+			p := f.Store().Path(r)
 			if p[len(p)-1] != me {
 				t.Logf("seed %d: receipt does not end at me: %v", seed, p)
 				return false
@@ -132,7 +132,7 @@ func TestQuickFloodFaultFreeDelivery(t *testing.T) {
 					t.Logf("seed %d: wrong value receipt %v", seed, r)
 					return false
 				}
-				got[r.Path.Key()] = true
+				got[flooders[i].Store().Path(r).Key()] = true
 			}
 			if len(got) != len(want) {
 				t.Logf("seed %d: node %d got %d paths, want %d (graph %v)", seed, me, len(got), len(want), g)

@@ -1,0 +1,105 @@
+package flood
+
+import (
+	"iter"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// ReceiptStore is an indexed collection of receipts sharing one PathArena.
+// It replaces the flat receipt slice the algorithms used to scan linearly:
+// step (b)'s "value along exactly this path" is an O(1) index lookup, and
+// the disjoint-path predicates only visit receipts of the queried origins.
+// Receipts keep their acceptance order, globally and within every index
+// bucket, so scans over the store reproduce the flat-slice iteration order
+// exactly.
+type ReceiptStore struct {
+	arena    *graph.PathArena
+	receipts []Receipt
+	// bodyKeys caches Receipt.Body.Key() per receipt: body keys are
+	// compared on every Candidates call, and some bodies (transcripts)
+	// rebuild long strings on every Key() call.
+	bodyKeys []string
+	// byOrigin[u] indexes the receipts whose path starts at u.
+	byOrigin [][]int32
+	// byPath indexes receipts by their full path. A path determines its
+	// origin (its first node), so the PathID alone is the key.
+	byPath map[graph.PathID][]int32
+}
+
+// NewReceiptStore returns an empty store over the given arena.
+func NewReceiptStore(arena *graph.PathArena) *ReceiptStore {
+	return &ReceiptStore{
+		arena:    arena,
+		byOrigin: make([][]int32, arena.Graph().N()),
+		byPath:   make(map[graph.PathID][]int32),
+	}
+}
+
+// Arena returns the store's path arena.
+func (s *ReceiptStore) Arena() *graph.PathArena { return s.arena }
+
+// Add appends a receipt. The receipt's PathID must be interned in the
+// store's arena and its Origin must be the path's first node.
+func (s *ReceiptStore) Add(r Receipt) {
+	i := int32(len(s.receipts))
+	s.receipts = append(s.receipts, r)
+	s.bodyKeys = append(s.bodyKeys, r.Body.Key())
+	s.byOrigin[r.Origin] = append(s.byOrigin[r.Origin], i)
+	s.byPath[r.PathID] = append(s.byPath[r.PathID], i)
+}
+
+// Len returns the number of receipts.
+func (s *ReceiptStore) Len() int { return len(s.receipts) }
+
+// All returns the receipts in acceptance order. The slice is shared;
+// callers must not modify it.
+func (s *ReceiptStore) All() []Receipt { return s.receipts }
+
+// BodyKey returns the cached canonical body identity of receipt index i.
+func (s *ReceiptStore) BodyKey(i int) string { return s.bodyKeys[i] }
+
+// Path materializes the receipt's full origin→receiver path. The returned
+// slice is shared (see graph.PathArena.Path); callers must not modify it.
+func (s *ReceiptStore) Path(r Receipt) graph.Path { return s.arena.Path(r.PathID) }
+
+// FromOrigin iterates, in acceptance order and without copying, over the
+// receipts whose provenance path starts at origin.
+func (s *ReceiptStore) FromOrigin(origin graph.NodeID) iter.Seq[Receipt] {
+	return func(yield func(Receipt) bool) {
+		if int(origin) < 0 || int(origin) >= len(s.byOrigin) {
+			return
+		}
+		for _, i := range s.byOrigin[origin] {
+			if !yield(s.receipts[i]) {
+				return
+			}
+		}
+	}
+}
+
+// ValueAt returns the binary value recorded along exactly the given path,
+// if a ValueBody receipt exists for it — the step-(b) read "the value
+// received along Puv". The path determines the origin (its first node).
+// First acceptance wins, matching the scan order of the former flat slice.
+func (s *ReceiptStore) ValueAt(path graph.PathID) (sim.Value, bool) {
+	for _, i := range s.byPath[path] {
+		if v, ok := s.receipts[i].Value(); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// AtPath iterates, in acceptance order and without copying, over the
+// receipts recorded along exactly the given path.
+func (s *ReceiptStore) AtPath(path graph.PathID) iter.Seq[Receipt] {
+	return func(yield func(Receipt) bool) {
+		for _, i := range s.byPath[path] {
+			if !yield(s.receipts[i]) {
+				return
+			}
+		}
+	}
+}

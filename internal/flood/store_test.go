@@ -1,0 +1,77 @@
+package flood
+
+import (
+	"iter"
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+func TestReceiptStoreIndexes(t *testing.T) {
+	b := newTestStore(t, 6)
+	st := b.st
+	r1 := b.add(t, sim.One, 0, 1, 5)
+	r2 := b.add(t, sim.Zero, 0, 2, 5)
+	b.add(t, sim.One, 3, 4, 5)
+	b.add(t, sim.One, 0, 1, 5) // same path as r1, later acceptance
+
+	if st.Len() != 4 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	if got := collect(st.FromOrigin(0)); len(got) != 3 {
+		t.Fatalf("FromOrigin(0) = %v", got)
+	}
+	if got := collect(st.FromOrigin(2)); got != nil {
+		t.Fatalf("FromOrigin(2) = %v", got)
+	}
+	// ValueAt returns the first acceptance along the exact path.
+	if v, ok := st.ValueAt(r1.PathID); !ok || v != sim.One {
+		t.Fatalf("ValueAt(r1) = %v %v", v, ok)
+	}
+	if v, ok := st.ValueAt(r2.PathID); !ok || v != sim.Zero {
+		t.Fatalf("ValueAt(r2) = %v %v", v, ok)
+	}
+	if _, ok := st.ValueAt(st.Arena().Intern(graph.Path{0, 4, 5})); ok {
+		t.Fatal("value along unreceived path")
+	}
+	if got := collect(st.AtPath(r1.PathID)); len(got) != 2 {
+		t.Fatalf("AtPath(r1) = %v", got)
+	}
+	// Acceptance order is preserved globally and per index bucket.
+	all := st.All()
+	for i := 1; i < len(all); i++ {
+		if st.BodyKey(i) == "" {
+			t.Fatal("missing cached body key")
+		}
+	}
+}
+
+func TestReceiptStoreNonValueBodies(t *testing.T) {
+	b := newTestStore(t, 4)
+	st := b.st
+	pid := st.Arena().Intern(graph.Path{0, 1})
+	st.Add(Receipt{Origin: 0, PathID: pid, Body: testBody{slot: "s", key: "k1"}})
+	if _, ok := st.ValueAt(pid); ok {
+		t.Fatal("non-value body returned a value")
+	}
+	st.Add(Receipt{Origin: 0, PathID: pid, Body: ValueBody{Value: sim.One}})
+	if v, ok := st.ValueAt(pid); !ok || v != sim.One {
+		t.Fatal("value body after non-value body not found")
+	}
+}
+
+// testBody is a minimal non-value Body.
+type testBody struct{ slot, key string }
+
+func (b testBody) Key() string  { return b.key }
+func (b testBody) Slot() string { return b.slot }
+
+// collect drains an iterator into a slice.
+func collect(seq iter.Seq[Receipt]) []Receipt {
+	var out []Receipt
+	for r := range seq {
+		out = append(out, r)
+	}
+	return out
+}

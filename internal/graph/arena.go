@@ -1,0 +1,292 @@
+package graph
+
+import "strconv"
+
+// This file implements the compact path-identity layer: a PathArena interns
+// simple paths of one graph with prefix sharing, so that every distinct path
+// has exactly one stable integer PathID and extending a known path by one
+// node is an O(1) map lookup (or append). The flooding machinery generates
+// one message per simple path — exponential in n — and keying dedup maps and
+// receipt indexes by PathID instead of formatted strings removes both the
+// string building and the hashing of long keys from the hot path.
+//
+// Every interned entry is, by construction, a valid simple path of the
+// arena's graph: Root and Extend validate membership, adjacency, and
+// node-repetition before interning, and Intern walks a candidate path
+// through them. Queries (Contains, Excludes*, disjointness) run on a
+// per-entry node bitmask, exact when the graph has at most 64 nodes and a
+// conservative filter (confirmed by a parent-chain walk) above that.
+//
+// A PathArena is NOT safe for concurrent use; each protocol node owns one
+// arena for its whole run (all flooding phases), which also makes PathIDs
+// stable across phases.
+
+// PathID is the stable integer identity of an interned path.
+type PathID int32
+
+// NoPath is the sentinel for "no such path": failed interning, an empty
+// path, or the parent of a single-node path.
+const NoPath PathID = -1
+
+// pathEntry is one interned path: its last node plus the PathID of the
+// prefix without that node. Child entries of a parent are kept on an
+// intrusive linked list (firstChild/nextSib): per-parent fan-out is
+// bounded by the node degree, so a short scan beats hashing a map key.
+type pathEntry struct {
+	parent     PathID
+	firstChild PathID
+	nextSib    PathID
+	node       NodeID
+	origin     NodeID
+	length     int32
+	mask       uint64 // node-membership bitmask (bit u%64; exact when n <= 64)
+	// full is the lazily-built materialized path, shared by every Path
+	// call for this entry. Path values are immutable by convention
+	// throughout the module (sim.Payload contract), so sharing is safe.
+	full Path
+	// key is the lazily-built canonical Path.Key rendering ("0->3->4"),
+	// built incrementally from the parent's key.
+	key string
+}
+
+// PathArena interns simple paths of one graph with prefix sharing.
+type PathArena struct {
+	g       *Graph
+	entries []pathEntry
+	// roots[u] is the PathID of the single-node path {u}, or NoPath.
+	roots []PathID
+	// exact reports whether masks are exact node sets (n <= 64).
+	exact bool
+}
+
+// NewPathArena returns an empty arena for paths of g.
+func NewPathArena(g *Graph) *PathArena {
+	roots := make([]PathID, g.N())
+	for i := range roots {
+		roots[i] = NoPath
+	}
+	return &PathArena{
+		g:     g,
+		roots: roots,
+		exact: g.N() <= 64,
+	}
+}
+
+// Graph returns the graph the arena's paths live in.
+func (a *PathArena) Graph() *Graph { return a.g }
+
+// Len returns the number of interned paths.
+func (a *PathArena) Len() int { return len(a.entries) }
+
+func bit(u NodeID) uint64 { return 1 << (uint(u) % 64) }
+
+// Root interns (or finds) the single-node path {u}. It returns NoPath when
+// u is not a node of the graph.
+func (a *PathArena) Root(u NodeID) PathID {
+	if !a.g.valid(u) {
+		return NoPath
+	}
+	if id := a.roots[u]; id != NoPath {
+		return id
+	}
+	id := PathID(len(a.entries))
+	a.entries = append(a.entries, pathEntry{
+		parent:     NoPath,
+		firstChild: NoPath,
+		nextSib:    NoPath,
+		node:       u,
+		origin:     u,
+		length:     1,
+		mask:       bit(u),
+	})
+	a.roots[u] = id
+	return id
+}
+
+// Extend interns (or finds) the path id·u. It returns NoPath when the
+// extension is not a simple path of the graph: u not adjacent to the last
+// node, or u already on the path.
+func (a *PathArena) Extend(id PathID, u NodeID) PathID {
+	if id == NoPath {
+		return a.Root(u)
+	}
+	for c := a.entries[id].firstChild; c != NoPath; c = a.entries[c].nextSib {
+		if a.entries[c].node == u {
+			return c
+		}
+	}
+	e := &a.entries[id]
+	if !a.g.HasEdge(e.node, u) || a.contains(id, u) {
+		return NoPath
+	}
+	c := PathID(len(a.entries))
+	a.entries = append(a.entries, pathEntry{
+		parent:     id,
+		firstChild: NoPath,
+		nextSib:    e.firstChild,
+		node:       u,
+		origin:     e.origin,
+		length:     e.length + 1,
+		mask:       e.mask | bit(u),
+	})
+	a.entries[id].firstChild = c
+	return c
+}
+
+// Intern interns path p, validating that it is a non-empty valid simple
+// path of the graph; it returns NoPath otherwise.
+func (a *PathArena) Intern(p Path) PathID {
+	if len(p) == 0 {
+		return NoPath
+	}
+	id := a.Root(p[0])
+	for _, u := range p[1:] {
+		if id == NoPath {
+			return NoPath
+		}
+		id = a.Extend(id, u)
+	}
+	return id
+}
+
+// Parent returns the PathID of id without its last node (NoPath for a
+// single-node path).
+func (a *PathArena) Parent(id PathID) PathID { return a.entries[id].parent }
+
+// Origin returns the first node of the path.
+func (a *PathArena) Origin(id PathID) NodeID { return a.entries[id].origin }
+
+// Last returns the final node of the path.
+func (a *PathArena) Last(id PathID) NodeID { return a.entries[id].node }
+
+// PathLen returns the number of nodes on the path.
+func (a *PathArena) PathLen(id PathID) int { return int(a.entries[id].length) }
+
+// Mask returns the node-membership bitmask of the path (exact when the
+// graph has at most 64 nodes).
+func (a *PathArena) Mask(id PathID) uint64 { return a.entries[id].mask }
+
+// Exact reports whether bitmasks identify node sets exactly (n <= 64).
+func (a *PathArena) Exact() bool { return a.exact }
+
+// Contains reports whether u lies on the path.
+func (a *PathArena) Contains(id PathID, u NodeID) bool {
+	return a.contains(id, u)
+}
+
+func (a *PathArena) contains(id PathID, u NodeID) bool {
+	e := &a.entries[id]
+	if e.mask&bit(u) == 0 {
+		return false
+	}
+	if a.exact {
+		return true
+	}
+	for at := id; at != NoPath; at = a.entries[at].parent {
+		if a.entries[at].node == u {
+			return true
+		}
+	}
+	return false
+}
+
+// AppendTo appends the path's nodes in order (origin first) to dst and
+// returns the extended slice.
+func (a *PathArena) AppendTo(id PathID, dst Path) Path {
+	start := len(dst)
+	for at := id; at != NoPath; at = a.entries[at].parent {
+		dst = append(dst, a.entries[at].node)
+	}
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// Path returns the materialized node sequence of the interned path, built
+// once per entry and shared by all callers — Path values are immutable by
+// convention module-wide (the sim.Payload contract), so the shared slice
+// must not be modified. Use AppendTo for a private copy.
+func (a *PathArena) Path(id PathID) Path {
+	if id == NoPath {
+		return nil
+	}
+	e := &a.entries[id]
+	if e.full == nil {
+		// Exact capacity: any append to the shared slice copies.
+		e.full = a.AppendTo(id, make(Path, 0, e.length))
+	}
+	return e.full
+}
+
+// Key returns the canonical Path.Key rendering of the interned path,
+// built once per entry (incrementally over the parent's cached key) and
+// shared by all callers.
+func (a *PathArena) Key(id PathID) string {
+	e := &a.entries[id]
+	if e.key == "" {
+		if e.parent == NoPath {
+			e.key = strconv.Itoa(int(e.node))
+		} else {
+			e.key = a.Key(e.parent) + "->" + strconv.Itoa(int(e.node))
+		}
+	}
+	return e.key
+}
+
+// SetMask folds a node set into a bitmask comparable against Mask.
+func SetMask(s Set) uint64 {
+	var m uint64
+	for u := range s {
+		m |= bit(u)
+	}
+	return m
+}
+
+// internalMask returns the membership mask of the path's internal nodes.
+// Exact arenas only; a simple path visits each node once, so clearing the
+// endpoint bits leaves exactly the interior.
+func (a *PathArena) internalMask(id PathID) uint64 {
+	e := &a.entries[id]
+	return e.mask &^ (bit(e.origin) | bit(e.node))
+}
+
+// ExcludesInternal reports whether no internal node of the path belongs to
+// x (endpoints may be members) — Path.Excludes on interned paths.
+func (a *PathArena) ExcludesInternal(id PathID, x Set) bool {
+	if x.Len() == 0 {
+		return true
+	}
+	if a.exact {
+		return a.internalMask(id)&SetMask(x) == 0
+	}
+	return a.Path(id).Excludes(x)
+}
+
+// ExcludesInternalMask is ExcludesInternal against a precomputed SetMask;
+// callable only on exact arenas (n <= 64).
+func (a *PathArena) ExcludesInternalMask(id PathID, exclMask uint64) bool {
+	return a.internalMask(id)&exclMask == 0
+}
+
+// InternallyDisjointIDs reports whether the two paths share no internal
+// nodes (InternallyDisjoint on interned paths).
+func (a *PathArena) InternallyDisjointIDs(p, q PathID) bool {
+	if a.exact {
+		return a.internalMask(p)&a.internalMask(q) == 0
+	}
+	return InternallyDisjoint(a.Path(p), a.Path(q))
+}
+
+// DisjointExceptLastIDs reports whether the two paths share exactly their
+// final node (DisjointExceptLast on interned paths).
+func (a *PathArena) DisjointExceptLastIDs(p, q PathID) bool {
+	pe, qe := &a.entries[p], &a.entries[q]
+	if pe.node != qe.node {
+		return false
+	}
+	if a.exact {
+		return pe.mask&qe.mask == bit(pe.node)
+	}
+	return DisjointExceptLast(a.Path(p), a.Path(q))
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+)
+
+func arenaGraph(t *testing.T) *Graph {
+	t.Helper()
+	// 5-cycle with one chord: 0-1-2-3-4-0, 0-2.
+	return MustFromEdges(5, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0}, {U: 0, V: 2},
+	})
+}
+
+func TestArenaInternCanonical(t *testing.T) {
+	g := arenaGraph(t)
+	a := NewPathArena(g)
+	p := Path{0, 1, 2, 3}
+	id1 := a.Intern(p)
+	id2 := a.Intern(p.Clone())
+	if id1 == NoPath || id1 != id2 {
+		t.Fatalf("interning not canonical: %v vs %v", id1, id2)
+	}
+	if got := a.Path(id1); got.Key() != "0->1->2->3" {
+		t.Fatalf("materialized %v", got)
+	}
+	if a.Origin(id1) != 0 || a.Last(id1) != 3 || a.PathLen(id1) != 4 {
+		t.Fatal("entry metadata wrong")
+	}
+	if a.Key(id1) != p.Key() {
+		t.Fatalf("cached key %q != %q", a.Key(id1), p.Key())
+	}
+	if a.Parent(id1) != a.Intern(Path{0, 1, 2}) {
+		t.Fatal("parent must be the interned prefix")
+	}
+}
+
+func TestArenaRejectsInvalid(t *testing.T) {
+	g := arenaGraph(t)
+	a := NewPathArena(g)
+	for _, p := range []Path{
+		{},           // empty
+		{0, 3},       // not an edge
+		{0, 1, 0},    // not simple
+		{0, 1, 2, 0}, // not simple (cycle)
+		{7},          // out of range
+	} {
+		if id := a.Intern(p); id != NoPath {
+			t.Fatalf("invalid path %v interned as %v", p, id)
+		}
+	}
+	if a.Extend(a.Root(0), 3) != NoPath {
+		t.Fatal("extension over a non-edge accepted")
+	}
+	if a.Extend(a.Intern(Path{1, 0}), 1) != NoPath {
+		t.Fatal("node-repeating extension accepted")
+	}
+}
+
+func TestArenaExtendSharesPrefixes(t *testing.T) {
+	g := arenaGraph(t)
+	a := NewPathArena(g)
+	base := a.Intern(Path{0, 1, 2})
+	ext := a.Extend(base, 3)
+	if ext == NoPath || a.Parent(ext) != base {
+		t.Fatalf("extension not prefix-shared: %v parent %v", ext, a.Parent(ext))
+	}
+	before := a.Len()
+	if a.Intern(Path{0, 1, 2, 3}) != ext {
+		t.Fatal("re-interning the extended path must find the same id")
+	}
+	if a.Len() != before {
+		t.Fatal("re-interning allocated new entries")
+	}
+}
+
+func TestArenaContainsAndExcludes(t *testing.T) {
+	g := arenaGraph(t)
+	a := NewPathArena(g)
+	id := a.Intern(Path{0, 1, 2, 3})
+	for _, u := range []NodeID{0, 1, 2, 3} {
+		if !a.Contains(id, u) {
+			t.Fatalf("missing %d", u)
+		}
+	}
+	if a.Contains(id, 4) {
+		t.Fatal("contains node off the path")
+	}
+	// Endpoints may be excluded; internal nodes may not.
+	if !a.ExcludesInternal(id, NewSet(0, 3)) {
+		t.Fatal("endpoints must not count as internal")
+	}
+	if a.ExcludesInternal(id, NewSet(2)) {
+		t.Fatal("internal node not detected")
+	}
+	if !a.ExcludesInternal(id, NewSet()) {
+		t.Fatal("empty exclusion must pass")
+	}
+}
+
+func TestArenaDisjointness(t *testing.T) {
+	g := MustFromEdges(6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 5}, {U: 0, V: 2}, {U: 2, V: 5},
+		{U: 3, V: 1}, {U: 3, V: 4}, {U: 4, V: 5},
+	})
+	a := NewPathArena(g)
+	p1 := a.Intern(Path{0, 1, 5})
+	p2 := a.Intern(Path{0, 2, 5})
+	p3 := a.Intern(Path{3, 1, 5})
+	if !a.InternallyDisjointIDs(p1, p2) {
+		t.Fatal("0-1-5 and 0-2-5 share no internal nodes")
+	}
+	if a.InternallyDisjointIDs(p1, p3) {
+		t.Fatal("0-1-5 and 3-1-5 share internal node 1")
+	}
+	if !a.DisjointExceptLastIDs(p2, p3) {
+		t.Fatal("0-2-5 and 3-1-5 share only node 5")
+	}
+	if a.DisjointExceptLastIDs(p1, p2) {
+		t.Fatal("0-1-5 and 0-2-5 share origin 0")
+	}
+}
+
+// TestArenaNonExactFallback exercises the >64-node regime where bitmasks
+// are only a filter.
+func TestArenaNonExactFallback(t *testing.T) {
+	n := 70
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := NewPathArena(g)
+	if a.Exact() {
+		t.Fatal("70-node arena must not be exact")
+	}
+	// Nodes 1 and 65 share bit 1%64 == 65%64: the filter alone would lie.
+	id := a.Intern(Path{64, 65, 66})
+	if a.Contains(id, 1) {
+		t.Fatal("mask collision produced a false Contains")
+	}
+	if !a.Contains(id, 65) {
+		t.Fatal("genuine member missed")
+	}
+	if !a.ExcludesInternal(id, NewSet(1)) {
+		t.Fatal("mask collision produced a false exclusion hit")
+	}
+	p1 := a.Intern(Path{0, 1, 2})
+	p2 := a.Intern(Path{64, 65, 66})
+	if !a.InternallyDisjointIDs(p1, p2) {
+		t.Fatal("disjoint paths rejected in fallback mode")
+	}
+}

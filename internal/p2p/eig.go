@@ -80,7 +80,8 @@ type Node struct {
 	input sim.Value
 
 	round   int
-	level   int // current gathering level, 1..f+1
+	level   int              // current gathering level, 1..f+1
+	arena   *graph.PathArena // per-run path arena shared by all levels
 	flooder *flood.Flooder
 	tree    map[string]sim.Value // label key -> learned value
 	labels  map[string]Label     // label key -> label (for traversal)
@@ -102,6 +103,7 @@ func New(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *Node {
 		me:     me,
 		f:      f,
 		input:  input,
+		arena:  graph.NewPathArena(g),
 		tree:   make(map[string]sim.Value),
 		labels: make(map[string]Label),
 	}
@@ -132,7 +134,7 @@ func (nd *Node) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	if r == 0 {
 		nd.level++
-		nd.flooder = flood.New(nd.g, nd.me)
+		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
 		out = nd.flooder.Start(nd.levelBodies()...)
 	} else {
 		out = nd.flooder.Deliver(inbox)
@@ -171,7 +173,7 @@ func (nd *Node) levelBodies() []flood.Body {
 // harvestLevel converts the session's accepted claims into tree entries
 // β·w := value w claimed for β, filling defaults for missing claims.
 func (nd *Node) harvestLevel() {
-	receipts := nd.flooder.Receipts()
+	receipts := nd.flooder.Store()
 	for _, w := range nd.g.Nodes() {
 		if w == nd.me {
 			continue
@@ -232,12 +234,12 @@ func (nd *Node) expectedLabels(w graph.NodeID) []Label {
 // acceptClaim decides which value (if any) origin w established for label β
 // this session: the directly heard claim when w is adjacent, otherwise the
 // value received identically along f+1 internally-disjoint wv-paths.
-func (nd *Node) acceptClaim(receipts []flood.Receipt, w graph.NodeID, beta Label) (sim.Value, bool) {
+func (nd *Node) acceptClaim(receipts *flood.ReceiptStore, w graph.NodeID, beta Label) (sim.Value, bool) {
 	if nd.g.HasEdge(w, nd.me) {
-		direct := graph.Path{w, nd.me}.Key()
-		for _, r := range receipts {
+		direct := nd.arena.Intern(graph.Path{w, nd.me})
+		for r := range receipts.AtPath(direct) {
 			b, ok := r.Body.(EIGBody)
-			if !ok || r.Origin != w || r.Path.Key() != direct || b.Label.Key() != beta.Key() {
+			if !ok || b.Label.Key() != beta.Key() {
 				continue
 			}
 			return b.Value, true

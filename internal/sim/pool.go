@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is the engine's persistent round-execution pool: a fixed set
+// of goroutines that park between batches instead of being respawned for
+// every node of every round. Work inside a batch is distributed by an
+// atomic counter, so uneven per-node step costs balance automatically.
+//
+// The pool is owned by exactly one engine and driven from its single
+// stepping goroutine; run and close must not be called concurrently.
+type workerPool struct {
+	workers int
+	batches chan batch
+	once    sync.Once
+}
+
+// batch is one parallel for-loop: fn over [0, n).
+type batch struct {
+	n    int
+	fn   func(int)
+	next *atomic.Int64
+	wg   *sync.WaitGroup
+}
+
+// newWorkerPool starts a pool sized for n-way batches (at most GOMAXPROCS
+// workers).
+func newWorkerPool(n int) *workerPool {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &workerPool{workers: w, batches: make(chan batch)}
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for b := range p.batches {
+		for {
+			i := int(b.next.Add(1)) - 1
+			if i >= b.n {
+				break
+			}
+			b.fn(i)
+		}
+		b.wg.Done()
+	}
+}
+
+// run executes fn(0..n-1) across the pool and returns when all calls have
+// completed.
+func (p *workerPool) run(n int, fn func(int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b := batch{n: n, fn: fn, next: &next, wg: &wg}
+	wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		p.batches <- b
+	}
+	wg.Wait()
+}
+
+// close terminates the workers; idempotent.
+func (p *workerPool) close() {
+	p.once.Do(func() { close(p.batches) })
+}

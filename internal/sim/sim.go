@@ -7,16 +7,18 @@
 // equivocate, all others are restricted to local broadcast).
 //
 // Nodes are deterministic state machines driven by the engine; each round
-// every node's Step runs in its own goroutine and the engine synchronizes
-// on a channel barrier, then routes the collected transmissions through the
-// configured transport. Delivery order is canonicalized (ascending sender
-// id, FIFO within a sender's round output) so executions are reproducible.
+// the nodes' Step calls are distributed over the engine's persistent
+// worker pool (goroutines that park between rounds), then the engine
+// routes the collected transmissions through the configured transport.
+// Delivery order is canonicalized (ascending sender id, FIFO within a
+// sender's round output) so executions are reproducible — parallelism
+// never affects results.
 package sim
 
 import (
 	"encoding/json"
 	"fmt"
-	"sync"
+	"runtime"
 
 	"lbcast/internal/graph"
 )
@@ -182,12 +184,26 @@ type Config struct {
 }
 
 // Engine drives a set of nodes through synchronous rounds.
+//
+// An engine running with Config.Parallel owns a persistent worker pool
+// (started lazily at the first round); Close releases it. Engines that are
+// dropped without Close are cleaned up by a finalizer, but deterministic
+// callers (eval.Session, benchmarks) should Close explicitly.
 type Engine struct {
 	cfg     Config
 	nodes   []Node
-	inboxes [][]Delivery
 	metrics Metrics
 	decided []bool // decision-event edge detection, per node
+
+	// inboxes / nextInboxes are double-buffered per-node delivery slices,
+	// reused across rounds: each round routes into nextInboxes (truncated,
+	// not reallocated) and the two swap.
+	inboxes     [][]Delivery
+	nextInboxes [][]Delivery
+	// outboxes is the reused per-round collection of node outputs.
+	outboxes [][]Outgoing
+
+	pool *workerPool
 }
 
 // NewEngine builds an engine over nodes; nodes[i] must have ID i and len
@@ -212,12 +228,35 @@ func NewEngine(cfg Config, nodes []Node) (*Engine, error) {
 	}
 	ns := make([]Node, len(nodes))
 	copy(ns, nodes)
-	return &Engine{
-		cfg:     cfg,
-		nodes:   ns,
-		inboxes: make([][]Delivery, len(nodes)),
-		decided: make([]bool, len(nodes)),
-	}, nil
+	e := &Engine{
+		cfg:         cfg,
+		nodes:       ns,
+		inboxes:     make([][]Delivery, len(nodes)),
+		nextInboxes: make([][]Delivery, len(nodes)),
+		outboxes:    make([][]Outgoing, len(nodes)),
+		decided:     make([]bool, len(nodes)),
+	}
+	return e, nil
+}
+
+// lazyPool starts the persistent worker pool on first use. The pool spans
+// the engine's lifetime: workers park between rounds instead of the old
+// goroutine-per-node-per-round spawning. A cleanup releases the pool when
+// an unclosed engine is collected.
+func (e *Engine) lazyPool() *workerPool {
+	if e.pool == nil {
+		e.pool = newWorkerPool(len(e.nodes))
+		runtime.AddCleanup(e, func(p *workerPool) { p.close() }, e.pool)
+	}
+	return e.pool
+}
+
+// Close releases the engine's worker pool. It is idempotent and safe on
+// engines that never ran. The engine must not be stepped after Close.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
 }
 
 // Metrics returns a copy of the current counters.
@@ -275,27 +314,26 @@ func (e *Engine) emitDecisions(round int) {
 }
 
 // step runs a single round: every node consumes its inbox and produces an
-// outbox; the transport routes outboxes into next-round inboxes.
+// outbox; the transport routes outboxes into next-round inboxes. The
+// outbox collection and the next-round inbox slices are reused round over
+// round (nodes must not retain inbox slices — see Node).
 func (e *Engine) step(round int) {
 	n := len(e.nodes)
-	outboxes := make([][]Outgoing, n)
+	outboxes := e.outboxes
 	if e.cfg.Parallel {
-		var wg sync.WaitGroup
-		for i := range e.nodes {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				outboxes[i] = e.nodes[i].Step(round, e.inboxes[i])
-			}(i)
-		}
-		wg.Wait()
+		e.lazyPool().run(n, func(i int) {
+			outboxes[i] = e.nodes[i].Step(round, e.inboxes[i])
+		})
 	} else {
 		for i := range e.nodes {
 			outboxes[i] = e.nodes[i].Step(round, e.inboxes[i])
 		}
 	}
 
-	next := make([][]Delivery, n)
+	next := e.nextInboxes
+	for i := range next {
+		next[i] = next[i][:0]
+	}
 	// Ascending sender order + outbox order gives deterministic FIFO
 	// delivery.
 	for i := 0; i < n; i++ {
@@ -319,8 +357,9 @@ func (e *Engine) step(round int) {
 				e.metrics.Deliveries++
 			}
 		}
+		outboxes[i] = nil
 	}
-	e.inboxes = next
+	e.inboxes, e.nextInboxes = next, e.inboxes
 	e.metrics.Rounds++
 }
 
