@@ -1,0 +1,144 @@
+package lbcast
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func alternating(n int) map[NodeID]Value {
+	m := make(map[NodeID]Value, n)
+	for i := 0; i < n; i++ {
+		m[NodeID(i)] = Value(i % 2)
+	}
+	return m
+}
+
+func constant(n int, v Value) map[NodeID]Value {
+	m := make(map[NodeID]Value, n)
+	for i := 0; i < n; i++ {
+		m[NodeID(i)] = v
+	}
+	return m
+}
+
+// TestRunBatchMatchesSessions checks the public batch API end to end:
+// batched decisions, properties, and round counts equal per-instance
+// Session runs, with per-instance fault patterns.
+func TestRunBatchMatchesSessions(t *testing.T) {
+	g := Figure1a()
+	n := g.N()
+	mkInstances := func() []BatchInstance {
+		return []BatchInstance{
+			{Inputs: alternating(n)},
+			{Inputs: constant(n, One)},
+			{Inputs: alternating(n), Byzantine: map[NodeID]Node{2: NewSilentFault(2)}},
+			{Inputs: constant(n, Zero), Byzantine: map[NodeID]Node{4: NewTamperFault(g, 4, PhaseRounds(g), 42)}},
+		}
+	}
+	batch, err := RunBatch(g, mkInstances(), WithFaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(batch.Results))
+	}
+	for i, inst := range mkInstances() {
+		s, err := NewSession(g, WithFaults(1), WithInputs(inst.Inputs), WithByzantine(inst.Byzantine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := batch.Results[i], solo
+		if !reflect.DeepEqual(got.Decisions, want.Decisions) ||
+			got.Agreement != want.Agreement || got.Validity != want.Validity ||
+			got.Termination != want.Termination || got.Rounds != want.Rounds ||
+			got.RoundBudget != want.RoundBudget {
+			t.Errorf("instance %d diverges:\nbatch:   %+v\nsession: %+v", i, got, want)
+		}
+	}
+	if !batch.OK() {
+		t.Errorf("batch.OK() = false: %+v", batch)
+	}
+}
+
+// TestRunBatchHybridEquivocator covers the hybrid model in a batch: the
+// equivocating adversary sends per-neighbor unicasts, exercising the
+// non-broadcast multiplexing path.
+func TestRunBatchHybridEquivocator(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	mkInstances := func() []BatchInstance {
+		return []BatchInstance{
+			{Inputs: alternating(n)},
+			{Inputs: alternating(n), Byzantine: map[NodeID]Node{4: NewEquivocatorFault(g, 4, PhaseRounds(g))}},
+		}
+	}
+	opts := []Option{
+		WithFaults(1), WithEquivocating(1), WithAlgorithm(Algorithm3),
+		WithModel(Hybrid), WithEquivocators(NewSet(4)),
+	}
+	batch, err := RunBatch(g, mkInstances(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inst := range mkInstances() {
+		s, err := NewSession(g, append(opts, WithInputs(inst.Inputs), WithByzantine(inst.Byzantine))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch.Results[i].Decisions, solo.Decisions) ||
+			batch.Results[i].Rounds != solo.Rounds {
+			t.Errorf("hybrid instance %d diverges:\nbatch:   %+v\nsession: %+v", i, batch.Results[i], solo)
+		}
+	}
+}
+
+// TestNewBatchRejectsPerInstanceOptions pins the API contract that inputs
+// and Byzantine overrides are per instance.
+func TestNewBatchRejectsPerInstanceOptions(t *testing.T) {
+	g := Figure1a()
+	insts := []BatchInstance{{Inputs: alternating(g.N())}}
+	if _, err := NewBatch(g, insts, WithFaults(1), WithInputs(alternating(g.N()))); err == nil {
+		t.Error("WithInputs accepted on a batch")
+	}
+	if _, err := NewBatch(g, insts, WithFaults(1),
+		WithByzantine(map[NodeID]Node{2: NewSilentFault(2)})); err == nil {
+		t.Error("WithByzantine accepted on a batch")
+	}
+}
+
+// TestBatchReusable checks a Batch can be Run multiple times with
+// identical results (stateless instances).
+func TestBatchReusable(t *testing.T) {
+	g := Figure1b()
+	insts := []BatchInstance{
+		{Inputs: alternating(g.N())},
+		{Inputs: constant(g.N(), Zero), Byzantine: map[NodeID]Node{1: NewSilentFault(1)}},
+	}
+	b, err := NewBatch(g, insts, WithFaults(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("repeated batch runs diverge:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

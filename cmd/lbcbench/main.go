@@ -3,11 +3,21 @@
 // PRs can track the performance trajectory in checked-in BENCH_*.json
 // files without parsing `go test -bench` text output.
 //
+// Workload names are slash-separated descriptors,
+// "<family>/<algorithm-or-subject>/<graph>/<variant>": the session/*
+// workloads run one consensus execution per op, sweep/* and montecarlo/*
+// run a whole sweep per op, and the throughput/* pairs run the same B
+// instances either batched (one multi-instance engine) or as independent
+// sequential Session runs — the batched/independent ratio is the batching
+// speedup. The output schema (also printed by -help) is documented in
+// DESIGN.md §8.
+//
 // Usage:
 //
 //	lbcbench                      # all workloads, JSON to stdout
 //	lbcbench -filter algo1        # substring-filtered workloads
-//	lbcbench -out BENCH_session.json
+//	lbcbench -batch               # only the batched-throughput pairs
+//	lbcbench -out BENCH_3.json
 package main
 
 import (
@@ -33,19 +43,52 @@ func main() {
 	}
 }
 
-// Measurement is one workload's recorded result.
+// Measurement is one workload's recorded result; this is the element type
+// of the BENCH_*.json files (a JSON array of these, one per workload).
+// See DESIGN.md §8 for the schema contract.
 type Measurement struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Name is the stable slash-separated workload descriptor.
+	Name string `json:"name"`
+	// Iterations is the op count testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall-clock nanoseconds per op (one op = one execution,
+	// sweep, or batch, depending on the workload family).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp are the allocator counters per op.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Instances is the number of consensus instances one op completes;
+	// set only on throughput workloads.
+	Instances int `json:"instances,omitempty"`
+	// DecisionsPerSec is Instances / seconds-per-op: completed consensus
+	// instances per second. Set only on throughput workloads; the
+	// batched-vs-independent ratio on the same instances is the batching
+	// speedup tracked by the acceptance criteria.
+	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
 }
 
-// workload binds a benchmark name to its body.
+// benchSchema is the -help description of the BENCH_*.json output format.
+const benchSchema = `output schema (BENCH_*.json):
+  A JSON array with one object per workload:
+    name              stable slash-separated workload descriptor
+    iterations        op count testing.Benchmark settled on
+    ns_per_op         wall-clock nanoseconds per op
+    allocs_per_op     heap allocations per op
+    bytes_per_op      heap bytes per op
+    instances         consensus instances completed per op (throughput workloads only)
+    decisions_per_sec instances / seconds-per-op (throughput workloads only)
+  One op is one consensus execution (session/*), one full sweep
+  (sweep/*, montecarlo/*), or one batch of B instances (throughput/*).
+  The throughput/batch vs throughput/independent pairs run identical
+  instance sets; their decisions_per_sec ratio is the batching speedup.`
+
+// workload binds a benchmark name to its body. instances, when non-zero,
+// marks a throughput workload completing that many consensus instances
+// per op.
 type workload struct {
-	name string
-	fn   func(b *testing.B)
+	name      string
+	instances int
+	fn        func(b *testing.B)
 }
 
 // mustSession builds a session or aborts the benchmark.
@@ -78,12 +121,35 @@ func alternatingInputs(n int) map[lbcast.NodeID]lbcast.Value {
 	return m
 }
 
+// throughputInstances builds the B instances shared by a throughput pair:
+// rotated input vectors, with a (stateless) silent fault on every fourth
+// instance so the mix covers both the early-deciding and the slow path.
+// The instances are stateless, so the same slice is reused across ops and
+// between the batched and the independent runner.
+func throughputInstances(g *lbcast.Graph, b int) []lbcast.BatchInstance {
+	n := g.N()
+	out := make([]lbcast.BatchInstance, b)
+	for i := range out {
+		inputs := make(map[lbcast.NodeID]lbcast.Value, n)
+		for u := 0; u < n; u++ {
+			inputs[lbcast.NodeID(u)] = lbcast.Value((u + i) % 2)
+		}
+		inst := lbcast.BatchInstance{Inputs: inputs}
+		if i%4 == 3 {
+			z := lbcast.NodeID(i % n)
+			inst.Byzantine = map[lbcast.NodeID]lbcast.Node{z: lbcast.NewSilentFault(z)}
+		}
+		out[i] = inst
+	}
+	return out
+}
+
 // workloads returns the benchmark suite. The early/full pair on the same
 // instance makes the early-termination speedup directly visible in the
 // recorded numbers.
 func workloads() []workload {
 	return []workload{
-		{"session/algo1/figure1a/early", func(b *testing.B) {
+		{name: "session/algo1/figure1a/early", fn: func(b *testing.B) {
 			g := lbcast.Figure1a()
 			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithInputs(alternatingInputs(g.N())))
 			b.ResetTimer()
@@ -91,7 +157,7 @@ func workloads() []workload {
 				runSession(b, s)
 			}
 		}},
-		{"session/algo1/figure1a/full-budget", func(b *testing.B) {
+		{name: "session/algo1/figure1a/full-budget", fn: func(b *testing.B) {
 			g := lbcast.Figure1a()
 			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithInputs(alternatingInputs(g.N())),
 				lbcast.WithFullBudget())
@@ -100,7 +166,7 @@ func workloads() []workload {
 				runSession(b, s)
 			}
 		}},
-		{"session/algo1/figure1a/tamper", func(b *testing.B) {
+		{name: "session/algo1/figure1a/tamper", fn: func(b *testing.B) {
 			g := lbcast.Figure1a()
 			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithInputs(alternatingInputs(g.N())),
 				lbcast.WithByzantine(map[lbcast.NodeID]lbcast.Node{
@@ -111,7 +177,7 @@ func workloads() []workload {
 				runSession(b, s)
 			}
 		}},
-		{"session/algo1/figure1b/early", func(b *testing.B) {
+		{name: "session/algo1/figure1b/early", fn: func(b *testing.B) {
 			g := lbcast.Figure1b()
 			s := mustSession(b, g, lbcast.WithFaults(2), lbcast.WithInputs(alternatingInputs(g.N())))
 			b.ResetTimer()
@@ -119,7 +185,7 @@ func workloads() []workload {
 				runSession(b, s)
 			}
 		}},
-		{"session/algo2/figure1b/tamper", func(b *testing.B) {
+		{name: "session/algo2/figure1b/tamper", fn: func(b *testing.B) {
 			g := lbcast.Figure1b()
 			s := mustSession(b, g, lbcast.WithFaults(2), lbcast.WithAlgorithm(lbcast.Algorithm2),
 				lbcast.WithInputs(alternatingInputs(g.N())),
@@ -131,7 +197,7 @@ func workloads() []workload {
 				runSession(b, s)
 			}
 		}},
-		{"session/algo2/figure1a", func(b *testing.B) {
+		{name: "session/algo2/figure1a", fn: func(b *testing.B) {
 			g := lbcast.Figure1a()
 			s := mustSession(b, g, lbcast.WithFaults(1), lbcast.WithAlgorithm(lbcast.Algorithm2),
 				lbcast.WithInputs(alternatingInputs(g.N())))
@@ -140,7 +206,7 @@ func workloads() []workload {
 				runSession(b, s)
 			}
 		}},
-		{"sweep/figure1a/strategies", func(b *testing.B) {
+		{name: "sweep/figure1a/strategies", fn: func(b *testing.B) {
 			grid := eval.Grid{
 				Graphs:     []eval.GraphCase{{Label: "figure1a", G: gen.Figure1a()}},
 				Faults:     []int{1},
@@ -159,12 +225,76 @@ func workloads() []workload {
 				}
 			}
 		}},
-		{"montecarlo/figure1a/16-trials", func(b *testing.B) {
+		{name: "montecarlo/figure1a/16-trials", fn: func(b *testing.B) {
 			g := gen.Figure1a()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
 					G: g, F: 1, Algorithm: eval.Algo1, Trials: 16, Seed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OK != res.Trials {
+					b.Fatalf("violations: %+v", res.Violations)
+				}
+			}
+		}},
+		{name: "throughput/batch/figure1b/B16", instances: 16, fn: func(b *testing.B) {
+			g := lbcast.Figure1b()
+			batch, err := lbcast.NewBatch(g, throughputInstances(g, 16), lbcast.WithFaults(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := batch.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK() {
+					b.Fatalf("batch consensus failed: %+v", res)
+				}
+			}
+		}},
+		{name: "throughput/independent/figure1b/B16", instances: 16, fn: func(b *testing.B) {
+			g := lbcast.Figure1b()
+			insts := throughputInstances(g, 16)
+			sessions := make([]*lbcast.Session, len(insts))
+			for i, inst := range insts {
+				sessions[i] = mustSession(b, g, lbcast.WithFaults(2),
+					lbcast.WithInputs(inst.Inputs), lbcast.WithByzantine(inst.Byzantine))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, s := range sessions {
+					runSession(b, s)
+				}
+			}
+		}},
+		{name: "throughput/batch/montecarlo/B64", instances: 64, fn: func(b *testing.B) {
+			g := gen.Figure1a()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
+					G: g, F: 1, Algorithm: eval.Algo1, Trials: 64, Seed: 3,
+					FaultProb: 0.125, Workers: 1, Batch: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OK != res.Trials {
+					b.Fatalf("violations: %+v", res.Violations)
+				}
+			}
+		}},
+		{name: "throughput/independent/montecarlo/B64", instances: 64, fn: func(b *testing.B) {
+			g := gen.Figure1a()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
+					G: g, F: 1, Algorithm: eval.Algo1, Trials: 64, Seed: 3,
+					FaultProb: 0.125, Workers: 1,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -181,7 +311,14 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcbench", flag.ContinueOnError)
 	out := fs.String("out", "", "write JSON to this file instead of stdout")
 	filter := fs.String("filter", "", "only run workloads whose name contains this substring")
+	batchOnly := fs.Bool("batch", false, "only run the throughput/* batched-vs-independent pairs")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark runs to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: lbcbench [flags]")
+		fs.PrintDefaults()
+		fmt.Fprintln(fs.Output())
+		fmt.Fprintln(fs.Output(), benchSchema)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,14 +338,22 @@ func run(args []string, w io.Writer) error {
 		if *filter != "" && !strings.Contains(wl.name, *filter) {
 			continue
 		}
+		if *batchOnly && !strings.HasPrefix(wl.name, "throughput/") {
+			continue
+		}
 		r := testing.Benchmark(wl.fn)
-		ms = append(ms, Measurement{
+		m := Measurement{
 			Name:        wl.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+		}
+		if wl.instances > 0 && m.NsPerOp > 0 {
+			m.Instances = wl.instances
+			m.DecisionsPerSec = float64(wl.instances) * 1e9 / m.NsPerOp
+		}
+		ms = append(ms, m)
 	}
 	if len(ms) == 0 {
 		return fmt.Errorf("no workloads match filter %q", *filter)

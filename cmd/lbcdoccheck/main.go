@@ -1,0 +1,185 @@
+// Command lbcdoccheck enforces the repository's documentation contract in
+// CI (DESIGN.md §1, ISSUE 3 satellite):
+//
+//   - every package in the module — the public lbcast root, every
+//     internal/ package, every command, every example — must carry a
+//     package doc comment;
+//   - every exported top-level identifier of the public lbcast API (the
+//     root package: types, functions, methods, constants, variables) must
+//     carry a doc comment.
+//
+// It exits non-zero listing each violation as file:line. Run it from the
+// module root:
+//
+//	go run ./cmd/lbcdoccheck
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	// The identifier-level gate is keyed on the module root ("."), so
+	// running from anywhere else would silently skip it — refuse instead.
+	if _, err := os.Stat("go.mod"); err != nil {
+		fmt.Fprintln(os.Stderr, "lbcdoccheck: no go.mod in the current directory; run from the module root")
+		os.Exit(2)
+	}
+	violations, err := check(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbcdoccheck:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "lbcdoccheck: %d undocumented declarations or packages\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("lbcdoccheck: all packages and exported lbcast identifiers documented")
+}
+
+// check walks the module tree rooted at root and returns all violations.
+func check(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || name == ".git" || name == ".github" {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var violations []string
+	for _, dir := range dirs {
+		vs, err := checkDir(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		violations = append(violations, vs...)
+	}
+	return violations, nil
+}
+
+// checkDir parses the non-test package in dir, if any, and reports its
+// violations: a missing package comment, and — for the root lbcast
+// package — every undocumented exported declaration.
+func checkDir(root, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for name, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			violations = append(violations, fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+		}
+		// Identifier-level enforcement covers the public surface: the
+		// root lbcast package.
+		if dir == root && name == "lbcast" {
+			violations = append(violations, checkExported(fset, pkg)...)
+		}
+	}
+	return violations, nil
+}
+
+// hasPackageDoc reports whether any file of the package documents the
+// package clause.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExported reports every exported top-level declaration of pkg that
+// lacks a doc comment. For grouped const/var/type declarations, a comment
+// on either the group or the individual spec satisfies the contract.
+func checkExported(fset *token.FileSet, pkg *ast.Package) []string {
+	var violations []string
+	report := func(pos token.Pos, kind, name string) {
+		violations = append(violations, fmt.Sprintf("%s: exported %s %s has no doc comment",
+			fset.Position(pos), kind, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				if d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && !groupDoc && sp.Doc == nil && sp.Comment == nil {
+							report(sp.Pos(), "type", sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						documented := groupDoc || sp.Doc != nil || sp.Comment != nil
+						for _, n := range sp.Names {
+							if n.IsExported() && !documented {
+								report(sp.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// exportedRecv reports whether a method's receiver type is exported (or
+// the decl is a plain function). Methods on unexported types are not part
+// of the public surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

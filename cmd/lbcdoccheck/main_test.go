@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckFlagsViolations builds a scratch module tree with one
+// undocumented package and undocumented exported identifiers in a root
+// "lbcast" package, and checks both classes are reported.
+func TestCheckFlagsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "lbcast.go"), `// Package lbcast is documented.
+package lbcast
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Bare struct{}
+
+const Loose = 1
+`)
+	write(t, filepath.Join(dir, "internal", "mystery", "m.go"), `package mystery
+
+// F is documented, but the package is not.
+func F() {}
+`)
+	violations, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(violations, "\n")
+	for _, want := range []string{
+		"package mystery has no package doc comment",
+		"function Undocumented",
+		"type Bare",
+		"value Loose",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing violation %q in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "Documented") {
+		t.Errorf("documented function flagged:\n%s", joined)
+	}
+}
+
+// TestCheckCleanTree checks a fully documented tree passes.
+func TestCheckCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "lbcast.go"), `// Package lbcast is documented.
+package lbcast
+
+// Exported const group.
+const (
+	A = 1
+	B = 2
+)
+
+// T is documented.
+type T struct{}
+
+// M is documented.
+func (T) M() {}
+
+// unexported needs no doc.
+func helper() {}
+`)
+	violations, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("unexpected violations: %v", violations)
+	}
+}
+
+// TestCheckRepository pins the real repository to stay clean, mirroring
+// the CI gate.
+func TestCheckRepository(t *testing.T) {
+	violations, err := check(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("repository has undocumented declarations:\n%s", strings.Join(violations, "\n"))
+	}
+}

@@ -6,11 +6,17 @@
 // are identical whatever the worker count. On graphs satisfying the
 // paper's conditions the expected tally is trials/trials.
 //
+// With -batch B, trials execute in multiplexed groups of B through the
+// batched multi-instance engine (one shared round loop and topology
+// analysis per group) — the high-throughput path. Verdicts are identical
+// to independent trials; only wall-clock time changes.
+//
 // Usage:
 //
 //	lbcmc -graph figure1a -f 1 -trials 50 -seed 7
 //	lbcmc -graph circulant:8:1,2 -f 2 -faults 1 -algorithm 2 -trials 25
 //	lbcmc -graph figure1a -trials 100 -workers 4 -json
+//	lbcmc -graph figure1b -f 2 -trials 256 -batch 16
 package main
 
 import (
@@ -34,11 +40,17 @@ func main() {
 
 // mcJSON is the machine-readable sweep summary.
 type mcJSON struct {
-	Graph      string            `json:"graph"`
-	Algorithm  string            `json:"algorithm"`
-	F          int               `json:"f"`
-	Trials     int               `json:"trials"`
-	Seed       int64             `json:"seed"`
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	F         int    `json:"f"`
+	Trials    int    `json:"trials"`
+	Seed      int64  `json:"seed"`
+	// Faults, FaultProb and Batch complete the reproduction record: the
+	// first two affect per-trial derivation; Batch never affects
+	// verdicts but is recorded for exact re-runs.
+	Faults     int               `json:"faults,omitempty"`
+	FaultProb  float64           `json:"fault_prob,omitempty"`
+	Batch      int               `json:"batch,omitempty"`
 	OK         int               `json:"ok"`
 	Violations []mcViolationJSON `json:"violations,omitempty"`
 }
@@ -59,6 +71,8 @@ func run(args []string, w io.Writer) error {
 	trials := fs.Int("trials", 25, "number of trials")
 	seed := fs.Int64("seed", 1, "sweep seed")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
+	batch := fs.Int("batch", 0, "batch size: run trials in multiplexed groups of this size through the multi-instance engine (0/1 = independent trials); never affects results")
+	faultProb := fs.Float64("faultprob", 0, "probability a trial is adversarial (0 or 1 = every trial plants -faults faults)")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +98,8 @@ func run(args []string, w io.Writer) error {
 		Trials:    *trials,
 		Seed:      *seed,
 		Workers:   *workers,
+		Batch:     *batch,
+		FaultProb: *faultProb,
 	})
 	if err != nil {
 		return err
@@ -95,6 +111,9 @@ func run(args []string, w io.Writer) error {
 			F:         *f,
 			Trials:    res.Trials,
 			Seed:      *seed,
+			Faults:    *faults,
+			FaultProb: *faultProb,
+			Batch:     *batch,
 			OK:        res.OK,
 		}
 		for _, v := range res.Violations {

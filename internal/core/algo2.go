@@ -110,9 +110,10 @@ type EfficientNode struct {
 	// flooding sessions (and by the synthetic zv-paths of reliable
 	// transcript grouping).
 	arena *graph.PathArena
-	// paths memoizes the fault-identification walk layouts, shared by all
+	// topo is the shared read-only topology analysis; its memoized
+	// DisjointPaths supply the fault-identification walk layouts for all
 	// nodes of an execution (see NewEfficientNodeShared).
-	paths   *graph.DisjointPathsCache
+	topo    *graph.Analysis
 	flooder *flood.Flooder
 	round   int
 
@@ -177,25 +178,33 @@ var (
 	_ sim.Decider = (*EfficientNode)(nil)
 )
 
-// NewEfficientNode builds a non-faulty Algorithm 2 node. The graph must be
-// 2f-connected (Theorem 5.6); the constructor does not re-verify this.
+// NewEfficientNode builds a non-faulty Algorithm 2 node with private
+// topology/arena state. The graph must be 2f-connected (Theorem 5.6); the
+// constructor does not re-verify this.
 func NewEfficientNode(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *EfficientNode {
-	return NewEfficientNodeShared(g, f, me, input, graph.NewDisjointPathsCache(g))
+	return NewEfficientNodeShared(graph.NewAnalysis(g), f, me, input, nil)
 }
 
-// NewEfficientNodeShared is NewEfficientNode with a caller-supplied
-// disjoint-paths cache. Passing one cache to every node of an execution
-// computes each of fault identification's n² max-flow walk layouts once
-// per run instead of once per node; the cache is concurrency-safe and
-// never affects results.
-func NewEfficientNodeShared(g *graph.Graph, f int, me graph.NodeID, input sim.Value, paths *graph.DisjointPathsCache) *EfficientNode {
+// NewEfficientNodeShared is NewEfficientNode drawing topology data from a
+// shared analysis. Passing one analysis to every node of an execution (and
+// every instance of a batch) computes each of fault identification's n²
+// max-flow walk layouts once instead of once per node; the analysis is
+// concurrency-safe and never affects results. arena, when non-nil, is
+// shared message-identity state: it is NOT safe for concurrent use and may
+// only be shared among nodes stepped sequentially — the co-located
+// instances of one batch node. nil gives the node a private arena.
+func NewEfficientNodeShared(topo *graph.Analysis, f int, me graph.NodeID, input sim.Value, arena *graph.PathArena) *EfficientNode {
+	g := topo.Graph()
+	if arena == nil {
+		arena = graph.NewPathArena(g)
+	}
 	return &EfficientNode{
 		g:           g,
 		me:          me,
 		f:           f,
 		input:       input,
-		arena:       graph.NewPathArena(g),
-		paths:       paths,
+		arena:       arena,
+		topo:        topo,
 		heard:       make(map[graph.NodeID][]string),
 		transcripts: make(map[graph.NodeID]*transcriptInfo),
 		relValues:   make(map[graph.NodeID]*relValue),
@@ -359,7 +368,7 @@ func splitEntry(e string) (round int, key string, ok bool) {
 // (not internable) falls back to the allocating rendering, so transcript
 // content is identical either way.
 func (nd *EfficientNode) msgKey(m flood.Msg) string {
-	if pid := nd.arena.Intern(m.Pi); pid != graph.NoPath {
+	if pid := nd.arena.InternCached(m.Pi); pid != graph.NoPath {
 		return m.Body.Key() + "@" + nd.arena.Key(pid)
 	}
 	return m.Key()
@@ -499,7 +508,7 @@ func (nd *EfficientNode) identifyFaults() {
 			if u == w {
 				continue
 			}
-			for _, p := range nd.paths.DisjointPaths(w, u, 2*nd.f) {
+			for _, p := range nd.topo.DisjointPaths(w, u, 2*nd.f) {
 				nd.walkPath(p, b)
 			}
 		}

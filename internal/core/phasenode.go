@@ -19,6 +19,11 @@ type PhaseNode struct {
 	f      int
 	phases []PhaseSpec
 
+	// topo is the shared read-only topology analysis the step-(b) path
+	// choices are drawn from. It is immutable and safe to share across
+	// all nodes of a run and across the instances of a batch.
+	topo *graph.Analysis
+
 	gamma        sim.Value
 	phaseIdx     int
 	roundInPhase int
@@ -61,25 +66,51 @@ var (
 )
 
 // NewAlgo1Node builds a non-faulty Algorithm 1 node with the given binary
-// input. All nodes of an execution must be built with the same g and f.
+// input and private topology/arena state. All nodes of an execution must
+// be built with the same g and f.
 func NewAlgo1Node(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *PhaseNode {
-	return newPhaseNode(g, f, me, input, Algo1Phases(g.N(), f))
+	return NewAlgo1NodeShared(graph.NewAnalysis(g), f, me, input, nil)
+}
+
+// NewAlgo1NodeShared is NewAlgo1Node drawing topology data from a shared
+// analysis; see newPhaseNode for the sharing contract.
+func NewAlgo1NodeShared(topo *graph.Analysis, f int, me graph.NodeID, input sim.Value, arena *graph.PathArena) *PhaseNode {
+	g := topo.Graph()
+	return newPhaseNode(topo, f, me, input, Algo1Phases(g.N(), f), arena)
 }
 
 // NewHybridNode builds a non-faulty Algorithm 3 node for the hybrid model
 // with fault bound f, of which at most t may equivocate.
 func NewHybridNode(g *graph.Graph, f, t int, me graph.NodeID, input sim.Value) *PhaseNode {
-	return newPhaseNode(g, f, me, input, HybridPhases(g.N(), f, t))
+	return NewHybridNodeShared(graph.NewAnalysis(g), f, t, me, input, nil)
 }
 
-func newPhaseNode(g *graph.Graph, f int, me graph.NodeID, input sim.Value, phases []PhaseSpec) *PhaseNode {
+// NewHybridNodeShared is NewHybridNode drawing topology data from a shared
+// analysis; see newPhaseNode for the sharing contract.
+func NewHybridNodeShared(topo *graph.Analysis, f, t int, me graph.NodeID, input sim.Value, arena *graph.PathArena) *PhaseNode {
+	g := topo.Graph()
+	return newPhaseNode(topo, f, me, input, HybridPhases(g.N(), f, t), arena)
+}
+
+// newPhaseNode assembles a phase node. topo is read-only and may be shared
+// by every node of a run (and every instance of a batch); it is safe for
+// concurrent use. arena, when non-nil, is shared message-identity state:
+// it is NOT safe for concurrent use and may only be shared among nodes
+// that are stepped sequentially — in practice the co-located instances of
+// one batch node (same graph vertex). nil gives the node a private arena.
+func newPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, input sim.Value, phases []PhaseSpec, arena *graph.PathArena) *PhaseNode {
+	g := topo.Graph()
+	if arena == nil {
+		arena = graph.NewPathArena(g)
+	}
 	return &PhaseNode{
 		g:      g,
 		me:     me,
 		f:      f,
 		phases: phases,
+		topo:   topo,
 		gamma:  input,
-		arena:  graph.NewPathArena(g),
+		arena:  arena,
 		stepB:  make(map[stepBKey]graph.PathID),
 	}
 }
@@ -267,20 +298,29 @@ func selectAvBv(zv, nv, fSet graph.Set, f, phi int) (av, bv graph.Set) {
 // exclusion set excl, NoPath if none exists. The BFS runs once per
 // distinct (u, excl) over the node's whole run.
 func (nd *PhaseNode) chosenPath(u graph.NodeID, excl graph.Set) graph.PathID {
+	return chosenStepBPath(nd.topo, nd.arena, nd.stepB, u, nd.me, excl)
+}
+
+// chosenStepBPath is the step-(b) path choice shared by the scalar
+// PhaseNode and the vector lane group — one implementation, so the
+// batched and independent executions can never choose different paths.
+// The deterministic BFS result for (u, me, excl) is interned into arena
+// and memoized in stepB.
+func chosenStepBPath(topo *graph.Analysis, arena *graph.PathArena, stepB map[stepBKey]graph.PathID, u, me graph.NodeID, excl graph.Set) graph.PathID {
 	key := stepBKey{u: u}
-	if nd.arena.Exact() {
+	if arena.Exact() {
 		key.mask = graph.SetMask(excl)
 	} else {
 		key.excl = excl.String()
 	}
-	if pid, ok := nd.stepB[key]; ok {
+	if pid, ok := stepB[key]; ok {
 		return pid
 	}
 	pid := graph.NoPath
-	if puv := nd.g.ShortestPathExcluding(u, nd.me, excl); puv != nil {
-		pid = nd.arena.Intern(puv)
+	if puv := topo.ShortestPathExcluding(u, me, excl); puv != nil {
+		pid = arena.Intern(puv)
 	}
-	nd.stepB[key] = pid
+	stepB[key] = pid
 	return pid
 }
 

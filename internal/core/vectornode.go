@@ -1,0 +1,338 @@
+package core
+
+import (
+	"strings"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// This file implements the value-vector lane group of the batched
+// multi-instance engine: one PhaseNode-shaped state machine executing many
+// benign consensus instances ("lanes") at once, with a single flooding
+// session per phase whose messages carry every lane's value in one body.
+//
+// The soundness of the collapse is structural: a benign instance (no
+// Byzantine overrides anywhere) floods with input-independent structure —
+// every node initiates, every accepted (slot, Π) is forwarded, and
+// acceptance order depends only on the graph and the engine's canonical
+// delivery order, never on the values carried. All benign lanes of a
+// batch therefore accept exactly the same (slot, Π) sets in the same
+// order, and their executions differ only in the values along those
+// paths. One shared flooding session with a VectorBody per message
+// reproduces each lane's independent execution exactly: rules (i)–(iv)
+// are value-blind, and every per-lane read (step (b) path reads, step (c)
+// disjoint-receipt queries, the early-decision certificate) projects its
+// lane out of the shared receipts.
+//
+// Faulty instances do not collapse — a Byzantine node's transmissions
+// differ per instance, so their acceptance structure diverges — and stay
+// on scalar PhaseNodes; the eval batch runner groups lanes accordingly.
+
+// VectorBody is the multi-lane step-(a) flood body: Values[l] is lane l's
+// value. It is immutable after construction (the Payload contract).
+type VectorBody struct {
+	Values []sim.Value
+}
+
+var _ flood.Body = VectorBody{}
+
+// Key returns the canonical identity: "vv:" plus one bit per lane.
+func (b VectorBody) Key() string {
+	var sb strings.Builder
+	sb.Grow(3 + len(b.Values))
+	sb.WriteString("vv:")
+	for _, v := range b.Values {
+		if v == sim.Zero {
+			sb.WriteByte('0')
+		} else {
+			sb.WriteByte('1')
+		}
+	}
+	return sb.String()
+}
+
+// Slot returns the per-origin instance id, matching ValueBody: one vector
+// value per origin per phase.
+func (VectorBody) Slot() string { return "" }
+
+// VectorPhaseNode runs Algorithm 1 (t = 0) or Algorithm 3 phases for many
+// benign lanes at once. It mirrors PhaseNode exactly, lane by lane: the
+// flooding work is shared, the per-lane state (γ, early decision) and the
+// phase-end computations are per lane. It is not a sim.Decider — lanes
+// decide individually; see LaneDecision.
+type VectorPhaseNode struct {
+	g      *graph.Graph
+	me     graph.NodeID
+	f      int
+	phases []PhaseSpec
+	topo   *graph.Analysis
+
+	gammas       []sim.Value
+	phaseIdx     int
+	roundInPhase int
+	flooder      *flood.Flooder
+	done         bool
+
+	arena *graph.PathArena
+	// stepB caches the step-(b) path choice per (origin, exclusion set),
+	// exactly as PhaseNode does — the choice is topology-only, so one
+	// entry serves every lane.
+	stepB map[stepBKey]graph.PathID
+
+	earlyOK         bool
+	earlyDecided    []bool
+	earlyValues     []sim.Value
+	phaseStartGamma []sim.Value
+}
+
+var _ sim.Node = (*VectorPhaseNode)(nil)
+var _ sim.LaneDecider = (*VectorPhaseNode)(nil)
+
+// NewVectorAlgo1Node builds a multi-lane Algorithm 1 node over the given
+// per-lane inputs. topo and arena follow the newPhaseNode sharing
+// contract; arena may be nil for a private arena.
+func NewVectorAlgo1Node(topo *graph.Analysis, f int, me graph.NodeID, inputs []sim.Value, arena *graph.PathArena) *VectorPhaseNode {
+	g := topo.Graph()
+	return newVectorPhaseNode(topo, f, me, inputs, Algo1Phases(g.N(), f), arena)
+}
+
+// NewVectorHybridNode builds a multi-lane Algorithm 3 node.
+func NewVectorHybridNode(topo *graph.Analysis, f, t int, me graph.NodeID, inputs []sim.Value, arena *graph.PathArena) *VectorPhaseNode {
+	g := topo.Graph()
+	return newVectorPhaseNode(topo, f, me, inputs, HybridPhases(g.N(), f, t), arena)
+}
+
+func newVectorPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, inputs []sim.Value, phases []PhaseSpec, arena *graph.PathArena) *VectorPhaseNode {
+	g := topo.Graph()
+	if arena == nil {
+		arena = graph.NewPathArena(g)
+	}
+	gammas := make([]sim.Value, len(inputs))
+	copy(gammas, inputs)
+	return &VectorPhaseNode{
+		g:               g,
+		me:              me,
+		f:               f,
+		phases:          phases,
+		topo:            topo,
+		gammas:          gammas,
+		arena:           arena,
+		stepB:           make(map[stepBKey]graph.PathID),
+		earlyDecided:    make([]bool, len(inputs)),
+		earlyValues:     make([]sim.Value, len(inputs)),
+		phaseStartGamma: make([]sim.Value, len(inputs)),
+	}
+}
+
+// ID returns the node id.
+func (nd *VectorPhaseNode) ID() graph.NodeID { return nd.me }
+
+// Lanes returns the number of lanes.
+func (nd *VectorPhaseNode) Lanes() int { return len(nd.gammas) }
+
+// EnableEarlyDecision enables the per-lane observed-unanimity rule; see
+// PhaseNode.EnableEarlyDecision for the soundness argument, which applies
+// lane-wise unchanged.
+func (nd *VectorPhaseNode) EnableEarlyDecision() { nd.earlyOK = true }
+
+// LaneDecision reports lane l's decided output: after all phases
+// complete, or as soon as the lane's early-decision rule fires.
+func (nd *VectorPhaseNode) LaneDecision(l int) (sim.Value, bool) {
+	if nd.done {
+		return nd.gammas[l], true
+	}
+	if nd.earlyDecided[l] {
+		return nd.earlyValues[l], true
+	}
+	return 0, false
+}
+
+// Step advances the node by one synchronous round, mirroring
+// PhaseNode.Step with one flooding session shared by every lane.
+func (nd *VectorPhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
+	if nd.done || nd.phaseIdx >= len(nd.phases) {
+		nd.done = true
+		return nil
+	}
+	var out []sim.Outgoing
+	switch nd.roundInPhase {
+	case 0:
+		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
+		copy(nd.phaseStartGamma, nd.gammas)
+		vals := make([]sim.Value, len(nd.gammas))
+		copy(vals, nd.gammas)
+		out = nd.flooder.Start(VectorBody{Values: vals})
+	case 1:
+		out = nd.flooder.Deliver(inbox)
+		out = append(out, nd.flooder.SynthesizeMissing(func(graph.NodeID) flood.Body {
+			vals := make([]sim.Value, len(nd.gammas))
+			for i := range vals {
+				vals[i] = sim.DefaultValue
+			}
+			return VectorBody{Values: vals}
+		})...)
+	default:
+		out = nd.flooder.Deliver(inbox)
+	}
+	nd.roundInPhase++
+	if nd.roundInPhase == PhaseRounds(nd.g.N()) {
+		nd.endPhase()
+		nd.roundInPhase = 0
+		nd.phaseIdx++
+		if nd.phaseIdx == len(nd.phases) {
+			nd.done = true
+		}
+	}
+	return out
+}
+
+// laneValue projects lane l's value out of a vector receipt body.
+func laneValue(b flood.Body, l int) (sim.Value, bool) {
+	vb, ok := b.(VectorBody)
+	if !ok || l >= len(vb.Values) {
+		return 0, false
+	}
+	return vb.Values[l], true
+}
+
+// endPhase runs steps (b) and (c) of the current phase for every lane.
+// The candidate receipts (origin- and exclusion-filtered, value-blind)
+// are gathered once per phase; each lane's queries then run over
+// projections of that one set, which reproduces the scalar behavior
+// exactly — rule (ii) admits one content per (slot, path), so filtering
+// by body before or after the path dedup selects the same receipts.
+func (nd *VectorPhaseNode) endPhase() {
+	spec := nd.phases[nd.phaseIdx]
+	excl := spec.F.Union(spec.T)
+	st := nd.flooder.Store()
+	if nd.earlyOK {
+		nd.checkUnanimity(st)
+	}
+
+	// Step (b), shared across lanes: one chosen path per origin; one
+	// receipt read yields every lane's value.
+	reads := make(map[graph.NodeID]VectorBody)
+	for _, u := range nd.g.Nodes() {
+		if spec.T.Contains(u) || u == nd.me {
+			continue
+		}
+		pid := chosenStepBPath(nd.topo, nd.arena, nd.stepB, u, nd.me, excl)
+		if pid == graph.NoPath {
+			continue
+		}
+		for r := range st.AtPath(pid) {
+			if vb, ok := r.Body.(VectorBody); ok {
+				reads[u] = vb
+				break
+			}
+		}
+	}
+
+	// Step (c) candidates, shared across lanes and values: every receipt
+	// whose path excludes F∪T. Lane- and value-specific filtering happens
+	// inside the per-lane selection.
+	candidates := flood.Candidates(st, flood.Filter{Exclude: excl})
+
+	for l := range nd.gammas {
+		zv := graph.NewSet()
+		nv := graph.NewSet()
+		for _, u := range nd.g.Nodes() {
+			if spec.T.Contains(u) {
+				continue
+			}
+			if u == nd.me {
+				if nd.gammas[l] == sim.Zero {
+					zv.Add(u)
+				} else {
+					nv.Add(u)
+				}
+				continue
+			}
+			r, ok := reads[u]
+			if v, vok := laneValue(r, l); ok && vok && v == sim.Zero {
+				zv.Add(u)
+			} else {
+				nv.Add(u)
+			}
+		}
+		av, bv := selectAvBv(zv, nv, spec.F, nd.f, nd.f-spec.T.Len())
+		if !bv.Contains(nd.me) {
+			continue
+		}
+		for _, delta := range []sim.Value{sim.Zero, sim.One} {
+			if nd.laneDisjointReceipts(candidates, av, l, delta) {
+				nd.gammas[l] = delta
+				break
+			}
+		}
+	}
+}
+
+// laneDisjointReceipts reports whether lane l received delta along f+1
+// node-disjoint (except at this node) Avv-paths among the pre-filtered
+// candidates — the lane projection of the step-(c)
+// flood.ReceivedOnDisjointPaths query.
+func (nd *VectorPhaseNode) laneDisjointReceipts(candidates []flood.Receipt, av graph.Set, l int, delta sim.Value) bool {
+	var match []flood.Receipt
+	for _, r := range candidates {
+		if !av.Contains(r.Origin) {
+			continue
+		}
+		if v, ok := laneValue(r.Body, l); ok && v == delta {
+			match = append(match, r)
+		}
+	}
+	return flood.SelectDisjoint(nd.arena, match, nd.f+1, flood.DisjointExceptLast) != nil
+}
+
+// checkUnanimity applies the per-lane early-decision certificate: lane l
+// decides its phase-start value x if x was received from every other node
+// along f+1 internally node-disjoint paths. The per-origin candidate sets
+// are value-blind and gathered once; each lane projects its value.
+func (nd *VectorPhaseNode) checkUnanimity(st *flood.ReceiptStore) {
+	pending := 0
+	for l := range nd.gammas {
+		if !nd.earlyDecided[l] {
+			pending++
+		}
+	}
+	if pending == 0 {
+		return
+	}
+	undecided := make([]bool, len(nd.gammas))
+	for l := range undecided {
+		undecided[l] = !nd.earlyDecided[l]
+	}
+	for _, u := range nd.g.Nodes() {
+		if u == nd.me {
+			continue
+		}
+		cands := flood.Candidates(st, flood.Filter{Origins: graph.NewSet(u)})
+		for l := range nd.gammas {
+			if !undecided[l] {
+				continue
+			}
+			var match []flood.Receipt
+			for _, r := range cands {
+				if v, ok := laneValue(r.Body, l); ok && v == nd.phaseStartGamma[l] {
+					match = append(match, r)
+				}
+			}
+			if flood.SelectDisjoint(nd.arena, match, nd.f+1, flood.InternallyDisjoint) == nil {
+				undecided[l] = false
+				pending--
+			}
+		}
+		if pending == 0 {
+			return
+		}
+	}
+	for l, ok := range undecided {
+		if ok {
+			nd.earlyDecided[l] = true
+			nd.earlyValues[l] = nd.phaseStartGamma[l]
+		}
+	}
+}

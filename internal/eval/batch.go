@@ -1,0 +1,365 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"lbcast/internal/core"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// This file implements the batched multi-instance engine: B independent
+// consensus instances — distinct input vectors and fault patterns — over
+// the same graph, executed in one round loop. Per-vertex batch nodes
+// multiplex all instances' transmissions (sim.BatchNode), topology-derived
+// state is computed once in a shared graph.Analysis, and instances that
+// finish retire from the loop individually. Decisions are identical to B
+// separate Session runs (see DESIGN.md §7 for the argument and
+// TestBatchMatchesIndependentSessions for the enforcement).
+
+// BatchInstance is the per-instance part of a batch: everything that may
+// differ between the B instances. The graph, fault bound, algorithm, and
+// model are shared batch-wide (BatchSpec).
+type BatchInstance struct {
+	// Inputs maps every node to its input (faulty nodes may be omitted).
+	Inputs map[graph.NodeID]sim.Value
+	// Byzantine overrides the listed nodes with adversarial
+	// implementations. Instances do not share Byzantine node instances
+	// unless the caller passes the same value twice; a stateful adversary
+	// must not be shared across instances.
+	Byzantine map[graph.NodeID]sim.Node
+}
+
+// BatchSpec describes one batched execution: the shared parameters plus
+// one BatchInstance per consensus instance.
+type BatchSpec struct {
+	G *graph.Graph
+	// F is the fault bound the honest nodes are configured for.
+	F int
+	// T is the equivocation bound (Algo3 only).
+	T int
+	// Algorithm selects the honest protocol (defaults to Algo1).
+	Algorithm Algorithm
+	// Model is the communication model (defaults to LocalBroadcast).
+	Model sim.Model
+	// Equivocators is consulted under the Hybrid model.
+	Equivocators graph.Set
+	// Rounds overrides the computed round budget (0 = derive from the
+	// algorithm).
+	Rounds int
+	// FullBudget disables per-instance early termination: every instance
+	// runs the complete round budget.
+	FullBudget bool
+	// Sequential disables the engine's parallel round execution.
+	Sequential bool
+	// Observer, when set, receives the batch engine's events. Payloads are
+	// sim.BatchPayload multiplexes, and no Decision events fire (instance
+	// decisions are per instance; read them from the BatchOutcome).
+	Observer sim.Observer
+	// Instances are the per-instance configurations (at least one).
+	Instances []BatchInstance
+}
+
+// BatchOutcome is the judged result of a batched execution.
+type BatchOutcome struct {
+	// Outcomes holds one judged outcome per instance, in instance order.
+	// Per-instance Outcome.Metrics counts only rounds: transmissions and
+	// deliveries are shared between instances by multiplexing and cannot
+	// be attributed to one instance — see Metrics for the engine totals.
+	Outcomes []Outcome `json:"outcomes"`
+	// Rounds is the number of rounds the batch loop executed (the maximum
+	// over the instances' retirement rounds).
+	Rounds int `json:"rounds"`
+	// Metrics are the shared engine totals for the whole batch. The
+	// transmission count shows the multiplexing win: one physical
+	// transmission carries every live instance's payload at that slot.
+	Metrics sim.Metrics `json:"metrics"`
+}
+
+// OK reports whether all three consensus properties hold in every
+// instance.
+func (b BatchOutcome) OK() bool {
+	for _, o := range b.Outcomes {
+		if !o.OK() {
+			return false
+		}
+	}
+	return len(b.Outcomes) > 0
+}
+
+// BatchSession is a validated, reusable batched execution plan. Each Run
+// builds fresh protocol state; the session itself never mutates after
+// construction, so concurrent Runs are safe under the same caveats as
+// Session (shared Observer and Byzantine instances are invoked from every
+// run).
+type BatchSession struct {
+	spec BatchSpec
+	base Spec
+	topo *graph.Analysis
+}
+
+// base assembles the shared-parameter Spec of a batch (no inputs, no
+// Byzantine overrides — those are per instance).
+func (s BatchSpec) base() Spec {
+	return Spec{
+		G:            s.G,
+		F:            s.F,
+		T:            s.T,
+		Algorithm:    s.Algorithm,
+		Model:        s.Model,
+		Equivocators: s.Equivocators,
+		Rounds:       s.Rounds,
+		FullBudget:   s.FullBudget,
+		Sequential:   s.Sequential,
+	}
+}
+
+// NewBatchSession validates and normalizes the spec and returns a
+// reusable batched session. The shared parameters are validated once via
+// Spec.normalize, and every instance's inputs and overrides are
+// range-checked with the same rules.
+func NewBatchSession(spec BatchSpec) (*BatchSession, error) {
+	if len(spec.Instances) == 0 {
+		return nil, fmt.Errorf("eval: batch has no instances")
+	}
+	base := spec.base()
+	if err := base.normalize(); err != nil {
+		return nil, err
+	}
+	for i, inst := range spec.Instances {
+		per := base
+		per.Inputs = inst.Inputs
+		per.Byzantine = inst.Byzantine
+		if err := per.normalize(); err != nil {
+			return nil, fmt.Errorf("eval: batch instance %d: %w", i, err)
+		}
+	}
+	return &BatchSession{spec: spec, base: base, topo: graph.NewAnalysis(base.G)}, nil
+}
+
+// Spec returns the session's batch spec.
+func (s *BatchSession) Spec() BatchSpec { return s.spec }
+
+// Run executes every instance of the batch in one shared round loop and
+// judges each instance's outcome.
+//
+// Unless the spec demands the full budget, each instance retires from the
+// loop as soon as all of its honest nodes have decided — its nodes stop
+// being stepped and stop transmitting, exactly like an independent
+// Session run that terminates early — and the loop ends when every
+// instance has retired or the round budget is exhausted. The context is
+// checked between rounds; cancellation aborts mid-execution.
+func (s *BatchSession) Run(ctx context.Context) (BatchOutcome, error) {
+	b := len(s.spec.Instances)
+	g := s.base.G
+	n := g.N()
+
+	// Lane grouping: benign instances (no Byzantine overrides anywhere)
+	// of the phase-based algorithms have input-independent flooding
+	// structure, so they collapse into ONE value-vector lane group whose
+	// transmissions carry every benign lane's value at once
+	// (core.VectorPhaseNode); each remaining instance is its own scalar
+	// group. The sim.BatchNode multiplexes per group.
+	groupOf := make([]int, b) // instance -> group index
+	laneOf := make([]int, b)  // instance -> lane within its group
+	var vectorLanes []int     // instances in the vector group, in order
+	vectorizable := s.base.Algorithm == Algo1 || s.base.Algorithm == Algo3
+	for i, inst := range s.spec.Instances {
+		if vectorizable && len(inst.Byzantine) == 0 {
+			vectorLanes = append(vectorLanes, i)
+		}
+	}
+	if len(vectorLanes) < 2 {
+		vectorLanes = nil // a lone benign lane runs the scalar path
+	}
+	groups := 0
+	if vectorLanes != nil {
+		for l, i := range vectorLanes {
+			groupOf[i] = 0
+			laneOf[i] = l
+		}
+		groups = 1
+	}
+	inVector := make([]bool, b)
+	for _, i := range vectorLanes {
+		inVector[i] = true
+	}
+	for i := range s.spec.Instances {
+		if !inVector[i] {
+			groupOf[i] = groups
+			laneOf[i] = 0
+			groups++
+		}
+	}
+
+	honest := make([]graph.Set, b)
+	honestInputs := make([]map[graph.NodeID]sim.Value, b)
+	for i := range honest {
+		honest[i] = graph.NewSet()
+		honestInputs[i] = make(map[graph.NodeID]sim.Value)
+	}
+	batchNodes := make([]*sim.BatchNode, n)
+	nodes := make([]sim.Node, n)
+	early := !s.base.FullBudget
+	for _, u := range g.Nodes() {
+		// One arena per vertex, shared by the vertex's co-located groups:
+		// they step sequentially inside the batch node, and the arena is
+		// pure message-identity state, so sharing reuses interned prefixes
+		// across groups without affecting results.
+		arena := graph.NewPathArena(g)
+		inner := make([]sim.Node, groups)
+		if vectorLanes != nil {
+			inputs := make([]sim.Value, len(vectorLanes))
+			for l, i := range vectorLanes {
+				inputs[l] = s.spec.Instances[i].Inputs[u]
+			}
+			var vn *core.VectorPhaseNode
+			if s.base.Algorithm == Algo3 {
+				vn = core.NewVectorHybridNode(s.topo, s.base.F, s.base.T, u, inputs, arena)
+			} else {
+				vn = core.NewVectorAlgo1Node(s.topo, s.base.F, u, inputs, arena)
+			}
+			if early {
+				vn.EnableEarlyDecision()
+			}
+			inner[0] = vn
+		}
+		for i, inst := range s.spec.Instances {
+			if inVector[i] {
+				honest[i].Add(u)
+				honestInputs[i][u] = inst.Inputs[u]
+				continue
+			}
+			if byz, ok := inst.Byzantine[u]; ok {
+				inner[groupOf[i]] = byz
+				continue
+			}
+			in := inst.Inputs[u]
+			inner[groupOf[i]] = s.base.NewHonestNode(s.topo, arena, u, in)
+			honest[i].Add(u)
+			honestInputs[i][u] = in
+		}
+		bn, err := sim.NewBatchNode(u, inner)
+		if err != nil {
+			return BatchOutcome{}, fmt.Errorf("eval: %w", err)
+		}
+		batchNodes[u] = bn
+		nodes[u] = bn
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		Topology:     sim.GraphTopology{G: g},
+		Model:        s.base.Model,
+		Equivocators: s.base.Equivocators,
+		Observer:     s.spec.Observer,
+		Parallel:     !s.base.Sequential,
+	}, nodes)
+	if err != nil {
+		return BatchOutcome{}, fmt.Errorf("eval: %w", err)
+	}
+	defer eng.Close()
+
+	budget := s.base.Rounds
+	if budget == 0 {
+		budget = s.base.DefaultRounds()
+	}
+	// laneLeft[g] counts the group's unretired lanes; a group is retired
+	// from the engine only when its last lane retires.
+	laneLeft := make([]int, groups)
+	for i := 0; i < b; i++ {
+		laneLeft[groupOf[i]]++
+	}
+	rounds := make([]int, b)
+	retired := make([]bool, b)
+	active := b
+	for r := 0; r < budget && active > 0; r++ {
+		if err := ctx.Err(); err != nil {
+			return BatchOutcome{}, fmt.Errorf("eval: batch canceled after %d of %d rounds: %w",
+				eng.Metrics().Rounds, budget, err)
+		}
+		eng.Step()
+		if s.base.FullBudget {
+			continue
+		}
+		for i := 0; i < b; i++ {
+			if retired[i] || !allDecided(batchNodes, honest[i], groupOf[i], laneOf[i]) {
+				continue
+			}
+			retired[i] = true
+			rounds[i] = eng.Metrics().Rounds
+			active--
+			laneLeft[groupOf[i]]--
+			if laneLeft[groupOf[i]] == 0 {
+				for _, bn := range batchNodes {
+					bn.Retire(groupOf[i])
+				}
+			}
+		}
+	}
+	out := BatchOutcome{
+		Outcomes: make([]Outcome, b),
+		Rounds:   eng.Metrics().Rounds,
+		Metrics:  eng.Metrics(),
+	}
+	for i := 0; i < b; i++ {
+		if !retired[i] {
+			rounds[i] = eng.Metrics().Rounds
+		}
+		out.Outcomes[i] = judgeInstance(batchNodes, honest[i], honestInputs[i], groupOf[i], laneOf[i], rounds[i], budget)
+	}
+	if s.spec.Observer != nil {
+		s.spec.Observer.Done(eng.Metrics())
+	}
+	return out, nil
+}
+
+// laneDecision reads instance decision state at one vertex: the lane
+// projection for vector groups, the plain Decider path for scalar ones.
+func laneDecision(bn *sim.BatchNode, grp, lane int) (sim.Value, bool) {
+	nd := bn.Instance(grp)
+	if ld, ok := nd.(sim.LaneDecider); ok {
+		return ld.LaneDecision(lane)
+	}
+	if d, ok := nd.(sim.Decider); ok {
+		return d.Decision()
+	}
+	return 0, false
+}
+
+// allDecided reports whether every honest node of the instance mapped to
+// (grp, lane) has decided.
+func allDecided(batchNodes []*sim.BatchNode, honest graph.Set, grp, lane int) bool {
+	for u := range honest {
+		if _, ok := laneDecision(batchNodes[u], grp, lane); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// judgeInstance evaluates the consensus properties of one batch instance,
+// mirroring Judge over the instance's inner nodes. The instance metrics
+// carry only the round count; transmissions are shared batch-wide.
+func judgeInstance(batchNodes []*sim.BatchNode, honest graph.Set, honestInputs map[graph.NodeID]sim.Value, grp, lane, rounds, budget int) Outcome {
+	decisions := make(map[graph.NodeID]sim.Value)
+	term := true
+	for u := range honest {
+		v, ok := laneDecision(batchNodes[u], grp, lane)
+		if !ok {
+			term = false
+			continue
+		}
+		decisions[u] = v
+	}
+	return judgeOutcome(decisions, honestInputs, term, budget, sim.Metrics{Rounds: rounds})
+}
+
+// RunBatch executes the batch spec once. It is the one-shot form of
+// NewBatchSession(spec).Run(ctx).
+func RunBatch(ctx context.Context, spec BatchSpec) (BatchOutcome, error) {
+	s, err := NewBatchSession(spec)
+	if err != nil {
+		return BatchOutcome{}, err
+	}
+	return s.Run(ctx)
+}

@@ -22,6 +22,12 @@ type MonteCarloConfig struct {
 	// Faults is the number of Byzantine nodes planted per trial
 	// (must be <= F; default F).
 	Faults int
+	// FaultProb, when in (0, 1), makes each trial adversarial only with
+	// this probability and fault-free otherwise — the production-traffic
+	// profile where faults are the exception. 0 (the default) and 1 both
+	// mean every trial plants Faults faults, exactly the historical
+	// behavior (and the historical per-trial random streams).
+	FaultProb float64
 	// Trials is the number of executions (default 20).
 	Trials int
 	// Seed makes the sweep reproducible.
@@ -32,6 +38,12 @@ type MonteCarloConfig struct {
 	// Results are identical for every worker count: each trial derives
 	// all of its randomness from its own seed.
 	Workers int
+	// Batch, when > 1, executes the trials in batched groups of that size
+	// through the multi-instance engine (RunBatch): every group shares one
+	// round loop and one topology analysis. Per-trial randomness is
+	// derived exactly as in unbatched mode, so the verdicts are identical
+	// — batching changes throughput, never outcomes.
+	Batch int
 }
 
 // MonteCarloResult tallies a sweep.
@@ -85,10 +97,26 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 			return MonteCarloResult{}, fmt.Errorf("eval: unknown strategy %q", s)
 		}
 	}
+	if cfg.Batch < 0 {
+		return MonteCarloResult{}, fmt.Errorf("eval: negative batch size %d", cfg.Batch)
+	}
+	if cfg.FaultProb < 0 || cfg.FaultProb > 1 {
+		return MonteCarloResult{}, fmt.Errorf("eval: fault probability %v outside [0, 1]", cfg.FaultProb)
+	}
 	results := make([]mcTrialResult, cfg.Trials)
-	RunPool(cfg.Workers, cfg.Trials, func(trial int) {
-		results[trial] = runMonteCarloTrial(ctx, cfg, trial)
-	})
+	if cfg.Batch > 1 {
+		groups := (cfg.Trials + cfg.Batch - 1) / cfg.Batch
+		sequential := effectiveWorkers(cfg.Workers, groups) > 1
+		RunPool(cfg.Workers, groups, func(gi int) {
+			lo := gi * cfg.Batch
+			hi := min(lo+cfg.Batch, cfg.Trials)
+			runMonteCarloBatch(ctx, cfg, lo, hi, sequential, results[lo:hi])
+		})
+	} else {
+		RunPool(cfg.Workers, cfg.Trials, func(trial int) {
+			results[trial] = runMonteCarloTrial(ctx, cfg, trial)
+		})
+	}
 
 	res := MonteCarloResult{Trials: cfg.Trials}
 	for _, r := range results {
@@ -110,22 +138,30 @@ type mcTrialResult struct {
 	err       error
 }
 
-// runMonteCarloTrial executes one trial; all randomness derives from the
-// trial's own seed.
-func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) (out mcTrialResult) {
+// mcTrialSetup derives one trial's inputs, fault placement, strategy, and
+// adversary instances from the trial's own seed. Batched and unbatched
+// execution share this derivation, which is what makes their verdicts
+// identical.
+func mcTrialSetup(cfg MonteCarloConfig, trial int) (inputs map[graph.NodeID]sim.Value, faulty []graph.NodeID, strat string, byz map[graph.NodeID]sim.Node) {
 	rng := rand.New(rand.NewSource(cellSeed(cfg.Seed, trial)))
 	n := cfg.G.N()
-	inputs := make(map[graph.NodeID]sim.Value, n)
+	inputs = make(map[graph.NodeID]sim.Value, n)
 	for i := 0; i < n; i++ {
 		inputs[graph.NodeID(i)] = sim.Value(rng.Intn(2))
 	}
+	// The FaultProb draw happens only when the knob is active, so the
+	// historical per-trial streams (and therefore all recorded sweep
+	// results) are unchanged at the default.
+	if cfg.FaultProb > 0 && cfg.FaultProb < 1 && rng.Float64() >= cfg.FaultProb {
+		return inputs, nil, "none", nil
+	}
 	perm := rng.Perm(n)
-	faulty := make([]graph.NodeID, 0, cfg.Faults)
+	faulty = make([]graph.NodeID, 0, cfg.Faults)
 	for _, p := range perm[:cfg.Faults] {
 		faulty = append(faulty, graph.NodeID(p))
 	}
-	strat := cfg.Strategies[rng.Intn(len(cfg.Strategies))]
-	byz := make(map[graph.NodeID]sim.Node, len(faulty))
+	strat = cfg.Strategies[rng.Intn(len(cfg.Strategies))]
+	byz = make(map[graph.NodeID]sim.Node, len(faulty))
 	phaseLen := core.PhaseRounds(n)
 	for _, u := range faulty {
 		switch strat {
@@ -139,6 +175,26 @@ func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) (o
 			byz[u] = adversary.NewForger(cfg.G, u, phaseLen, rng.Int63())
 		}
 	}
+	return inputs, faulty, strat, byz
+}
+
+// mcVerdict converts one judged outcome into the trial's result slot.
+func mcVerdict(trial int, faulty []graph.NodeID, strat string, run Outcome) mcTrialResult {
+	if run.OK() {
+		return mcTrialResult{}
+	}
+	return mcTrialResult{violation: &MonteCarloViolation{
+		Trial:    trial,
+		Faulty:   faulty,
+		Strategy: strat,
+		Outcome:  run,
+	}}
+}
+
+// runMonteCarloTrial executes one trial; all randomness derives from the
+// trial's own seed.
+func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) mcTrialResult {
+	inputs, faulty, strat, byz := mcTrialSetup(cfg, trial)
 	s, err := NewSession(Spec{
 		G:         cfg.G,
 		F:         cfg.F,
@@ -151,21 +207,42 @@ func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) (o
 		Sequential: effectiveWorkers(cfg.Workers, cfg.Trials) > 1,
 	})
 	if err != nil {
-		out.err = err
-		return out
+		return mcTrialResult{err: err}
 	}
 	run, err := s.Run(ctx)
 	if err != nil {
-		out.err = err
-		return out
+		return mcTrialResult{err: err}
 	}
-	if !run.OK() {
-		out.violation = &MonteCarloViolation{
-			Trial:    trial,
-			Faulty:   faulty,
-			Strategy: strat,
-			Outcome:  run,
+	return mcVerdict(trial, faulty, strat, run)
+}
+
+// runMonteCarloBatch executes trials [lo, hi) as one multi-instance batch
+// and writes each trial's verdict into its slot of results.
+func runMonteCarloBatch(ctx context.Context, cfg MonteCarloConfig, lo, hi int, sequential bool, results []mcTrialResult) {
+	b := hi - lo
+	instances := make([]BatchInstance, b)
+	faulties := make([][]graph.NodeID, b)
+	strats := make([]string, b)
+	for i := 0; i < b; i++ {
+		inputs, faulty, strat, byz := mcTrialSetup(cfg, lo+i)
+		instances[i] = BatchInstance{Inputs: inputs, Byzantine: byz}
+		faulties[i] = faulty
+		strats[i] = strat
+	}
+	out, err := RunBatch(ctx, BatchSpec{
+		G:          cfg.G,
+		F:          cfg.F,
+		Algorithm:  cfg.Algorithm,
+		Sequential: sequential,
+		Instances:  instances,
+	})
+	if err != nil {
+		for i := range results {
+			results[i] = mcTrialResult{err: err}
 		}
+		return
 	}
-	return out
+	for i := 0; i < b; i++ {
+		results[i] = mcVerdict(lo+i, faulties[i], strats[i], out.Outcomes[i])
+	}
 }

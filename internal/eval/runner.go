@@ -164,36 +164,46 @@ type Outcome struct {
 // OK reports whether all three consensus properties hold.
 func (o Outcome) OK() bool { return o.Agreement && o.Validity && o.Termination }
 
-// HonestFactory returns the honest-node constructor for spec. Unless the
+// HonestFactory returns the honest-node constructor for spec, drawing
+// topology data from a fresh per-call analysis shared by every node the
+// factory builds. Unless the spec demands the full budget, phase-based
+// nodes are built with early decision enabled.
+func (s Spec) HonestFactory() adversary.HonestFactory {
+	return s.honestFactory(graph.NewAnalysis(s.G))
+}
+
+// honestFactory is HonestFactory over a caller-supplied shared analysis.
+func (s Spec) honestFactory(topo *graph.Analysis) adversary.HonestFactory {
+	return func(u graph.NodeID, input sim.Value) sim.Node {
+		return s.NewHonestNode(topo, nil, u, input)
+	}
+}
+
+// NewHonestNode builds the honest protocol node for spec at vertex u.
+// topo is the shared read-only topology analysis (concurrency-safe; one
+// per graph is enough for any number of nodes, runs, and batch
+// instances). arena, when non-nil, shares message-identity state between
+// the co-located instances of one batch node — it is not safe for
+// concurrent use and must be nil when nodes step in parallel. Unless the
 // spec demands the full budget, phase-based nodes are built with early
 // decision enabled.
-func (s Spec) HonestFactory() adversary.HonestFactory {
+func (s Spec) NewHonestNode(topo *graph.Analysis, arena *graph.PathArena, u graph.NodeID, input sim.Value) sim.Node {
 	early := !s.FullBudget
 	switch s.Algorithm {
 	case Algo2:
-		// One disjoint-paths cache per run: every node shares the
-		// fault-identification walk layouts instead of recomputing the
-		// same max-flows.
-		paths := graph.NewDisjointPathsCache(s.G)
-		return func(u graph.NodeID, input sim.Value) sim.Node {
-			return core.NewEfficientNodeShared(s.G, s.F, u, input, paths)
-		}
+		return core.NewEfficientNodeShared(topo, s.F, u, input, arena)
 	case Algo3:
-		return func(u graph.NodeID, input sim.Value) sim.Node {
-			nd := core.NewHybridNode(s.G, s.F, s.T, u, input)
-			if early {
-				nd.EnableEarlyDecision()
-			}
-			return nd
+		nd := core.NewHybridNodeShared(topo, s.F, s.T, u, input, arena)
+		if early {
+			nd.EnableEarlyDecision()
 		}
+		return nd
 	default:
-		return func(u graph.NodeID, input sim.Value) sim.Node {
-			nd := core.NewAlgo1Node(s.G, s.F, u, input)
-			if early {
-				nd.EnableEarlyDecision()
-			}
-			return nd
+		nd := core.NewAlgo1NodeShared(topo, s.F, u, input, arena)
+		if early {
+			nd.EnableEarlyDecision()
 		}
+		return nd
 	}
 }
 
@@ -219,6 +229,10 @@ func (s Spec) DefaultRounds() int {
 // mutex-guarded observer).
 type Session struct {
 	spec Spec
+	// topo is the session's shared topology analysis: memoized pure-graph
+	// computations (step-(b) BFS choices, disjoint-path layouts) reused by
+	// every node of every Run. Safe for concurrent Runs.
+	topo *graph.Analysis
 }
 
 // NewSession validates and normalizes the spec and returns a reusable
@@ -230,7 +244,7 @@ func NewSession(spec Spec) (*Session, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
-	return &Session{spec: spec}, nil
+	return &Session{spec: spec, topo: graph.NewAnalysis(spec.G)}, nil
 }
 
 // Spec returns the session's normalized spec.
@@ -246,7 +260,7 @@ func (s *Session) Spec() Spec { return s.spec }
 func (s *Session) Run(ctx context.Context) (Outcome, error) {
 	spec := s.spec
 	g := spec.G
-	factory := spec.HonestFactory()
+	factory := spec.honestFactory(s.topo)
 	nodes := make([]sim.Node, g.N())
 	honest := graph.NewSet()
 	honestInputs := make(map[graph.NodeID]sim.Value)
@@ -317,6 +331,13 @@ func Judge(eng *sim.Engine, honest graph.Set, honestInputs map[graph.NodeID]sim.
 		}
 		decisions[u] = v
 	}
+	return judgeOutcome(decisions, honestInputs, term, budget, eng.Metrics())
+}
+
+// judgeOutcome evaluates the three consensus properties over collected
+// honest decisions — the shared core of Judge and the batch runner's
+// per-instance judging, so the two paths can never diverge.
+func judgeOutcome(decisions map[graph.NodeID]sim.Value, honestInputs map[graph.NodeID]sim.Value, term bool, budget int, metrics sim.Metrics) Outcome {
 	agreement := true
 	var ref sim.Value
 	first := true
@@ -346,9 +367,9 @@ func Judge(eng *sim.Engine, honest graph.Set, honestInputs map[graph.NodeID]sim.
 		Agreement:   agreement && term,
 		Validity:    validity && term,
 		Termination: term,
-		Rounds:      eng.Metrics().Rounds,
+		Rounds:      metrics.Rounds,
 		Budget:      budget,
-		Metrics:     eng.Metrics(),
+		Metrics:     metrics,
 	}
 }
 

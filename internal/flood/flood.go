@@ -97,13 +97,15 @@ func (r Receipt) Value() (sim.Value, bool) {
 	return vb.Value, true
 }
 
-// acceptKey is the rule-(ii) dedup key: (direct sender, slot, Π). The slot
-// string is interned to a small integer and Π is the PathID of the
-// message's carried path (NoPath for an initiation's empty Π).
-type acceptKey struct {
-	from graph.NodeID
-	slot int32
-	path graph.PathID
+// acceptKey packs the rule-(ii) dedup key into one integer. The paper's
+// key is (direct sender, slot, Π); since the interned full path Π·u
+// determines both Π (its parent) and the sender u (its last node), the
+// pair (slot, Π·u) is an equivalent key, and both components are small
+// integers — the slot string is interned per flooder and the path is its
+// arena PathID. A single 8-byte key keeps the hottest map in the system
+// on the fast hash path.
+func acceptKey(slot int32, full graph.PathID) uint64 {
+	return uint64(uint32(slot))<<32 | uint64(uint32(full))
 }
 
 // Flooder is the per-node flooding state machine for one flooding session.
@@ -119,10 +121,10 @@ type Flooder struct {
 	// slots interns Body.Slot() strings for the integer dedup key.
 	slots map[string]int32
 	// accepted holds the rule-(ii) keys already taken.
-	accepted map[acceptKey]struct{}
+	accepted map[uint64]struct{}
 	// initiatedBy[u] is true once an initiation (empty Π) was accepted
 	// from neighbor u, used by the default-message rule.
-	initiatedBy map[graph.NodeID]bool
+	initiatedBy []bool
 	store       *ReceiptStore
 	// fwdBuf is the reused Deliver output buffer; its contents are valid
 	// until the next Deliver call.
@@ -145,8 +147,8 @@ func NewWithArena(g *graph.Graph, me graph.NodeID, arena *graph.PathArena) *Floo
 		me:          me,
 		arena:       arena,
 		slots:       make(map[string]int32),
-		accepted:    make(map[acceptKey]struct{}),
-		initiatedBy: make(map[graph.NodeID]bool),
+		accepted:    make(map[uint64]struct{}),
+		initiatedBy: make([]bool, g.N()),
 		store:       NewReceiptStore(arena),
 	}
 }
@@ -216,8 +218,10 @@ func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (sim.Outgoing, bool) {
 	// Rule (i): Π·u must be a simple path of G ending at the sender. (A
 	// faulty sender can only forge provenance along real paths ending at
 	// itself.) Interning validates node membership, adjacency, and
-	// simplicity in one walk; shared prefixes resolve to O(1) lookups.
-	full := f.arena.Intern(m.Pi)
+	// simplicity in one walk; repeat slices (honest forwarders resend the
+	// same materialized paths phase over phase and instance over instance)
+	// resolve through the arena's slice-identity memo without re-walking.
+	full := f.arena.InternCached(m.Pi)
 	if len(m.Pi) > 0 && full == graph.NoPath {
 		return sim.Outgoing{}, false
 	}
@@ -225,8 +229,9 @@ func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (sim.Outgoing, bool) {
 	if full == graph.NoPath {
 		return sim.Outgoing{}, false
 	}
-	// Rule (ii): first content accepted for (sender, slot, Π) wins.
-	key := acceptKey{from: from, slot: f.slotID(m.Body.Slot()), path: f.arena.Parent(full)}
+	// Rule (ii): first content accepted for (sender, slot, Π) wins. The
+	// key is (slot, Π·u), which is equivalent — see acceptKey.
+	key := acceptKey(f.slotID(m.Body.Slot()), full)
 	if _, dup := f.accepted[key]; dup {
 		return sim.Outgoing{}, false
 	}

@@ -1,0 +1,108 @@
+package graph
+
+import "sync"
+
+// Analysis is the shared, read-only topology state of one graph: the
+// expensive pure-graph computations every consensus instance needs —
+// minimum degree, vertex connectivity, step-(b) shortest-path choices,
+// and the fault-identification disjoint-path layouts — computed once and
+// shared by every node of every instance that runs on the graph.
+//
+// The batched multi-instance engine (eval.RunBatch) is the motivating
+// consumer: B instances over the same graph would otherwise redo the same
+// BFS and max-flow work B times per node. Single executions benefit too
+// (all n nodes of one run share one Analysis).
+//
+// Immutability contract: an Analysis never mutates its graph, and all of
+// its methods are safe for concurrent use — internal memoization is
+// guarded, and every memoized computation is a deterministic pure function
+// of the immutable graph, so concurrent fills store identical values and
+// results never depend on call interleaving. Returned Path slices are
+// shared; callers must treat them as read-only (the module-wide Path
+// convention). The graph must not be mutated while the Analysis is in
+// use.
+type Analysis struct {
+	g         *Graph
+	minDegree int
+
+	connOnce sync.Once
+	conn     int
+
+	paths *DisjointPathsCache
+
+	spMu sync.RWMutex
+	sp   map[spKey]Path
+}
+
+// spKey identifies one memoized shortest-path query: endpoints plus the
+// exclusion set, as a bitmask when exact (n <= 64) and as the canonical
+// set string otherwise.
+type spKey struct {
+	s, t NodeID
+	mask uint64
+	excl string
+}
+
+// NewAnalysis returns a shared analysis of g. The graph must not be
+// mutated afterwards.
+func NewAnalysis(g *Graph) *Analysis {
+	return &Analysis{
+		g:         g,
+		minDegree: g.MinDegree(),
+		paths:     NewDisjointPathsCache(g),
+		sp:        make(map[spKey]Path),
+	}
+}
+
+// Graph returns the analyzed graph. Callers must not mutate it.
+func (a *Analysis) Graph() *Graph { return a.g }
+
+// MinDegree returns the graph's minimum degree (computed once, at
+// construction).
+func (a *Analysis) MinDegree() int { return a.minDegree }
+
+// Connectivity returns the graph's vertex connectivity, computed on first
+// use and cached (the computation is a max-flow per non-adjacent pair).
+func (a *Analysis) Connectivity() int {
+	a.connOnce.Do(func() { a.conn = a.g.VertexConnectivity() })
+	return a.conn
+}
+
+// key builds the memoization key for a shortest-path query.
+func (a *Analysis) key(s, t NodeID, exclude Set) spKey {
+	k := spKey{s: s, t: t}
+	if a.g.N() <= 64 {
+		k.mask = SetMask(exclude)
+	} else {
+		k.excl = exclude.String()
+	}
+	return k
+}
+
+// ShortestPathExcluding is Graph.ShortestPathExcluding, memoized per
+// (s, t, exclude). This is the step-(b) path choice of Algorithms 1/3:
+// deterministic BFS, so the memoized result is identical to a fresh
+// computation. The returned path is shared; callers must not modify it.
+func (a *Analysis) ShortestPathExcluding(s, t NodeID, exclude Set) Path {
+	k := a.key(s, t, exclude)
+	a.spMu.RLock()
+	p, ok := a.sp[k]
+	a.spMu.RUnlock()
+	if ok {
+		return p
+	}
+	p = a.g.ShortestPathExcluding(s, t, exclude)
+	a.spMu.Lock()
+	// Last write wins; the BFS is deterministic, so concurrent fills
+	// store identical values.
+	a.sp[k] = p
+	a.spMu.Unlock()
+	return p
+}
+
+// DisjointPaths is Graph.DisjointPaths(u, v, want, nil), memoized — the
+// fault-identification walk layouts of Algorithm 2. Returned paths are
+// shared; callers must not modify them.
+func (a *Analysis) DisjointPaths(u, v NodeID, want int) []Path {
+	return a.paths.DisjointPaths(u, v, want)
+}

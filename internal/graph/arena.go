@@ -57,6 +57,21 @@ type PathArena struct {
 	roots []PathID
 	// exact reports whether masks are exact node sets (n <= 64).
 	exact bool
+	// bySlice memoizes InternCached results by slice identity (base
+	// pointer, with the length double-checked in the memo entry — the
+	// pointer alone keeps the map on the fast 8-byte hash path). Keys pin
+	// their backing arrays, so an address can never be recycled under a
+	// live entry.
+	bySlice map[*NodeID]sliceMemo
+}
+
+// sliceMemo is one slice-identity memo entry: the slice length it was
+// recorded at and the interned PathID. Path contents are immutable
+// module-wide (the sim.Payload contract), so base pointer + length
+// implies equal contents.
+type sliceMemo struct {
+	n  int
+	id PathID
 }
 
 // NewPathArena returns an empty arena for paths of g.
@@ -145,6 +160,38 @@ func (a *PathArena) Intern(p Path) PathID {
 			return NoPath
 		}
 		id = a.Extend(id, u)
+	}
+	return id
+}
+
+// InternCached is Intern memoized by slice identity. The flooding hot
+// path interns the same materialized path slices over and over — honest
+// forwarders send Path(id) slices, which are cached per arena entry and
+// therefore pointer-stable across phases and across the co-located
+// instances of a batch — and the memo turns each repeat walk into one map
+// lookup. Results are identical to Intern: only valid interning outcomes
+// are memoized, and the memo key pins the slice, so its contents (which
+// are immutable by the module-wide Path convention) can never be
+// recycled. Fresh slices (e.g. adversarial forgeries) simply miss and pay
+// the normal walk.
+func (a *PathArena) InternCached(p Path) PathID {
+	if len(p) == 0 {
+		return NoPath
+	}
+	if m, ok := a.bySlice[&p[0]]; ok && m.n == len(p) {
+		return m.id
+	}
+	id := a.Intern(p)
+	if id != NoPath {
+		if a.bySlice == nil {
+			a.bySlice = make(map[*NodeID]sliceMemo)
+		}
+		if _, taken := a.bySlice[&p[0]]; !taken {
+			// First length interned for a base pointer wins: an existing
+			// entry must have a different length (an equal one would have
+			// hit above), and it pins its slice, so it stays valid.
+			a.bySlice[&p[0]] = sliceMemo{n: len(p), id: id}
+		}
 	}
 	return id
 }

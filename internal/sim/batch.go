@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lbcast/internal/graph"
+)
+
+// This file implements per-instance slot multiplexing for the batched
+// multi-instance engine (eval.RunBatch): B independent consensus instances
+// over the same graph run in one round loop, and one physical transmission
+// carries all instances' payloads for a node.
+//
+// A BatchNode wraps the B per-instance protocol nodes of one graph vertex.
+// Each round it demultiplexes the vertex's inbox into per-instance
+// inboxes, steps every live instance, and merges the instances' outgoing
+// transmissions position-wise: the p-th outgoing of every instance (same
+// destination) shares one BatchPayload whose Parts slice is indexed by
+// instance. Position-wise merging preserves, per instance and per
+// receiver, the exact delivery order of an independent run — which is what
+// makes batch decisions provably identical to B separate executions (see
+// DESIGN.md §7).
+
+// BatchPayload is the multiplexed wire payload of one merged transmission:
+// Parts[j] is instance First+j's payload at this position, nil when that
+// instance has nothing at it. The First offset keeps the slice compact
+// when only a tail of slow instances is still live (the common state late
+// in a mixed batch). BatchPayload is immutable after construction (the
+// Payload contract).
+type BatchPayload struct {
+	First int
+	Parts []Payload
+}
+
+var _ Payload = BatchPayload{}
+
+// Key returns the canonical identity of the multiplexed payload: the
+// instance-tagged keys of its non-nil parts.
+func (p BatchPayload) Key() string {
+	var sb strings.Builder
+	sb.WriteString("mux[")
+	first := true
+	for j, part := range p.Parts {
+		if part == nil {
+			continue
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(p.First + j))
+		sb.WriteByte(':')
+		sb.WriteString(part.Key())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// LaneDecider is a Node executing several consensus lanes at once (e.g. a
+// value-vector node covering every benign instance of a batch), whose
+// lanes decide individually.
+type LaneDecider interface {
+	Node
+	// LaneDecision returns lane l's decided value; ok is false while that
+	// lane is undecided.
+	LaneDecision(l int) (Value, bool)
+}
+
+// BatchNode multiplexes the per-instance protocol nodes of one graph
+// vertex into a single engine node. All inner nodes must report the same
+// vertex id. Instances are stepped sequentially inside Step, so the inner
+// nodes may share single-threaded state with each other (one PathArena per
+// vertex) but not with other vertices' nodes.
+//
+// BatchNode deliberately does not implement Decider: decisions are per
+// inner unit — read them from Instance(i) via Decider or LaneDecider; the
+// batch runner (not the engine) owns termination.
+type BatchNode struct {
+	id      graph.NodeID
+	inner   []Node
+	retired []bool
+
+	// outs collects each instance's outgoings within one Step; subs are
+	// the reused per-instance demultiplexed inboxes. Both are valid only
+	// inside Step.
+	outs [][]Outgoing
+	subs [][]Delivery
+}
+
+// NewBatchNode wraps the per-instance nodes of vertex id. Every inner node
+// must be non-nil and report id.
+func NewBatchNode(id graph.NodeID, inner []Node) (*BatchNode, error) {
+	if len(inner) == 0 {
+		return nil, fmt.Errorf("sim: batch node %d has no instances", id)
+	}
+	ns := make([]Node, len(inner))
+	for i, nd := range inner {
+		if nd == nil {
+			return nil, fmt.Errorf("sim: batch node %d: nil instance %d", id, i)
+		}
+		if nd.ID() != id {
+			return nil, fmt.Errorf("sim: batch node %d: instance %d reports id %d", id, i, nd.ID())
+		}
+		ns[i] = nd
+	}
+	return &BatchNode{
+		id:      id,
+		inner:   ns,
+		retired: make([]bool, len(ns)),
+		outs:    make([][]Outgoing, len(ns)),
+		subs:    make([][]Delivery, len(ns)),
+	}, nil
+}
+
+// ID returns the vertex id.
+func (bn *BatchNode) ID() graph.NodeID { return bn.id }
+
+// Instances returns the batch width B.
+func (bn *BatchNode) Instances() int { return len(bn.inner) }
+
+// Instance returns instance i's inner node.
+func (bn *BatchNode) Instance(i int) Node { return bn.inner[i] }
+
+// Retire stops instance i: it is no longer stepped and emits no further
+// transmissions. Retirement is driven by the batch runner, which retires
+// an instance on every vertex in the same inter-round gap, so the
+// instances' executions stay mutually consistent.
+func (bn *BatchNode) Retire(i int) { bn.retired[i] = true }
+
+// Retired reports whether instance i has been retired.
+func (bn *BatchNode) Retired(i int) bool { return bn.retired[i] }
+
+// Step demultiplexes the vertex inbox, steps every live instance, and
+// merges the instances' outgoings position-wise. For each position p, the
+// instances' p-th outgoings are grouped by destination (first-seen order,
+// which is deterministic: ascending instance index) and each group becomes
+// one merged transmission. An instance contributes at most one payload per
+// position, so no merge can reorder a single instance's stream — every
+// instance observes exactly the delivery sequence of an independent run.
+func (bn *BatchNode) Step(round int, inbox []Delivery) []Outgoing {
+	b := len(bn.inner)
+	// Demultiplex in one pass over the merged inbox.
+	for i := range bn.subs {
+		bn.subs[i] = bn.subs[i][:0]
+	}
+	for _, d := range inbox {
+		mp, ok := d.Payload.(BatchPayload)
+		if !ok {
+			continue
+		}
+		for j, part := range mp.Parts {
+			i := mp.First + j
+			if part == nil || bn.retired[i] {
+				continue
+			}
+			bn.subs[i] = append(bn.subs[i], Delivery{From: d.From, Payload: part})
+		}
+	}
+	maxLen := 0
+	for i := 0; i < b; i++ {
+		bn.outs[i] = nil
+		if bn.retired[i] {
+			continue
+		}
+		out := bn.inner[i].Step(round, bn.subs[i])
+		bn.outs[i] = out
+		if len(out) > maxLen {
+			maxLen = len(out)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	var merged []Outgoing
+	var tos []graph.NodeID
+	for p := 0; p < maxLen; p++ {
+		tos = tos[:0]
+		for i := 0; i < b; i++ {
+			if p >= len(bn.outs[i]) {
+				continue
+			}
+			to := bn.outs[i][p].To
+			known := false
+			for _, t := range tos {
+				if t == to {
+					known = true
+					break
+				}
+			}
+			if !known {
+				tos = append(tos, to)
+			}
+		}
+		for _, to := range tos {
+			lo, hi := -1, -1
+			for i := 0; i < b; i++ {
+				if p < len(bn.outs[i]) && bn.outs[i][p].To == to {
+					if lo < 0 {
+						lo = i
+					}
+					hi = i
+				}
+			}
+			parts := make([]Payload, hi-lo+1)
+			for i := lo; i <= hi; i++ {
+				if p < len(bn.outs[i]) && bn.outs[i][p].To == to {
+					parts[i-lo] = bn.outs[i][p].Payload
+				}
+			}
+			merged = append(merged, Outgoing{To: to, Payload: BatchPayload{First: lo, Parts: parts}})
+		}
+	}
+	return merged
+}
