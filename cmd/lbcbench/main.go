@@ -17,16 +17,20 @@
 //	lbcbench                      # all workloads, JSON to stdout
 //	lbcbench -filter algo1        # substring-filtered workloads
 //	lbcbench -batch               # only the batched-throughput pairs
-//	lbcbench -out BENCH_3.json
+//	lbcbench -out BENCH_4.json -prev BENCH_3.json
+//	lbcbench -check-allocs testdata/alloc_budgets.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"testing"
 
@@ -307,12 +311,99 @@ func workloads() []workload {
 	}
 }
 
+// loadMeasurements reads a BENCH_*.json file into a name-indexed map.
+func loadMeasurements(path string) (map[string]Measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(data, &ms); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Measurement, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m
+	}
+	return out, nil
+}
+
+// printDeltas writes a human-readable bytes_per_op / ns_per_op delta
+// summary against a previous BENCH file to w (one line per workload that
+// exists in both runs).
+func printDeltas(w io.Writer, ms []Measurement, prev map[string]Measurement) {
+	fmt.Fprintln(w, "deltas vs previous BENCH file:")
+	for _, m := range ms {
+		p, ok := prev[m.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s (new workload)\n", m.Name)
+			continue
+		}
+		line := fmt.Sprintf("  %-40s bytes/op %d -> %d", m.Name, p.BytesPerOp, m.BytesPerOp)
+		if m.BytesPerOp > 0 {
+			line += fmt.Sprintf(" (%.2fx)", float64(p.BytesPerOp)/float64(m.BytesPerOp))
+		}
+		if m.NsPerOp > 0 {
+			line += fmt.Sprintf(", ns/op %.0f -> %.0f (%.2fx)", p.NsPerOp, m.NsPerOp, p.NsPerOp/m.NsPerOp)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// allocBudgets is the checked-in allocs_per_op budget file format
+// (testdata/alloc_budgets.json): workload name -> budget. A measured
+// allocs_per_op more than allocSlack above its budget fails the gate.
+type allocBudgets map[string]int64
+
+// allocSlack is the tolerated allocs_per_op regression over a budget.
+const allocSlack = 0.15
+
+// checkAllocs gates measured allocs_per_op against budgets, reporting
+// every over-budget workload. Budgeted workloads missing from ms fail
+// too — a silently skipped gate is a broken gate.
+func checkAllocs(w io.Writer, ms []Measurement, budgets allocBudgets) error {
+	byName := make(map[string]Measurement, len(ms))
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		budget := budgets[name]
+		m, ok := byName[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: budgeted workload was not measured", name))
+			continue
+		}
+		limit := int64(float64(budget) * (1 + allocSlack))
+		status := "ok"
+		if m.AllocsPerOp > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds budget %d (+%d%% limit %d)",
+				name, m.AllocsPerOp, budget, int(allocSlack*100), limit))
+		}
+		fmt.Fprintf(w, "alloc gate %-40s %d/%d allocs/op (limit %d): %s\n", name, m.AllocsPerOp, budget, limit, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcbench", flag.ContinueOnError)
 	out := fs.String("out", "", "write JSON to this file instead of stdout")
 	filter := fs.String("filter", "", "only run workloads whose name contains this substring")
 	batchOnly := fs.Bool("batch", false, "only run the throughput/* batched-vs-independent pairs")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark runs to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof allocation profile of the benchmark runs to this file")
+	prev := fs.String("prev", "", "previous BENCH_*.json file; print per-workload bytes_per_op/ns_per_op deltas to stderr")
+	checkAllocsPath := fs.String("check-allocs", "",
+		"allocs_per_op budget file (testdata/alloc_budgets.json); run only the budgeted workloads and fail on a >15% regression")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lbcbench [flags]")
 		fs.PrintDefaults()
@@ -321,6 +412,19 @@ func run(args []string, w io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var budgets allocBudgets
+	if *checkAllocsPath != "" {
+		data, err := os.ReadFile(*checkAllocsPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &budgets); err != nil {
+			return fmt.Errorf("%s: %w", *checkAllocsPath, err)
+		}
+		if len(budgets) == 0 {
+			return fmt.Errorf("%s: no budgets", *checkAllocsPath)
+		}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -341,6 +445,11 @@ func run(args []string, w io.Writer) error {
 		if *batchOnly && !strings.HasPrefix(wl.name, "throughput/") {
 			continue
 		}
+		if budgets != nil {
+			if _, ok := budgets[wl.name]; !ok {
+				continue
+			}
+		}
 		r := testing.Benchmark(wl.fn)
 		m := Measurement{
 			Name:        wl.name,
@@ -357,6 +466,29 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(ms) == 0 {
 		return fmt.Errorf("no workloads match filter %q", *filter)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // flush recent allocation records into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return err
+		}
+	}
+	if *prev != "" {
+		pm, err := loadMeasurements(*prev)
+		if err != nil {
+			return err
+		}
+		printDeltas(os.Stderr, ms, pm)
+	}
+	if budgets != nil {
+		if err := checkAllocs(os.Stderr, ms, budgets); err != nil {
+			return err
+		}
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

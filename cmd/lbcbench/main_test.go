@@ -66,3 +66,68 @@ func TestWorkloadNamesUnique(t *testing.T) {
 		seen[wl.name] = true
 	}
 }
+
+func TestCheckAllocsGate(t *testing.T) {
+	ms := []Measurement{
+		{Name: "a", AllocsPerOp: 100},
+		{Name: "b", AllocsPerOp: 116}, // 16% over budget 100
+	}
+	var buf bytes.Buffer
+	if err := checkAllocs(&buf, ms, allocBudgets{"a": 100}); err != nil {
+		t.Fatalf("within budget rejected: %v", err)
+	}
+	if err := checkAllocs(&buf, ms, allocBudgets{"a": 87}); err != nil {
+		t.Fatalf("exactly at +15%% limit rejected: %v", err) // 100 <= 87*1.15 = 100.05
+	}
+	if err := checkAllocs(&buf, ms, allocBudgets{"b": 100}); err == nil {
+		t.Fatal(">15% regression accepted")
+	}
+	if err := checkAllocs(&buf, ms, allocBudgets{"missing": 10}); err == nil {
+		t.Fatal("unmeasured budgeted workload accepted")
+	}
+}
+
+// TestAllocBudgetsFile pins the checked-in budget file: it must parse and
+// every budgeted name must be a real workload, so the CI gate can never
+// silently rot.
+func TestAllocBudgetsFile(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "alloc_budgets.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budgets allocBudgets
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		t.Fatal(err)
+	}
+	if len(budgets) < 3 {
+		t.Fatalf("want at least 3 budgeted workloads, have %d", len(budgets))
+	}
+	names := map[string]bool{}
+	for _, wl := range workloads() {
+		names[wl.name] = true
+	}
+	for name, budget := range budgets {
+		if !names[name] {
+			t.Errorf("budget for unknown workload %q", name)
+		}
+		if budget <= 0 {
+			t.Errorf("non-positive budget for %q", name)
+		}
+	}
+}
+
+func TestPrintDeltas(t *testing.T) {
+	ms := []Measurement{
+		{Name: "a", BytesPerOp: 50, NsPerOp: 10},
+		{Name: "fresh", BytesPerOp: 1},
+	}
+	prev := map[string]Measurement{"a": {Name: "a", BytesPerOp: 200, NsPerOp: 30}}
+	var buf bytes.Buffer
+	printDeltas(&buf, ms, prev)
+	out := buf.String()
+	for _, want := range []string{"bytes/op 200 -> 50 (4.00x)", "(new workload)"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("delta output missing %q:\n%s", want, out)
+		}
+	}
+}

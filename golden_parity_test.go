@@ -111,6 +111,18 @@ func goldenScenarios(t *testing.T) []goldenScenario {
 			return []Option{WithFaults(2), WithAlgorithm(Algorithm2), WithInputs(alternating(g.N())),
 				WithByzantine(map[NodeID]Node{3: NewTamperFault(g, 3, PhaseRounds(g), 5)})}
 		}},
+		{"algo2-figure1b-hybrid-equivocate", Figure1b, func(g *Graph) []Option {
+			// The worst-case identity workload under the hybrid model: a
+			// tamperer plus an equivocator whose per-neighbor splits exercise
+			// every transcript/dedup path the string→ID migration touches.
+			return []Option{WithFaults(2), WithAlgorithm(Algorithm2), WithModel(Hybrid),
+				WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{
+					3: NewTamperFault(g, 3, PhaseRounds(g), 5),
+					6: NewEquivocatorFault(g, 6, PhaseRounds(g)),
+				}),
+				WithEquivocators(NewSet(6))}
+		}},
 		{"algo3-k5-equivocate", complete5, func(g *Graph) []Option {
 			return []Option{WithFaults(1), WithEquivocating(1), WithAlgorithm(Algorithm3),
 				WithModel(Hybrid), WithInputs(alternating(g.N())),

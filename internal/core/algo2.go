@@ -44,24 +44,38 @@ import (
 // node [... and] can either observe all messages sent by another non-faulty
 // node, or learn that it is non-faulty."
 
+// TranscriptEntry is one observed phase-1 transmission in a wire
+// transcript: the phase round it was transmitted in and the canonical
+// message identity (flood.Msg.Key rendering). The typed form replaces the
+// former "<round>|<key>" formatted strings, so transcripts are built and
+// read without formatting or parsing; the canonical rendering survives
+// only inside TranscriptBody.Key.
+type TranscriptEntry struct {
+	Round int32
+	Key   string
+}
+
 // TranscriptBody is the phase-2 report: the flooding reporter's record of
 // everything node Observed transmitted during phase 1, in reception order.
 type TranscriptBody struct {
 	Observed graph.NodeID
-	// Entries are the canonical keys (flood.Msg.Key) of the observed
-	// transmissions, in order.
-	Entries []string
+	// Entries are the observed transmissions, in order.
+	Entries []TranscriptEntry
 }
 
-var _ flood.Body = TranscriptBody{}
+var (
+	_ flood.Body         = TranscriptBody{}
+	_ flood.KeyInterner  = TranscriptBody{}
+	_ flood.SlotInterner = TranscriptBody{}
+)
 
 // Key returns the full canonical identity (observed node plus transcript),
-// rendered as "tr:<observed>:<entries joined by ;>".
+// rendered as "tr:<observed>:<round>|<key>;<round>|<key>;...".
 func (b TranscriptBody) Key() string {
 	obs := strconv.Itoa(int(b.Observed))
 	n := len("tr:") + len(obs) + 1
 	for _, e := range b.Entries {
-		n += len(e) + 1
+		n += len(e.Key) + 4 // round digits (estimate), '|', ';'
 	}
 	var sb strings.Builder
 	sb.Grow(n)
@@ -72,7 +86,9 @@ func (b TranscriptBody) Key() string {
 		if i > 0 {
 			sb.WriteByte(';')
 		}
-		sb.WriteString(e)
+		sb.WriteString(strconv.Itoa(int(e.Round)))
+		sb.WriteByte('|')
+		sb.WriteString(e.Key)
 	}
 	return sb.String()
 }
@@ -80,6 +96,34 @@ func (b TranscriptBody) Key() string {
 // Slot identifies the report instance independent of its content: one
 // transcript claim per (reporter, observed) pair.
 func (b TranscriptBody) Slot() string { return "tr:" + strconv.Itoa(int(b.Observed)) }
+
+// trSlotNS is the Ident node-slot namespace of transcript slots.
+const trSlotNS = 1
+
+// InternKey supplies the integer identity without rendering the canonical
+// string on every receipt: the Entries slice is immutable and forwarded by
+// reference, so slice identity implies content identity and the (large)
+// rendering runs once per distinct transcript per node. This was the
+// hottest allocation site in the system — every phase-2 receipt used to
+// rebuild the full transcript string.
+func (b TranscriptBody) InternKey(t *flood.Ident) flood.BodyID {
+	if len(b.Entries) == 0 {
+		return t.KeyID(b.Key())
+	}
+	if id, ok := t.MemoKey(&b.Entries[0], len(b.Entries), int32(b.Observed)); ok {
+		return id
+	}
+	return t.SetMemoKey(&b.Entries[0], len(b.Entries), int32(b.Observed), b.Key())
+}
+
+// InternSlot supplies the integer slot identity via the per-node slot
+// cache, so phase-2 dedup never rebuilds "tr:<observed>" strings.
+func (b TranscriptBody) InternSlot(t *flood.Ident) flood.SlotID {
+	if id, ok := t.NodeSlot(trSlotNS, b.Observed); ok {
+		return id
+	}
+	return t.SetNodeSlot(trSlotNS, b.Observed, b.Slot())
+}
 
 // DecisionBody is the phase-3 payload flooded by type B nodes.
 type DecisionBody struct {
@@ -110,6 +154,10 @@ type EfficientNode struct {
 	// flooding sessions (and by the synthetic zv-paths of reliable
 	// transcript grouping).
 	arena *graph.PathArena
+	// ident is the per-run identity table shared by all three phases'
+	// flooding sessions and by the node-side transcript stores, so receipt
+	// BodyIDs and transcript record keys live in one integer namespace.
+	ident *flood.Ident
 	// topo is the shared read-only topology analysis; its memoized
 	// DisjointPaths supply the fault-identification walk layouts for all
 	// nodes of an execution (see NewEfficientNodeShared).
@@ -118,9 +166,10 @@ type EfficientNode struct {
 	round   int
 
 	// Phase-1 observation logs (local broadcast: everything every
-	// neighbor transmits is heard).
-	heard map[graph.NodeID][]string // neighbor -> ordered transmission keys
-	sent  []string                  // own ordered transmission keys
+	// neighbor transmits is heard), as integer records: heard[u] is the
+	// ordered transmission log of neighbor u (nil for non-neighbors).
+	heard [][]trRecord
+	sent  []trRecord // own ordered transmission log
 
 	phase1Receipts *flood.ReceiptStore
 	phase2Receipts *flood.ReceiptStore
@@ -129,38 +178,49 @@ type EfficientNode struct {
 	identified graph.Set // identified faulty nodes
 	typeA      bool
 
-	// Caches.
-	transcripts map[graph.NodeID]*transcriptInfo
-	relValues   map[graph.NodeID]*relValue
+	// Caches, indexed by node id.
+	transcripts []*transcriptInfo
+	relValues   []*relValue
 
 	decided  bool
 	decision sim.Value
 }
 
+// trRecord is one transcript entry in node-local integer form: the phase
+// round and the interned canonical message identity (flood.Msg.Key) in the
+// node's Ident table — the typed {round, key} replacement for the former
+// formatted "<round>|<key>" strings.
+type trRecord struct {
+	round int32
+	key   flood.BodyID
+}
+
 type transcriptInfo struct {
 	known   bool
-	entries []string
-	// index maps a transmission key to its first well-formed occurrence,
-	// built lazily for the fault-identification walks (which probe two
-	// keys per path node; a linear rescan per probe is quadratic).
-	index map[string]entryHit
+	entries []trRecord
+	// index maps a transmission identity to its first occurrence, built
+	// lazily for the fault-identification walks (which probe two keys per
+	// path node; a linear rescan per probe is quadratic).
+	index map[flood.BodyID]entryHit
 }
 
 // entryHit locates a transcript entry: its recorded round and its position
 // in the entry list.
 type entryHit struct{ round, pos int }
 
-// hit returns the first transcript occurrence of key, if any.
-func (ti *transcriptInfo) hit(key string) (entryHit, bool) {
+// hit returns the first transcript occurrence of key, if any. Records with
+// a negative round (representable only in claims forged by faulty
+// reporters) are unindexable, like the malformed formatted entries before
+// them.
+func (ti *transcriptInfo) hit(key flood.BodyID) (entryHit, bool) {
 	if ti.index == nil {
-		ti.index = make(map[string]entryHit, len(ti.entries))
+		ti.index = make(map[flood.BodyID]entryHit, len(ti.entries))
 		for pos, e := range ti.entries {
-			r, k, ok := splitEntry(e)
-			if !ok {
+			if e.round < 0 {
 				continue
 			}
-			if _, dup := ti.index[k]; !dup {
-				ti.index[k] = entryHit{round: r, pos: pos}
+			if _, dup := ti.index[e.key]; !dup {
+				ti.index[e.key] = entryHit{round: int(e.round), pos: pos}
 			}
 		}
 	}
@@ -204,10 +264,11 @@ func NewEfficientNodeShared(topo *graph.Analysis, f int, me graph.NodeID, input 
 		f:           f,
 		input:       input,
 		arena:       arena,
+		ident:       flood.NewIdent(),
 		topo:        topo,
-		heard:       make(map[graph.NodeID][]string),
-		transcripts: make(map[graph.NodeID]*transcriptInfo),
-		relValues:   make(map[graph.NodeID]*relValue),
+		heard:       make([][]trRecord, g.N()),
+		transcripts: make([]*transcriptInfo, g.N()),
+		relValues:   make([]*relValue, g.N()),
 	}
 }
 
@@ -258,13 +319,13 @@ func (nd *EfficientNode) stepPhase1(r int, inbox []sim.Delivery) []sim.Outgoing 
 	var out []sim.Outgoing
 	switch r {
 	case 0:
-		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
+		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
 		out = nd.flooder.Start(flood.ValueBody{Value: nd.input})
 	case 1:
 		out = nd.flooder.Deliver(inbox)
-		out = append(out, nd.flooder.SynthesizeMissing(func(graph.NodeID) flood.Body {
+		out = nd.flooder.AppendMissing(out, func(graph.NodeID) flood.Body {
 			return flood.ValueBody{Value: sim.DefaultValue}
-		})...)
+		})
 	default:
 		out = nd.flooder.Deliver(inbox)
 	}
@@ -278,11 +339,17 @@ func (nd *EfficientNode) stepPhase1(r int, inbox []sim.Delivery) []sim.Outgoing 
 func (nd *EfficientNode) stepPhase2(r int, inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	if r == 0 {
-		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
+		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
+		// Phase-2 receipts repeat phase 1's path structure once per report
+		// slot, and a reporter carries one slot per neighbor — about the
+		// average degree (2M/N) slots per origin.
+		nd.flooder.Expect(nd.phase1Receipts.Len() * 2 * nd.g.M() / nd.g.N())
 		bodies := make([]flood.Body, 0, nd.g.Degree(nd.me))
 		for _, z := range nd.g.Neighbors(nd.me) {
-			entries := make([]string, len(nd.heard[z]))
-			copy(entries, nd.heard[z])
+			entries := make([]TranscriptEntry, len(nd.heard[z]))
+			for i, e := range nd.heard[z] {
+				entries[i] = TranscriptEntry{Round: e.round, Key: nd.ident.KeyString(e.key)}
+			}
 			bodies = append(bodies, TranscriptBody{Observed: z, Entries: entries})
 		}
 		out = nd.flooder.Start(bodies...)
@@ -300,7 +367,10 @@ func (nd *EfficientNode) stepPhase2(r int, inbox []sim.Delivery) []sim.Outgoing 
 func (nd *EfficientNode) stepPhase3(r int, inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	if r == 0 {
-		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
+		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
+		// Phase 3 floods one decision per type-B origin — the same shape
+		// as phase 1's one-value-per-origin flood.
+		nd.flooder.Expect(nd.phase1Receipts.Len())
 		if !nd.typeA {
 			// Type B: decide the majority of reliably received input
 			// values (ties go to 0) and flood the decision.
@@ -340,38 +410,37 @@ func (nd *EfficientNode) finish() {
 	nd.decided = true
 }
 
-// transcriptEntry canonically stamps a transmission with the phase round
-// it occurred in ("<round>|<msg key>"). The stamp is part of the
-// transcript claims, so all honest reporters of a node produce identical
-// strings (the synchronous engine delivers everything one round after
-// transmission).
-func transcriptEntry(round int, key string) string {
-	return strconv.Itoa(round) + "|" + key
-}
-
-// splitEntry recovers (round, key) from a transcript entry; ok is false
-// for malformed entries (possible in claims forged by faulty reporters).
-func splitEntry(e string) (round int, key string, ok bool) {
-	i := strings.IndexByte(e, '|')
-	if i <= 0 {
-		return 0, "", false
-	}
-	r, err := strconv.Atoi(e[:i])
-	if err != nil || r < 0 {
-		return 0, "", false
-	}
-	return r, e[i+1:], true
-}
-
-// msgKey renders a message's canonical identity, reusing the arena's
-// cached path keys when the carried Π is a real path; forged provenance
-// (not internable) falls back to the allocating rendering, so transcript
-// content is identical either way.
-func (nd *EfficientNode) msgKey(m flood.Msg) string {
+// msgID interns a message's canonical identity ("<body key>@<path key>"),
+// without rendering it when the (body, path) pair was seen before: real
+// paths resolve through the arena and the Ident pair cache, so the string
+// is built once per distinct message per node. Forged provenance (not
+// internable) falls back to the allocating rendering, so the resulting
+// identity is the interning of the exact same canonical string either way.
+func (nd *EfficientNode) msgID(m flood.Msg) flood.BodyID {
 	if pid := nd.arena.InternCached(m.Pi); pid != graph.NoPath {
-		return m.Body.Key() + "@" + nd.arena.Key(pid)
+		body := nd.ident.BodyKeyID(m.Body)
+		if id, ok := nd.ident.PairKey(body, pid); ok {
+			return id
+		}
+		return nd.ident.SetPairKey(body, pid, nd.ident.KeyString(body)+"@"+nd.arena.Key(pid))
 	}
-	return m.Key()
+	return nd.ident.KeyID(m.Key())
+}
+
+// valueMsgID resolves the identity of a (value, interned path) message —
+// the probe form used by the fault-identification walks, matching msgID's
+// rendering exactly. Probing is lookup-only: an identity nobody recorded
+// cannot appear in any transcript, so a miss reports false instead of
+// growing the table (positive resolutions are cached under the pair).
+func (nd *EfficientNode) valueMsgID(body flood.BodyID, pid graph.PathID) (flood.BodyID, bool) {
+	if id, ok := nd.ident.PairKey(body, pid); ok {
+		return id, true
+	}
+	id, ok := nd.ident.LookupKey(nd.ident.KeyString(body) + "@" + nd.arena.Key(pid))
+	if ok {
+		nd.ident.CachePairKey(body, pid, id)
+	}
+	return id, ok
 }
 
 // recordHeard appends every phase-1 flood transmission heard from each
@@ -380,7 +449,7 @@ func (nd *EfficientNode) msgKey(m flood.Msg) string {
 func (nd *EfficientNode) recordHeard(stepRound int, inbox []sim.Delivery) {
 	for _, d := range inbox {
 		if m, ok := d.Payload.(flood.Msg); ok {
-			nd.heard[d.From] = append(nd.heard[d.From], transcriptEntry(stepRound-1, nd.msgKey(m)))
+			nd.heard[d.From] = append(nd.heard[d.From], trRecord{round: int32(stepRound - 1), key: nd.msgID(m)})
 		}
 	}
 }
@@ -390,7 +459,7 @@ func (nd *EfficientNode) recordHeard(stepRound int, inbox []sim.Delivery) {
 func (nd *EfficientNode) recordSent(stepRound int, out []sim.Outgoing) {
 	for _, o := range out {
 		if m, ok := o.Payload.(flood.Msg); ok {
-			nd.sent = append(nd.sent, transcriptEntry(stepRound, nd.msgKey(m)))
+			nd.sent = append(nd.sent, trRecord{round: int32(stepRound), key: nd.msgID(m)})
 		}
 	}
 }
@@ -398,7 +467,7 @@ func (nd *EfficientNode) recordSent(stepRound int, out []sim.Outgoing) {
 // reliableValue implements Definition C.1 for phase-1 input values: the
 // value reliably received from u, if any.
 func (nd *EfficientNode) reliableValue(u graph.NodeID) (sim.Value, bool) {
-	if c, ok := nd.relValues[u]; ok {
+	if c := nd.relValues[u]; c != nil {
 		return c.val, c.ok
 	}
 	val, ok := nd.computeReliableValue(u)
@@ -419,7 +488,7 @@ func (nd *EfficientNode) computeReliableValue(u graph.NodeID) (sim.Value, bool) 
 	for _, delta := range []sim.Value{sim.Zero, sim.One} {
 		fil := flood.Filter{
 			Origins: graph.NewSet(u),
-			BodyKey: flood.ValueBody{Value: delta}.Key(),
+			Body:    flood.ValueKeyID(delta),
 		}
 		if flood.ReceivedOnDisjointPaths(nd.phase1Receipts, fil, nd.f+1, flood.InternallyDisjoint) {
 			return delta, true
@@ -434,7 +503,7 @@ func (nd *EfficientNode) computeReliableValue(u graph.NodeID) (sim.Value, bool) 
 // received along f+1 internally-disjoint zv-paths (each path being z, then
 // a reporting neighbor of z, then the report flood's relay path).
 func (nd *EfficientNode) reliableTranscriptInfo(z graph.NodeID) *transcriptInfo {
-	if c, ok := nd.transcripts[z]; ok {
+	if c := nd.transcripts[z]; c != nil {
 		return c
 	}
 	entries, known := nd.computeReliableTranscript(z)
@@ -443,20 +512,21 @@ func (nd *EfficientNode) reliableTranscriptInfo(z graph.NodeID) *transcriptInfo 
 	return ti
 }
 
-func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bool) {
+func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]trRecord, bool) {
 	if z == nd.me {
 		return nd.sent, true
 	}
 	if nd.g.HasEdge(z, nd.me) {
 		return nd.heard[z], true
 	}
-	// Group transcript claims about z by content, tracking for each
-	// distinct content the zv-paths it arrived along.
+	// Group transcript claims about z by content (the interned body
+	// identity), tracking for each distinct content the zv-paths it
+	// arrived along.
 	type claimGroup struct {
 		body  TranscriptBody
 		paths []flood.Receipt // synthetic receipts with the z-prefixed path
 	}
-	groups := make(map[string]*claimGroup)
+	groups := make(map[flood.BodyID]*claimGroup)
 	for i, r := range nd.phase2Receipts.All() {
 		tb, ok := r.Body.(TranscriptBody)
 		if !ok || tb.Observed != z {
@@ -468,7 +538,7 @@ func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bo
 		if !nd.g.HasEdge(r.Origin, z) || nd.arena.Contains(r.PathID, z) {
 			continue
 		}
-		key := nd.phase2Receipts.BodyKey(i)
+		key := nd.phase2Receipts.BodyID(i)
 		grp, ok := groups[key]
 		if !ok {
 			grp = &claimGroup{body: tb}
@@ -482,18 +552,34 @@ func (nd *EfficientNode) computeReliableTranscript(z graph.NodeID) ([]string, bo
 		zp = append(zp, relay...)
 		grp.paths = append(grp.paths, flood.Receipt{Origin: z, PathID: nd.arena.Intern(zp), Body: tb})
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	// Deterministic group order: by canonical content string, exactly the
+	// order the string-keyed grouping iterated in (the strings are interned
+	// already, so the sort builds nothing).
+	ids := make([]flood.BodyID, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		grp := groups[k]
+	sort.Slice(ids, func(i, j int) bool {
+		return nd.ident.KeyString(ids[i]) < nd.ident.KeyString(ids[j])
+	})
+	for _, id := range ids {
+		grp := groups[id]
 		if flood.SelectDisjoint(nd.arena, grp.paths, nd.f+1, flood.InternallyDisjoint) != nil {
-			return grp.body.Entries, true
+			return nd.toRecords(grp.body.Entries), true
 		}
 	}
 	return nil, false
+}
+
+// toRecords converts wire transcript entries to node-local integer
+// records, interning each entry's message identity. Positions are
+// preserved one to one, so entryHit.pos semantics are unchanged.
+func (nd *EfficientNode) toRecords(entries []TranscriptEntry) []trRecord {
+	recs := make([]trRecord, len(entries))
+	for i, e := range entries {
+		recs[i] = trRecord{round: e.Round, key: nd.ident.KeyID(e.Key)}
+	}
+	return recs
 }
 
 // identifyFaults runs the phase-2 fault identification walks.
@@ -538,8 +624,8 @@ func (nd *EfficientNode) walkPath(p graph.Path, b sim.Value) {
 	for at, i := nd.arena.Intern(p), len(p)-1; i >= 0; at, i = nd.arena.Parent(at), i-1 {
 		prefixIDs[i] = at
 	}
-	goodBody := flood.ValueBody{Value: b}.Key()
-	badBody := flood.ValueBody{Value: 1 - b}.Key()
+	goodBody := flood.ValueKeyID(b)
+	badBody := flood.ValueKeyID(1 - b)
 	prev := 0 // round of the established predecessor transmission
 	for i := 1; i < len(p)-1; i++ {
 		z := p[i]
@@ -557,11 +643,17 @@ func (nd *EfficientNode) walkPath(p graph.Path, b sim.Value) {
 			prev = due
 			continue
 		}
-		// The Π of z's expected forward is p[:i]; the keys match
-		// flood.Msg.Key for (value, Π).
-		prefixKey := "@" + nd.arena.Key(prefixIDs[i-1])
-		gHit, gOK := ti.hit(goodBody + prefixKey)
-		bHit, bOK := ti.hit(badBody + prefixKey)
+		// The Π of z's expected forward is p[:i]; the probe identities
+		// match flood.Msg.Key for (value, Π) through the Ident pair cache,
+		// with no string building after the first probe of a pair.
+		var gHit, bHit entryHit
+		var gOK, bOK bool
+		if gID, ok := nd.valueMsgID(goodBody, prefixIDs[i-1]); ok {
+			gHit, gOK = ti.hit(gID)
+		}
+		if bID, ok := nd.valueMsgID(badBody, prefixIDs[i-1]); ok {
+			bHit, bOK = ti.hit(bID)
+		}
 		// The verdict reads z's FIRST transmission for this slot: the
 		// earlier transcript position wins when both contents appear.
 		tampered := bOK && (!gOK || bHit.pos < gHit.pos)

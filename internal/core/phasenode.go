@@ -34,6 +34,9 @@ type PhaseNode struct {
 	// session: interned prefixes are reused phase over phase and PathIDs
 	// stay stable, which lets stepB cache chosen paths as integers.
 	arena *graph.PathArena
+	// ident is the per-run identity table shared by every phase's flooding
+	// session (the Ident analogue of arena).
+	ident *flood.Ident
 	// stepB caches the deterministic step-(b) path choice per (origin,
 	// exclusion set). Phases with equal F∪T (every Algorithm 3 run has
 	// many) then skip the BFS entirely, and the cached PathID makes the
@@ -111,6 +114,7 @@ func newPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, input sim.Value,
 		topo:   topo,
 		gamma:  input,
 		arena:  arena,
+		ident:  flood.NewIdent(),
 		stepB:  make(map[stepBKey]graph.PathID),
 	}
 }
@@ -173,17 +177,24 @@ func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	switch nd.roundInPhase {
 	case 0:
-		// Step (a): initiate flooding of γv.
-		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
+		// Step (a): initiate flooding of γv. Flooding structure repeats
+		// phase over phase, so the previous session's receipt count sizes
+		// this one's store.
+		expect := 0
+		if nd.flooder != nil {
+			expect = nd.flooder.Store().Len()
+		}
+		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
+		nd.flooder.Expect(expect)
 		nd.phaseStartGamma = nd.gamma
 		out = nd.flooder.Start(flood.ValueBody{Value: nd.gamma})
 	case 1:
 		// Initiations arrive now; after processing, substitute the
 		// default message for silent neighbors.
 		out = nd.flooder.Deliver(inbox)
-		out = append(out, nd.flooder.SynthesizeMissing(func(graph.NodeID) flood.Body {
+		out = nd.flooder.AppendMissing(out, func(graph.NodeID) flood.Body {
 			return flood.ValueBody{Value: sim.DefaultValue}
-		})...)
+		})
 	default:
 		out = nd.flooder.Deliver(inbox)
 	}
@@ -239,7 +250,7 @@ func (nd *PhaseNode) endPhase() {
 	for _, delta := range []sim.Value{sim.Zero, sim.One} {
 		fil := flood.Filter{
 			Origins: av,
-			BodyKey: flood.ValueBody{Value: delta}.Key(),
+			Body:    flood.ValueKeyID(delta),
 			Exclude: excl,
 		}
 		if flood.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.DisjointExceptLast) {
@@ -257,14 +268,14 @@ func (nd *PhaseNode) endPhase() {
 // the origin really flooded x — over all origins, that every non-faulty
 // node's state is x.
 func (nd *PhaseNode) observedUnanimity(st *flood.ReceiptStore) bool {
-	want := flood.ValueBody{Value: nd.phaseStartGamma}.Key()
+	want := flood.ValueKeyID(nd.phaseStartGamma)
 	for _, u := range nd.g.Nodes() {
 		if u == nd.me {
 			continue
 		}
 		fil := flood.Filter{
 			Origins: graph.NewSet(u),
-			BodyKey: want,
+			Body:    want,
 		}
 		if !flood.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.InternallyDisjoint) {
 			return false

@@ -57,6 +57,28 @@ func (b VectorBody) Key() string {
 // value per origin per phase.
 func (VectorBody) Slot() string { return "" }
 
+// InternKey supplies the integer identity without rendering the bit
+// string on every receipt: the Values slice is immutable and forwarded by
+// reference, so slice identity implies content identity and the rendering
+// runs once per distinct vector per node.
+func (b VectorBody) InternKey(t *flood.Ident) flood.BodyID {
+	if len(b.Values) == 0 {
+		return t.KeyID(b.Key())
+	}
+	if id, ok := t.MemoKey(&b.Values[0], len(b.Values), 0); ok {
+		return id
+	}
+	return t.SetMemoKey(&b.Values[0], len(b.Values), 0, b.Key())
+}
+
+// InternSlot returns the pre-reserved empty-slot identity.
+func (VectorBody) InternSlot(*flood.Ident) flood.SlotID { return flood.EmptySlot }
+
+var (
+	_ flood.KeyInterner  = VectorBody{}
+	_ flood.SlotInterner = VectorBody{}
+)
+
 // VectorPhaseNode runs Algorithm 1 (t = 0) or Algorithm 3 phases for many
 // benign lanes at once. It mirrors PhaseNode exactly, lane by lane: the
 // flooding work is shared, the per-lane state (γ, early decision) and the
@@ -76,6 +98,7 @@ type VectorPhaseNode struct {
 	done         bool
 
 	arena *graph.PathArena
+	ident *flood.Ident
 	// stepB caches the step-(b) path choice per (origin, exclusion set),
 	// exactly as PhaseNode does — the choice is topology-only, so one
 	// entry serves every lane.
@@ -119,6 +142,7 @@ func newVectorPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, inputs []s
 		topo:            topo,
 		gammas:          gammas,
 		arena:           arena,
+		ident:           flood.NewIdent(),
 		stepB:           make(map[stepBKey]graph.PathID),
 		earlyDecided:    make([]bool, len(inputs)),
 		earlyValues:     make([]sim.Value, len(inputs)),
@@ -159,20 +183,25 @@ func (nd *VectorPhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing 
 	var out []sim.Outgoing
 	switch nd.roundInPhase {
 	case 0:
-		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
+		expect := 0
+		if nd.flooder != nil {
+			expect = nd.flooder.Store().Len()
+		}
+		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
+		nd.flooder.Expect(expect)
 		copy(nd.phaseStartGamma, nd.gammas)
 		vals := make([]sim.Value, len(nd.gammas))
 		copy(vals, nd.gammas)
 		out = nd.flooder.Start(VectorBody{Values: vals})
 	case 1:
 		out = nd.flooder.Deliver(inbox)
-		out = append(out, nd.flooder.SynthesizeMissing(func(graph.NodeID) flood.Body {
+		out = nd.flooder.AppendMissing(out, func(graph.NodeID) flood.Body {
 			vals := make([]sim.Value, len(nd.gammas))
 			for i := range vals {
 				vals[i] = sim.DefaultValue
 			}
 			return VectorBody{Values: vals}
-		})...)
+		})
 	default:
 		out = nd.flooder.Deliver(inbox)
 	}

@@ -93,7 +93,7 @@ func BenchmarkCandidatesFigure1b(b *testing.B) {
 	st := sessionStore(b, g, 0)
 	fil := Filter{
 		Origins: graph.NewSet(4),
-		BodyKey: ValueBody{Value: sim.Value(0)}.Key(),
+		Body:    ValueKeyID(sim.Value(0)),
 		Exclude: graph.NewSet(2, 6),
 	}
 	b.ReportAllocs()

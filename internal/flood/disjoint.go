@@ -52,9 +52,11 @@ func pairwiseOK(ar *graph.PathArena, mode DisjointMode, a, b graph.PathID) bool 
 type Filter struct {
 	// Origins restricts the receipt's path origin; nil means any.
 	Origins graph.Set
-	// BodyKey, when non-empty, requires the receipt's body identity to
-	// match exactly ("received identically").
-	BodyKey string
+	// Body, when not AnyBody, requires the receipt's interned body
+	// identity to match exactly ("received identically"). The ID must be
+	// interned in the queried store's Ident table (flood.ValueKeyID values
+	// are valid in every table).
+	Body BodyID
 	// Exclude requires the receipt path to exclude this set (no internal
 	// node in the set); endpoints may be members.
 	Exclude graph.Set
@@ -75,7 +77,7 @@ func Candidates(st *ReceiptStore, fil Filter) []Receipt {
 	var out []Receipt
 	visit := func(i int32) {
 		r := st.receipts[i]
-		if fil.BodyKey != "" && st.bodyKeys[i] != fil.BodyKey {
+		if fil.Body != AnyBody && st.bodyIDs[i] != fil.Body {
 			return
 		}
 		if useMask {

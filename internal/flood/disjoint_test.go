@@ -26,7 +26,7 @@ func newTestStore(t *testing.T, n int) *testStore {
 			}
 		}
 	}
-	return &testStore{st: NewReceiptStore(graph.NewPathArena(g))}
+	return &testStore{st: NewReceiptStore(graph.NewPathArena(g), NewIdent())}
 }
 
 func (b *testStore) add(t *testing.T, v sim.Value, path ...graph.NodeID) Receipt {
@@ -47,7 +47,7 @@ func TestCandidatesFiltering(t *testing.T) {
 	b.add(t, sim.Zero, 0, 3, 4)
 	b.add(t, sim.One, 5, 3, 4)
 	b.add(t, sim.One, 0, 1, 4) // duplicate path
-	got := Candidates(b.st, Filter{Origins: graph.NewSet(0), BodyKey: ValueBody{Value: sim.One}.Key()})
+	got := Candidates(b.st, Filter{Origins: graph.NewSet(0), Body: ValueKeyID(sim.One)})
 	if len(got) != 2 {
 		t.Fatalf("candidates = %v", got)
 	}
@@ -175,7 +175,7 @@ func TestReceivedOnDisjointPaths(t *testing.T) {
 	b.add(t, sim.One, 0, 1, 6)
 	b.add(t, sim.One, 2, 3, 6)
 	b.add(t, sim.Zero, 4, 5, 6)
-	fil := Filter{BodyKey: ValueBody{Value: sim.One}.Key()}
+	fil := Filter{Body: ValueKeyID(sim.One)}
 	if !ReceivedOnDisjointPaths(b.st, fil, 2, DisjointExceptLast) {
 		t.Fatal("two disjoint 1-receipts exist")
 	}

@@ -21,13 +21,14 @@
 // observed path) so that a faulty forwarder cannot smuggle two conflicting
 // contents for the same report past rule (ii).
 //
-// Message identity is compact: incoming paths are interned into a
-// graph.PathArena (validating rules (i) and (iii) in the same walk), the
-// rule-(ii) dedup map is keyed by an integer (sender, slot, path) struct
-// instead of a formatted string, and receipts are held in an indexed
-// ReceiptStore. Wire payloads still carry the explicit Π node sequence —
-// a Byzantine sender may forge any path, so identity must be established
-// by the receiver, not trusted from the wire.
+// Message identity is integer end to end: incoming paths are interned into
+// a graph.PathArena (validating rules (i) and (iii) in the same walk), body
+// and slot identities are interned into an Ident table (see ident.go), the
+// rule-(ii) dedup map is keyed by one packed integer, and receipts are held
+// in an indexed ReceiptStore keyed by BodyID and PathID. Canonical key
+// strings survive only at the trace boundary and on the wire — a Byzantine
+// sender may forge any path, so identity must be established by the
+// receiver, not trusted from the wire.
 package flood
 
 import (
@@ -101,9 +102,9 @@ func (r Receipt) Value() (sim.Value, bool) {
 // key is (direct sender, slot, Π); since the interned full path Π·u
 // determines both Π (its parent) and the sender u (its last node), the
 // pair (slot, Π·u) is an equivalent key, and both components are small
-// integers — the slot string is interned per flooder and the path is its
-// arena PathID. A single 8-byte key keeps the hottest map in the system
-// on the fast hash path.
+// integers — the slot identity is interned in the run's Ident table and
+// the path is its arena PathID. A single 8-byte key keeps the hottest map
+// in the system on the fast hash path.
 func acceptKey(slot int32, full graph.PathID) uint64 {
 	return uint64(uint32(slot))<<32 | uint64(uint32(full))
 }
@@ -118,8 +119,9 @@ type Flooder struct {
 	me graph.NodeID
 
 	arena *graph.PathArena
-	// slots interns Body.Slot() strings for the integer dedup key.
-	slots map[string]int32
+	// ident interns body and slot identities for the integer dedup key and
+	// the receipt store's body index.
+	ident *Ident
 	// accepted holds the rule-(ii) keys already taken.
 	accepted map[uint64]struct{}
 	// initiatedBy[u] is true once an initiation (empty Π) was accepted
@@ -131,45 +133,47 @@ type Flooder struct {
 	fwdBuf []sim.Outgoing
 }
 
-// New creates a flooder for node me on graph g with a private path arena.
+// New creates a flooder for node me on graph g with private path-arena and
+// identity state.
 func New(g *graph.Graph, me graph.NodeID) *Flooder {
-	return NewWithArena(g, me, graph.NewPathArena(g))
+	return NewWithState(g, me, graph.NewPathArena(g), NewIdent())
 }
 
-// NewWithArena creates a flooder sharing an existing arena. Multi-phase
-// protocols pass one per-run arena to every phase's flooder, so interned
-// prefixes are reused and PathIDs stay stable across phases. The arena is
-// not safe for concurrent use; sharing is per protocol node, not across
-// nodes.
+// NewWithArena creates a flooder sharing an existing arena and a private
+// identity table. Callers that also query body identities (Filter.Body)
+// should use NewWithState so their table and the store's agree.
 func NewWithArena(g *graph.Graph, me graph.NodeID, arena *graph.PathArena) *Flooder {
+	return NewWithState(g, me, arena, NewIdent())
+}
+
+// NewWithState creates a flooder sharing an existing arena and identity
+// table. Multi-phase protocols pass one per-run arena and one per-run
+// Ident to every phase's flooder, so interned prefixes are reused, and
+// PathIDs and BodyIDs stay stable across phases. Neither is safe for
+// concurrent use; sharing is per protocol node, not across nodes.
+func NewWithState(g *graph.Graph, me graph.NodeID, arena *graph.PathArena, ident *Ident) *Flooder {
 	return &Flooder{
 		g:           g,
 		me:          me,
 		arena:       arena,
-		slots:       make(map[string]int32),
+		ident:       ident,
 		accepted:    make(map[uint64]struct{}),
 		initiatedBy: make([]bool, g.N()),
-		store:       NewReceiptStore(arena),
+		store:       NewReceiptStore(arena, ident),
 	}
 }
+
+// Expect sizes the receipt store for n expected receipts (see
+// ReceiptStore.Reserve). Multi-phase protocols call it with the previous
+// session's receipt count — flooding structure repeats phase over phase,
+// so the last count predicts this one and the append targets of the round
+// loop never re-grow from zero.
+func (f *Flooder) Expect(n int) { f.store.Reserve(n) }
 
 // Rounds returns the number of engine rounds a complete flooding session
 // needs on an n-node graph: one initiation round plus n forwarding rounds
 // (a simple path has at most n nodes; rule (iii) stops anything longer).
 func Rounds(n int) int { return n + 1 }
-
-// slotID interns a slot string.
-func (f *Flooder) slotID(slot string) int32 {
-	if slot == "" {
-		return 0
-	}
-	if id, ok := f.slots[slot]; ok {
-		return id
-	}
-	id := int32(len(f.slots)) + 1
-	f.slots[slot] = id
-	return id
-}
 
 // Start returns the initiation transmissions for the given bodies and, for
 // each, records the trivial self receipt (the paper: "node v is deemed to
@@ -231,7 +235,7 @@ func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (sim.Outgoing, bool) {
 	}
 	// Rule (ii): first content accepted for (sender, slot, Π) wins. The
 	// key is (slot, Π·u), which is equivalent — see acceptKey.
-	key := acceptKey(f.slotID(m.Body.Slot()), full)
+	key := acceptKey(int32(f.ident.BodySlotID(m.Body)), full)
 	if _, dup := f.accepted[key]; dup {
 		return sim.Outgoing{}, false
 	}
@@ -263,7 +267,13 @@ func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (sim.Outgoing, bool) {
 // had been received from u. It returns the induced forwards and must be
 // called once, after the first Deliver round of a session.
 func (f *Flooder) SynthesizeMissing(mk func(neighbor graph.NodeID) Body) []sim.Outgoing {
-	var out []sim.Outgoing
+	return f.AppendMissing(nil, mk)
+}
+
+// AppendMissing is SynthesizeMissing appending into an existing outbox
+// slice — the round loop passes its Deliver output, so the default-message
+// forwards ride in the same (reused) buffer instead of a fresh one.
+func (f *Flooder) AppendMissing(out []sim.Outgoing, mk func(neighbor graph.NodeID) Body) []sim.Outgoing {
 	for _, u := range f.g.Neighbors(f.me) {
 		if f.initiatedBy[u] {
 			continue
@@ -280,6 +290,9 @@ func (f *Flooder) Store() *ReceiptStore { return f.store }
 
 // Arena returns the flooder's path arena.
 func (f *Flooder) Arena() *graph.PathArena { return f.arena }
+
+// Ident returns the flooder's identity table.
+func (f *Flooder) Ident() *Ident { return f.ident }
 
 // Receipts returns all recorded receipts in acceptance order. The slice is
 // shared; callers must not modify it.

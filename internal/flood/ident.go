@@ -1,0 +1,247 @@
+package flood
+
+import (
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// This file implements the integer message-identity layer: an Ident table
+// interns canonical body/message key strings (sim.Payload.Key renderings)
+// and slot strings into dense integer IDs, so the hot paths — receipt
+// recording, rule-(ii) dedup, body-key filters, transcript probes — compare
+// and hash small integers instead of building and hashing formatted
+// strings. Strings survive only at the trace boundary (golden encoding,
+// observers) and on the wire, where a Byzantine sender may forge anything
+// and identity must be established by the receiver.
+//
+// An Ident is per-run, arena-style state: like a graph.PathArena it is NOT
+// safe for concurrent use and is owned by one protocol node for its whole
+// run (all flooding phases), which keeps BodyIDs stable across phases.
+// After the run completes it is safe for any number of concurrent readers.
+//
+// All identity flows through one string-intern table: the memo caches
+// (slice identity, (body, path) pairs, node slots) are pure fast paths
+// that bottom out in KeyID/SlotIDOf, so two routes to the same canonical
+// string always yield the same integer.
+
+// BodyID is the dense integer identity of a canonical key string (a body
+// identity or a full message identity) within one Ident table. The zero
+// value is AnyBody, reserved as the Filter sentinel; real IDs start at 1.
+type BodyID int32
+
+// SlotID is the dense integer identity of a slot string within one Ident
+// table. The zero value is the empty slot "".
+type SlotID int32
+
+// AnyBody is the zero BodyID: in a Filter it means "no body restriction",
+// and it is the identity of the empty key (which can never be filtered on,
+// matching the historical string-filter semantics).
+const AnyBody BodyID = 0
+
+// EmptySlot is the pre-reserved SlotID of the empty slot string "".
+const EmptySlot SlotID = 0
+
+// The pre-reserved identities of the two ValueBody keys, identical in
+// every Ident table so step-(b)/(c) filters can use them as constants.
+const (
+	valueZeroID BodyID = 1
+	valueOneID  BodyID = 2
+)
+
+// ValueKeyID returns the pre-reserved identity of ValueBody{v}.Key(). It is
+// the same in every Ident table.
+func ValueKeyID(v sim.Value) BodyID {
+	if v == sim.Zero {
+		return valueZeroID
+	}
+	return valueOneID
+}
+
+// KeyInterner is implemented by bodies that can produce their canonical
+// identity without rendering the key string on every call (typically via
+// the table's slice-identity memo). InternKey must return the same ID that
+// t.KeyID(b.Key()) would.
+type KeyInterner interface {
+	InternKey(t *Ident) BodyID
+}
+
+// SlotInterner is the slot analogue of KeyInterner: InternSlot must return
+// the same ID that t.SlotIDOf(b.Slot()) would.
+type SlotInterner interface {
+	InternSlot(t *Ident) SlotID
+}
+
+// memoKey identifies a structured body by anchor identity: a pointer to
+// the body's backing array (boxed — pointers store into an interface
+// without allocating), the element count, and a caller tag distinguishing
+// bodies that share a slice. Payload immutability (the sim.Payload
+// contract) makes pointer+length imply equal contents; keys pin their
+// backing arrays, so an address can never be recycled under a live entry.
+type memoKey struct {
+	anchor any
+	n      int
+	tag    int32
+}
+
+// Ident interns body/message keys and slot strings of one protocol node's
+// run into dense integer IDs.
+type Ident struct {
+	byKey map[string]BodyID
+	keys  []string // id -> canonical string
+	memo  map[memoKey]BodyID
+	// pair caches full-message identities ("<body key>@<path key>") by
+	// (BodyID, PathID), so transcript recording and fault-identification
+	// probes never rebuild the string.
+	pair map[uint64]BodyID
+
+	slotIDs map[string]SlotID
+	slots   []string // id -> slot string
+	// nodeSlots caches per-(namespace, node) slot identities (packed key),
+	// e.g. Algorithm 2's one-transcript-per-observed-node slots.
+	nodeSlots map[uint64]SlotID
+}
+
+// NewIdent returns a table with the ValueBody keys and the empty slot
+// pre-reserved.
+func NewIdent() *Ident {
+	return &Ident{
+		byKey:   map[string]BodyID{"": AnyBody, "v:0": valueZeroID, "v:1": valueOneID},
+		keys:    []string{"", "v:0", "v:1"},
+		slotIDs: map[string]SlotID{"": EmptySlot},
+		slots:   []string{""},
+	}
+}
+
+// Len returns the number of interned key strings (including the three
+// pre-reserved ones).
+func (t *Ident) Len() int { return len(t.keys) }
+
+// KeyID interns a canonical key string.
+func (t *Ident) KeyID(s string) BodyID {
+	if id, ok := t.byKey[s]; ok {
+		return id
+	}
+	id := BodyID(len(t.keys))
+	t.byKey[s] = id
+	t.keys = append(t.keys, s)
+	return id
+}
+
+// LookupKey returns the identity of a key string without interning it —
+// the probe form: a string that was never interned cannot equal any
+// recorded identity, and probing must not grow the table.
+func (t *Ident) LookupKey(s string) (BodyID, bool) {
+	id, ok := t.byKey[s]
+	return id, ok
+}
+
+// KeyString returns the canonical string of an interned identity. The
+// string is shared; this is the one sanctioned ID→string crossing (trace
+// rendering, deterministic ordering, wire transcript entries).
+func (t *Ident) KeyString(id BodyID) string { return t.keys[id] }
+
+// MemoKey looks up a structured body's identity by anchor (see memoKey).
+func (t *Ident) MemoKey(anchor any, n int, tag int32) (BodyID, bool) {
+	id, ok := t.memo[memoKey{anchor, n, tag}]
+	return id, ok
+}
+
+// SetMemoKey interns key and records it under the anchor, returning the ID.
+func (t *Ident) SetMemoKey(anchor any, n int, tag int32, key string) BodyID {
+	id := t.KeyID(key)
+	if t.memo == nil {
+		t.memo = make(map[memoKey]BodyID)
+	}
+	t.memo[memoKey{anchor, n, tag}] = id
+	return id
+}
+
+func pairKey(body BodyID, path graph.PathID) uint64 {
+	return uint64(uint32(body))<<32 | uint64(uint32(path))
+}
+
+// PairKey looks up the full-message identity "<body>@<path>" by its
+// components.
+func (t *Ident) PairKey(body BodyID, path graph.PathID) (BodyID, bool) {
+	id, ok := t.pair[pairKey(body, path)]
+	return id, ok
+}
+
+// SetPairKey interns the rendered full-message key and caches it under
+// (body, path), returning the ID.
+func (t *Ident) SetPairKey(body BodyID, path graph.PathID, key string) BodyID {
+	id := t.KeyID(key)
+	t.CachePairKey(body, path, id)
+	return id
+}
+
+// CachePairKey records an already-interned identity under (body, path)
+// without touching the string table — the positive-probe cache.
+func (t *Ident) CachePairKey(body BodyID, path graph.PathID, id BodyID) {
+	if t.pair == nil {
+		t.pair = make(map[uint64]BodyID)
+	}
+	t.pair[pairKey(body, path)] = id
+}
+
+// SlotIDOf interns a slot string.
+func (t *Ident) SlotIDOf(s string) SlotID {
+	if id, ok := t.slotIDs[s]; ok {
+		return id
+	}
+	id := SlotID(len(t.slots))
+	t.slotIDs[s] = id
+	t.slots = append(t.slots, s)
+	return id
+}
+
+// SlotString returns the slot string of an interned slot identity.
+func (t *Ident) SlotString(id SlotID) string { return t.slots[id] }
+
+// Slots returns the number of interned slot strings.
+func (t *Ident) Slots() int { return len(t.slots) }
+
+func nodeSlotKey(ns int32, u graph.NodeID) uint64 {
+	return uint64(uint32(ns))<<32 | uint64(uint32(u))
+}
+
+// NodeSlot looks up a per-(namespace, node) slot identity.
+func (t *Ident) NodeSlot(ns int32, u graph.NodeID) (SlotID, bool) {
+	id, ok := t.nodeSlots[nodeSlotKey(ns, u)]
+	return id, ok
+}
+
+// SetNodeSlot interns the rendered slot string and caches it under
+// (ns, u), returning the ID.
+func (t *Ident) SetNodeSlot(ns int32, u graph.NodeID, slot string) SlotID {
+	id := t.SlotIDOf(slot)
+	if t.nodeSlots == nil {
+		t.nodeSlots = make(map[uint64]SlotID)
+	}
+	t.nodeSlots[nodeSlotKey(ns, u)] = id
+	return id
+}
+
+// BodyKeyID returns the body's canonical identity, taking the cheapest
+// route available: fixed constants for ValueBody, the body's own
+// KeyInterner fast path, or interning the rendered Key().
+func (t *Ident) BodyKeyID(b Body) BodyID {
+	if vb, ok := b.(ValueBody); ok {
+		return ValueKeyID(vb.Value)
+	}
+	if fk, ok := b.(KeyInterner); ok {
+		return fk.InternKey(t)
+	}
+	return t.KeyID(b.Key())
+}
+
+// BodySlotID returns the body's slot identity, mirroring BodyKeyID.
+func (t *Ident) BodySlotID(b Body) SlotID {
+	if _, ok := b.(ValueBody); ok {
+		return EmptySlot
+	}
+	if fs, ok := b.(SlotInterner); ok {
+		return fs.InternSlot(t)
+	}
+	return t.SlotIDOf(b.Slot())
+}

@@ -1,0 +1,131 @@
+package flood
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// FuzzIdentRoundTrip feeds arbitrary key and slot strings through the
+// interner and checks the table invariants: string↔ID round-trips are
+// exact, equal strings always map to equal IDs, distinct strings never
+// collide, and re-interning is stable.
+func FuzzIdentRoundTrip(f *testing.F) {
+	f.Add("", "v:0", "tr:3:0|v:1@0->2;1|v:0@0->1->2")
+	f.Add("v:1", "v:1", "v:1")
+	f.Add("d", "tr:7", "eig:1,2=0")
+	f.Add("a\x00b", "\xff\xfe", "αβγ")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		ident := NewIdent()
+		strs := []string{a, b, c, a} // repeat a: re-interning must be stable
+		ids := make([]BodyID, len(strs))
+		slots := make([]SlotID, len(strs))
+		for i, s := range strs {
+			ids[i] = ident.KeyID(s)
+			slots[i] = ident.SlotIDOf(s)
+		}
+		for i, s := range strs {
+			if got := ident.KeyString(ids[i]); got != s {
+				t.Fatalf("KeyString(KeyID(%q)) = %q", s, got)
+			}
+			if got := ident.SlotString(slots[i]); got != s {
+				t.Fatalf("SlotString(SlotIDOf(%q)) = %q", s, got)
+			}
+			for j, u := range strs {
+				if (s == u) != (ids[i] == ids[j]) {
+					t.Fatalf("key collision/split: %q=%d, %q=%d", s, ids[i], u, ids[j])
+				}
+				if (s == u) != (slots[i] == slots[j]) {
+					t.Fatalf("slot collision/split: %q=%d, %q=%d", s, slots[i], u, slots[j])
+				}
+			}
+		}
+		// The pre-reserved IDs never move.
+		if ident.KeyID("v:0") != valueZeroID || ident.KeyID("v:1") != valueOneID {
+			t.Fatal("reserved ValueBody ids moved")
+		}
+		if ident.KeyID("") != AnyBody || ident.SlotIDOf("") != EmptySlot {
+			t.Fatal("reserved empty ids moved")
+		}
+	})
+}
+
+// TestIdentFastRoutesAgree checks that every fast path — the (body, path)
+// pair cache, the slice-identity memo, and the node-slot cache — yields
+// the same ID the plain string route would.
+func TestIdentFastRoutesAgree(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+	arena := graph.NewPathArena(g)
+	ident := NewIdent()
+	pid := arena.Intern(graph.Path{0, 1, 2})
+
+	rendered := "v:1@" + arena.Key(pid)
+	if _, ok := ident.PairKey(valueOneID, pid); ok {
+		t.Fatal("pair cache unexpectedly warm")
+	}
+	id := ident.SetPairKey(valueOneID, pid, rendered)
+	if got := ident.KeyID(rendered); got != id {
+		t.Fatalf("pair route %d != string route %d", id, got)
+	}
+	if got, ok := ident.PairKey(valueOneID, pid); !ok || got != id {
+		t.Fatalf("pair cache lookup = %d, %t", got, ok)
+	}
+
+	vals := []sim.Value{1, 0, 1}
+	body := "vv:101"
+	if _, ok := ident.MemoKey(&vals[0], len(vals), 0); ok {
+		t.Fatal("memo unexpectedly warm")
+	}
+	mid := ident.SetMemoKey(&vals[0], len(vals), 0, body)
+	if got := ident.KeyID(body); got != mid {
+		t.Fatalf("memo route %d != string route %d", mid, got)
+	}
+	if got, ok := ident.MemoKey(&vals[0], len(vals), 0); !ok || got != mid {
+		t.Fatalf("memo lookup = %d, %t", got, ok)
+	}
+	// A different tag is a different identity namespace entry.
+	if _, ok := ident.MemoKey(&vals[0], len(vals), 9); ok {
+		t.Fatal("tag ignored in memo key")
+	}
+
+	sid := ident.SetNodeSlot(1, 3, "tr:3")
+	if got := ident.SlotIDOf("tr:3"); got != sid {
+		t.Fatalf("node-slot route %d != string route %d", sid, got)
+	}
+	if got, ok := ident.NodeSlot(1, 3); !ok || got != sid {
+		t.Fatalf("node-slot lookup = %d, %t", got, ok)
+	}
+}
+
+// TestIdentConcurrentReads exercises the post-run read contract under the
+// race detector: once a run has finished interning, any number of readers
+// may use the table concurrently.
+func TestIdentConcurrentReads(t *testing.T) {
+	ident := NewIdent()
+	const n = 200
+	ids := make([]BodyID, n)
+	for i := range ids {
+		ids[i] = ident.KeyID(fmt.Sprintf("k:%d", i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, id := range ids {
+				if got := ident.KeyString(id); got != fmt.Sprintf("k:%d", i) {
+					t.Errorf("KeyString(%d) = %q", id, got)
+					return
+				}
+				if got := ident.KeyID(fmt.Sprintf("k:%d", i)); got != id {
+					t.Errorf("KeyID read-back = %d, want %d", got, id)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,125 @@
+package flood
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// refReceipt is one acceptance of the reference flooder, in string form.
+type refReceipt struct {
+	origin  graph.NodeID
+	pathKey string
+	bodyKey string
+}
+
+// refFlooder is a deliberately naive reimplementation of rules (i)–(iv)
+// with string-keyed dedup — the message-identity semantics the integer
+// Ident/PathArena layers must reproduce. It exists only as a test oracle.
+type refFlooder struct {
+	g        *graph.Graph
+	me       graph.NodeID
+	accepted map[string]bool
+	receipts []refReceipt
+}
+
+func newRefFlooder(g *graph.Graph, me graph.NodeID) *refFlooder {
+	return &refFlooder{g: g, me: me, accepted: make(map[string]bool)}
+}
+
+func (f *refFlooder) start(b Body) {
+	f.receipts = append(f.receipts, refReceipt{
+		origin:  f.me,
+		pathKey: graph.Path{f.me}.Key(),
+		bodyKey: b.Key(),
+	})
+}
+
+func (f *refFlooder) deliver(from graph.NodeID, m Msg) {
+	if m.Body == nil || !f.g.HasEdge(from, f.me) {
+		return
+	}
+	full := m.Pi.Append(from) // Π·u
+	if !full.ValidIn(f.g) || !full.IsSimple() {
+		return // rule (i)
+	}
+	key := m.Body.Slot() + "\x00" + full.Key()
+	if f.accepted[key] {
+		return // rule (ii)
+	}
+	if full.Contains(f.me) {
+		return // rule (iii)
+	}
+	f.accepted[key] = true
+	f.receipts = append(f.receipts, refReceipt{ // rule (iv)
+		origin:  full[0],
+		pathKey: full.Append(f.me).Key(),
+		bodyKey: m.Body.Key(),
+	})
+}
+
+// slotBody is an adversarially flexible test body: arbitrary slot and key.
+type slotBody struct{ slot, key string }
+
+func (b slotBody) Key() string  { return b.key }
+func (b slotBody) Slot() string { return b.slot }
+
+// TestAcceptanceOrderParity drives the production Flooder and the
+// string-keyed reference through identical adversarial delivery streams
+// (random senders, random claimed paths, random slots, conflicting
+// contents) and asserts the recorded receipts — order included — are
+// identical. This pins the string→ID migration: interned slots, packed
+// dedup keys, and the indexed store may never change which message wins a
+// slot or where a receipt lands in acceptance order.
+func TestAcceptanceOrderParity(t *testing.T) {
+	g := graph.MustFromEdges(7, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+		{U: 5, V: 6}, {U: 6, V: 0}, {U: 0, V: 3}, {U: 1, V: 5}, {U: 2, V: 6},
+	})
+	me := graph.NodeID(0)
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fl := New(g, me)
+		ref := newRefFlooder(g, me)
+		own := ValueBody{Value: sim.One}
+		fl.Start(own)
+		ref.start(own)
+		for i := 0; i < 400; i++ {
+			ln := rng.Intn(6)
+			pi := make(graph.Path, 0, ln)
+			for j := 0; j < ln; j++ {
+				pi = append(pi, graph.NodeID(rng.Intn(g.N())))
+			}
+			var body Body
+			switch rng.Intn(3) {
+			case 0:
+				body = ValueBody{Value: sim.Value(rng.Intn(2))}
+			case 1:
+				body = slotBody{slot: "s" + strconv.Itoa(rng.Intn(4)), key: "k" + strconv.Itoa(rng.Intn(3))}
+			default:
+				body = slotBody{slot: "", key: "k" + strconv.Itoa(rng.Intn(3))}
+			}
+			from := graph.NodeID(rng.Intn(g.N()))
+			fl.Deliver([]sim.Delivery{{From: from, Payload: Msg{Body: body, Pi: pi}}})
+			ref.deliver(from, Msg{Body: body, Pi: pi})
+		}
+		got := fl.Receipts()
+		if len(got) != len(ref.receipts) {
+			t.Fatalf("seed %d: %d receipts, reference has %d", seed, len(got), len(ref.receipts))
+		}
+		for i, r := range got {
+			want := ref.receipts[i]
+			if r.Origin != want.origin ||
+				fl.Store().Path(r).Key() != want.pathKey ||
+				fl.Store().BodyKey(i) != want.bodyKey {
+				t.Fatalf("seed %d: receipt %d = (%d, %s, %s), want (%d, %s, %s)",
+					seed, i,
+					r.Origin, fl.Store().Path(r).Key(), fl.Store().BodyKey(i),
+					want.origin, want.pathKey, want.bodyKey)
+			}
+		}
+	}
+}

@@ -7,47 +7,97 @@ import (
 	"lbcast/internal/sim"
 )
 
-// ReceiptStore is an indexed collection of receipts sharing one PathArena.
-// It replaces the flat receipt slice the algorithms used to scan linearly:
-// step (b)'s "value along exactly this path" is an O(1) index lookup, and
-// the disjoint-path predicates only visit receipts of the queried origins.
-// Receipts keep their acceptance order, globally and within every index
-// bucket, so scans over the store reproduce the flat-slice iteration order
-// exactly.
+// ReceiptStore is an indexed collection of receipts sharing one PathArena
+// and one Ident table. It replaces the flat receipt slice the algorithms
+// used to scan linearly: step (b)'s "value along exactly this path" is an
+// O(1) index lookup, and the disjoint-path predicates only visit receipts
+// of the queried origins. Receipts keep their acceptance order, globally
+// and within every index bucket, so scans over the store reproduce the
+// flat-slice iteration order exactly.
 type ReceiptStore struct {
 	arena    *graph.PathArena
+	ident    *Ident
 	receipts []Receipt
-	// bodyKeys caches Receipt.Body.Key() per receipt: body keys are
-	// compared on every Candidates call, and some bodies (transcripts)
-	// rebuild long strings on every Key() call.
-	bodyKeys []string
+	// bodyIDs caches the interned Receipt.Body identity per receipt: body
+	// identities are compared on every Candidates call, and deriving them
+	// through the Ident table avoids rebuilding key strings (transcripts
+	// used to rebuild megabytes of them) on every Add.
+	bodyIDs []BodyID
 	// byOrigin[u] indexes the receipts whose path starts at u.
 	byOrigin [][]int32
-	// byPath indexes receipts by their full path. A path determines its
-	// origin (its first node), so the PathID alone is the key.
-	byPath map[graph.PathID][]int32
+	// byPath indexes receipts by their full path, slice-indexed by PathID
+	// (IDs are dense arena offsets) in fixed-size pages allocated on first
+	// touch. Paging matters because arenas outlive stores: a later phase's
+	// store — or any store of a batch's co-located instance groups, which
+	// share one arena — records receipts over a narrow slice of a large ID
+	// range, and pages keep its index proportional to what it records
+	// (arena IDs are allocated in per-session contiguous runs, so pages are
+	// rarely mixed). A path determines its origin (its first node), so the
+	// PathID alone is the key.
+	byPath []*pathPage
 }
 
-// NewReceiptStore returns an empty store over the given arena.
-func NewReceiptStore(arena *graph.PathArena) *ReceiptStore {
+// pathPage is one block of per-PathID receipt buckets.
+type pathPage [pathPageSize][]int32
+
+// pathPageBits sizes the byPath pages (64 IDs per page).
+const (
+	pathPageBits = 6
+	pathPageSize = 1 << pathPageBits
+)
+
+// NewReceiptStore returns an empty store over the given arena and identity
+// table.
+func NewReceiptStore(arena *graph.PathArena, ident *Ident) *ReceiptStore {
 	return &ReceiptStore{
 		arena:    arena,
+		ident:    ident,
 		byOrigin: make([][]int32, arena.Graph().N()),
-		byPath:   make(map[graph.PathID][]int32),
 	}
 }
 
 // Arena returns the store's path arena.
 func (s *ReceiptStore) Arena() *graph.PathArena { return s.arena }
 
+// Ident returns the store's identity table. Filter.Body values queried
+// against this store must be interned in it.
+func (s *ReceiptStore) Ident() *Ident { return s.ident }
+
+// Reserve grows the store's backing slices to hold n receipts without
+// further allocation. Callers that know the expected receipt volume (e.g.
+// a later flooding phase over an arena populated by earlier ones) can
+// preallocate the append targets of every Add.
+func (s *ReceiptStore) Reserve(n int) {
+	if cap(s.receipts) < n {
+		receipts := make([]Receipt, len(s.receipts), n)
+		copy(receipts, s.receipts)
+		s.receipts = receipts
+	}
+	if cap(s.bodyIDs) < n {
+		ids := make([]BodyID, len(s.bodyIDs), n)
+		copy(ids, s.bodyIDs)
+		s.bodyIDs = ids
+	}
+}
+
 // Add appends a receipt. The receipt's PathID must be interned in the
 // store's arena and its Origin must be the path's first node.
 func (s *ReceiptStore) Add(r Receipt) {
 	i := int32(len(s.receipts))
 	s.receipts = append(s.receipts, r)
-	s.bodyKeys = append(s.bodyKeys, r.Body.Key())
+	s.bodyIDs = append(s.bodyIDs, s.ident.BodyKeyID(r.Body))
 	s.byOrigin[r.Origin] = append(s.byOrigin[r.Origin], i)
-	s.byPath[r.PathID] = append(s.byPath[r.PathID], i)
+	p := int(r.PathID)
+	pi := p >> pathPageBits
+	for len(s.byPath) <= pi {
+		s.byPath = append(s.byPath, nil)
+	}
+	pg := s.byPath[pi]
+	if pg == nil {
+		pg = new(pathPage)
+		s.byPath[pi] = pg
+	}
+	pg[p&(pathPageSize-1)] = append(pg[p&(pathPageSize-1)], i)
 }
 
 // Len returns the number of receipts.
@@ -57,8 +107,12 @@ func (s *ReceiptStore) Len() int { return len(s.receipts) }
 // callers must not modify it.
 func (s *ReceiptStore) All() []Receipt { return s.receipts }
 
-// BodyKey returns the cached canonical body identity of receipt index i.
-func (s *ReceiptStore) BodyKey(i int) string { return s.bodyKeys[i] }
+// BodyID returns the interned canonical body identity of receipt index i.
+func (s *ReceiptStore) BodyID(i int) BodyID { return s.bodyIDs[i] }
+
+// BodyKey returns the canonical body identity string of receipt index i
+// (the interned rendering — for traces and tests, not hot paths).
+func (s *ReceiptStore) BodyKey(i int) string { return s.ident.KeyString(s.bodyIDs[i]) }
 
 // Path materializes the receipt's full origin→receiver path. The returned
 // slice is shared (see graph.PathArena.Path); callers must not modify it.
@@ -79,12 +133,26 @@ func (s *ReceiptStore) FromOrigin(origin graph.NodeID) iter.Seq[Receipt] {
 	}
 }
 
+// pathBucket returns the receipt indexes recorded along exactly the given
+// path (nil for none).
+func (s *ReceiptStore) pathBucket(path graph.PathID) []int32 {
+	p := int(path)
+	if p < 0 {
+		return nil
+	}
+	pi := p >> pathPageBits
+	if pi >= len(s.byPath) || s.byPath[pi] == nil {
+		return nil
+	}
+	return s.byPath[pi][p&(pathPageSize-1)]
+}
+
 // ValueAt returns the binary value recorded along exactly the given path,
 // if a ValueBody receipt exists for it — the step-(b) read "the value
 // received along Puv". The path determines the origin (its first node).
 // First acceptance wins, matching the scan order of the former flat slice.
 func (s *ReceiptStore) ValueAt(path graph.PathID) (sim.Value, bool) {
-	for _, i := range s.byPath[path] {
+	for _, i := range s.pathBucket(path) {
 		if v, ok := s.receipts[i].Value(); ok {
 			return v, true
 		}
@@ -96,7 +164,7 @@ func (s *ReceiptStore) ValueAt(path graph.PathID) (sim.Value, bool) {
 // receipts recorded along exactly the given path.
 func (s *ReceiptStore) AtPath(path graph.PathID) iter.Seq[Receipt] {
 	return func(yield func(Receipt) bool) {
-		for _, i := range s.byPath[path] {
+		for _, i := range s.pathBucket(path) {
 			if !yield(s.receipts[i]) {
 				return
 			}

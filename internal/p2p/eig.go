@@ -82,6 +82,7 @@ type Node struct {
 	round   int
 	level   int              // current gathering level, 1..f+1
 	arena   *graph.PathArena // per-run path arena shared by all levels
+	ident   *flood.Ident     // per-run identity table shared by all levels
 	flooder *flood.Flooder
 	tree    map[string]sim.Value // label key -> learned value
 	labels  map[string]Label     // label key -> label (for traversal)
@@ -104,6 +105,7 @@ func New(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *Node {
 		f:      f,
 		input:  input,
 		arena:  graph.NewPathArena(g),
+		ident:  flood.NewIdent(),
 		tree:   make(map[string]sim.Value),
 		labels: make(map[string]Label),
 	}
@@ -134,7 +136,7 @@ func (nd *Node) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	if r == 0 {
 		nd.level++
-		nd.flooder = flood.NewWithArena(nd.g, nd.me, nd.arena)
+		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
 		out = nd.flooder.Start(nd.levelBodies()...)
 	} else {
 		out = nd.flooder.Deliver(inbox)
@@ -249,7 +251,7 @@ func (nd *Node) acceptClaim(receipts *flood.ReceiptStore, w graph.NodeID, beta L
 	for _, delta := range []sim.Value{sim.Zero, sim.One} {
 		fil := flood.Filter{
 			Origins: graph.NewSet(w),
-			BodyKey: EIGBody{Label: beta, Value: delta}.Key(),
+			Body:    nd.ident.KeyID(EIGBody{Label: beta, Value: delta}.Key()),
 		}
 		if flood.ReceivedOnDisjointPaths(receipts, fil, nd.f+1, flood.InternallyDisjoint) {
 			return delta, true

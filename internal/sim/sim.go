@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"lbcast/internal/graph"
 )
@@ -206,6 +207,27 @@ type Engine struct {
 	pool *workerPool
 }
 
+// deliveryPool recycles per-node inbox backing arrays across engines.
+// Short-lived engines (one per Session.Run, one per sweep cell) used to
+// regrow every inbox from zero; the pool hands the next engine the
+// previous one's fully-grown arrays. Entries are cleared before being
+// pooled so no payload outlives its run.
+var deliveryPool = sync.Pool{New: func() any { s := make([]Delivery, 0, 16); return &s }}
+
+// getInbox takes an empty delivery slice from the pool.
+func getInbox() []Delivery { return (*deliveryPool.Get().(*[]Delivery))[:0] }
+
+// putInbox clears a delivery slice and returns it to the pool.
+func putInbox(s []Delivery) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	deliveryPool.Put(&s)
+}
+
 // NewEngine builds an engine over nodes; nodes[i] must have ID i and len
 // must equal the topology size.
 func NewEngine(cfg Config, nodes []Node) (*Engine, error) {
@@ -236,6 +258,10 @@ func NewEngine(cfg Config, nodes []Node) (*Engine, error) {
 		outboxes:    make([][]Outgoing, len(nodes)),
 		decided:     make([]bool, len(nodes)),
 	}
+	for i := range e.inboxes {
+		e.inboxes[i] = getInbox()
+		e.nextInboxes[i] = getInbox()
+	}
 	return e, nil
 }
 
@@ -251,11 +277,17 @@ func (e *Engine) lazyPool() *workerPool {
 	return e.pool
 }
 
-// Close releases the engine's worker pool. It is idempotent and safe on
-// engines that never ran. The engine must not be stepped after Close.
+// Close releases the engine's worker pool and returns its inbox arrays to
+// the delivery pool. It is idempotent and safe on engines that never ran.
+// The engine must not be stepped after Close.
 func (e *Engine) Close() {
 	if e.pool != nil {
 		e.pool.close()
+	}
+	for i := range e.inboxes {
+		putInbox(e.inboxes[i])
+		putInbox(e.nextInboxes[i])
+		e.inboxes[i], e.nextInboxes[i] = nil, nil
 	}
 }
 
