@@ -37,6 +37,7 @@ import (
 	"lbcast"
 	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
+	"lbcast/internal/flood"
 	"lbcast/internal/graph/gen"
 )
 
@@ -69,6 +70,23 @@ type Measurement struct {
 	// batched-vs-independent ratio on the same instances is the batching
 	// speedup tracked by the acceptance criteria.
 	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
+	// PlanCompiles / PlanReplaySessions / PlanDynamicSessions are the
+	// propagation-plan cache counters accumulated over the whole
+	// measurement (all benchmark iterations): plan compilations, per-node
+	// flooding sessions served by replay, and sessions that ran the
+	// dynamic fallback. A large replay:compile ratio is the amortization
+	// the plan layer exists for.
+	PlanCompiles        int64 `json:"plan_compiles,omitempty"`
+	PlanReplaySessions  int64 `json:"plan_replay_sessions,omitempty"`
+	PlanDynamicSessions int64 `json:"plan_dynamic_sessions,omitempty"`
+	// ReplayHitRate is PlanReplaySessions / (PlanReplaySessions +
+	// PlanDynamicSessions) — the fraction of flooding sessions served by
+	// replay. Present (a pointer, so an explicit 0 survives JSON encoding)
+	// whenever the workload counted any phase-node flooding session:
+	// a recorded 0 means replay never engaged — the regression signal the
+	// CI smoke job asserts on — while workloads that never flood via
+	// phase nodes omit the field entirely.
+	ReplayHitRate *float64 `json:"replay_hit_rate,omitempty"`
 }
 
 // benchSchema is the -help description of the BENCH_*.json output format.
@@ -81,10 +99,18 @@ const benchSchema = `output schema (BENCH_*.json):
     bytes_per_op      heap bytes per op
     instances         consensus instances completed per op (throughput workloads only)
     decisions_per_sec instances / seconds-per-op (throughput workloads only)
+    plan_compiles     propagation-plan compilations over the whole measurement
+    plan_replay_sessions  per-node flooding sessions served by compiled-plan replay
+    plan_dynamic_sessions per-node flooding sessions on the dynamic fallback path
+    replay_hit_rate   replay / (replay + dynamic) session fraction; present
+                      (possibly an explicit 0) whenever any phase-node
+                      flooding session was counted
   One op is one consensus execution (session/*), one full sweep
   (sweep/*, montecarlo/*), or one batch of B instances (throughput/*).
   The throughput/batch vs throughput/independent pairs run identical
-  instance sets; their decisions_per_sec ratio is the batching speedup.`
+  instance sets; their decisions_per_sec ratio is the batching speedup.
+  The plan_* counters are accumulated across every benchmark iteration of
+  the workload (not per op); omitted when zero.`
 
 // workload binds a benchmark name to its body. instances, when non-zero,
 // marks a throughput workload completing that many consensus instances
@@ -229,6 +255,24 @@ func workloads() []workload {
 				}
 			}
 		}},
+		{name: "montecarlo/figure1b/256-trials", fn: func(b *testing.B) {
+			// The amortization-heavy rare-fault stream: one compiled plan
+			// and one topology analysis serve all 256 trials, ~94% of which
+			// are benign and replay the plan end to end.
+			g := gen.Figure1b()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
+					G: g, F: 2, Algorithm: eval.Algo1, Trials: 256, Seed: 5, FaultProb: 0.0625,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OK != res.Trials {
+					b.Fatalf("violations: %+v", res.Violations)
+				}
+			}
+		}},
 		{name: "montecarlo/figure1a/16-trials", fn: func(b *testing.B) {
 			g := gen.Figure1a()
 			b.ResetTimer()
@@ -273,6 +317,30 @@ func workloads() []workload {
 			for i := 0; i < b.N; i++ {
 				for _, s := range sessions {
 					runSession(b, s)
+				}
+			}
+		}},
+		{name: "throughput/batch/harary/B32", instances: 32, fn: func(b *testing.B) {
+			// A denser-overlay batch: Harary H_{4,10} with 32 instances,
+			// every fourth carrying a silent fault — the benign 24 collapse
+			// into one replaying vector lane group while the faulty 8 stay
+			// dynamic in the same round loop.
+			g, err := lbcast.Harary(4, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch, err := lbcast.NewBatch(g, throughputInstances(g, 32), lbcast.WithFaults(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := batch.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK() {
+					b.Fatalf("batch consensus failed: %+v", res)
 				}
 			}
 		}},
@@ -394,6 +462,40 @@ func checkAllocs(w io.Writer, ms []Measurement, budgets allocBudgets) error {
 	return nil
 }
 
+// timeSlack is the tolerated ns_per_op regression against a previous
+// BENCH file — looser semantics than the alloc gate (wall-clock is
+// machine-sensitive), so it runs only when the caller supplies -prev.
+const timeSlack = 0.15
+
+// checkTime gates measured ns_per_op of the budgeted workloads against a
+// previous BENCH file: more than timeSlack slower fails. Budgeted
+// workloads absent from prev pass (new workload, nothing to regress
+// against).
+func checkTime(w io.Writer, ms []Measurement, prev map[string]Measurement, budgets allocBudgets) error {
+	var failures []string
+	for _, m := range ms {
+		if _, budgeted := budgets[m.Name]; !budgeted {
+			continue
+		}
+		p, ok := prev[m.Name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		limit := p.NsPerOp * (1 + timeSlack)
+		status := "ok"
+		if m.NsPerOp > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds previous %.0f (+%d%% limit %.0f)",
+				m.Name, m.NsPerOp, p.NsPerOp, int(timeSlack*100), limit))
+		}
+		fmt.Fprintf(w, "time gate  %-40s %.0f/%.0f ns/op (limit %.0f): %s\n", m.Name, m.NsPerOp, p.NsPerOp, limit, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("time regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcbench", flag.ContinueOnError)
 	out := fs.String("out", "", "write JSON to this file instead of stdout")
@@ -403,7 +505,7 @@ func run(args []string, w io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a pprof allocation profile of the benchmark runs to this file")
 	prev := fs.String("prev", "", "previous BENCH_*.json file; print per-workload bytes_per_op/ns_per_op deltas to stderr")
 	checkAllocsPath := fs.String("check-allocs", "",
-		"allocs_per_op budget file (testdata/alloc_budgets.json); run only the budgeted workloads and fail on a >15% regression")
+		"allocs_per_op budget file (testdata/alloc_budgets.json); run only the budgeted workloads and fail on a >15% regression (with -prev, also fail on a >15% ns_per_op regression)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lbcbench [flags]")
 		fs.PrintDefaults()
@@ -450,13 +552,26 @@ func run(args []string, w io.Writer) error {
 				continue
 			}
 		}
+		// Isolate workloads from each other's heap state: a preceding
+		// allocation-heavy workload otherwise leaves a large live heap and
+		// its GC pacing behind, skewing the next measurement.
+		runtime.GC()
+		before := flood.ReadPlanStats()
 		r := testing.Benchmark(wl.fn)
+		after := flood.ReadPlanStats()
 		m := Measurement{
-			Name:        wl.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+			Name:                wl.name,
+			Iterations:          r.N,
+			NsPerOp:             float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:         r.AllocsPerOp(),
+			BytesPerOp:          r.AllocedBytesPerOp(),
+			PlanCompiles:        after.Compiles - before.Compiles,
+			PlanReplaySessions:  after.ReplaySessions - before.ReplaySessions,
+			PlanDynamicSessions: after.DynamicSessions - before.DynamicSessions,
+		}
+		if total := m.PlanReplaySessions + m.PlanDynamicSessions; total > 0 {
+			rate := float64(m.PlanReplaySessions) / float64(total)
+			m.ReplayHitRate = &rate
 		}
 		if wl.instances > 0 && m.NsPerOp > 0 {
 			m.Instances = wl.instances
@@ -478,16 +593,25 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	var prevMeasurements map[string]Measurement
 	if *prev != "" {
 		pm, err := loadMeasurements(*prev)
 		if err != nil {
 			return err
 		}
+		prevMeasurements = pm
 		printDeltas(os.Stderr, ms, pm)
 	}
 	if budgets != nil {
 		if err := checkAllocs(os.Stderr, ms, budgets); err != nil {
 			return err
+		}
+		// With a previous BENCH file at hand, also gate wall-clock time on
+		// the budgeted workloads.
+		if prevMeasurements != nil {
+			if err := checkTime(os.Stderr, ms, prevMeasurements, budgets); err != nil {
+				return err
+			}
 		}
 	}
 	if *out != "" {

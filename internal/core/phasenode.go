@@ -28,7 +28,31 @@ type PhaseNode struct {
 	phaseIdx     int
 	roundInPhase int
 	flooder      *flood.Flooder
-	decided      bool
+	// store holds the current phase's receipts: the flooder's store on the
+	// dynamic path, a plan-sized store filled by bulk installation on the
+	// replay path. Steps (b)/(c) read only the store, so the two paths
+	// share every phase-end computation.
+	store   *flood.ReceiptStore
+	decided bool
+
+	// replay, when non-nil, switches the node's flooding sessions from the
+	// dynamic message-by-message path to schedule replay over the shared
+	// compiled plan (see UseReplay). replayStore is the run's planned store
+	// view, recycled phase over phase; replayBuf is the reused outbox
+	// buffer of the replay path, the fwdBuf analogue.
+	replay      *ReplayShared
+	replayStore *flood.ReceiptStore
+	replayBuf   []sim.Outgoing
+	// sharedStepB replaces the private stepB map for replaying nodes: all
+	// replaying nodes share the frozen plan arena, so step-(b) choices are
+	// analysis-global and cached once across runs and trials.
+	sharedStepB *stepBCache
+	// zvBuf/nvBuf/origBuf are the reusable phase-end scratch sets.
+	zvBuf, nvBuf, origBuf graph.Set
+	// expectHint, when set, seeds the first phase's receipt-store
+	// reservation (SetReceiptHint); later phases use the previous phase's
+	// actual count.
+	expectHint int
 
 	// arena is the per-run path arena shared by every phase's flooding
 	// session: interned prefixes are reused phase over phase and PathIDs
@@ -64,8 +88,9 @@ type stepBKey struct {
 }
 
 var (
-	_ sim.Node    = (*PhaseNode)(nil)
-	_ sim.Decider = (*PhaseNode)(nil)
+	_ sim.Node         = (*PhaseNode)(nil)
+	_ sim.Decider      = (*PhaseNode)(nil)
+	_ sim.InboxIgnorer = (*PhaseNode)(nil)
 )
 
 // NewAlgo1Node builds a non-faulty Algorithm 1 node with the given binary
@@ -103,9 +128,9 @@ func NewHybridNodeShared(topo *graph.Analysis, f, t int, me graph.NodeID, input 
 // one batch node (same graph vertex). nil gives the node a private arena.
 func newPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, input sim.Value, phases []PhaseSpec, arena *graph.PathArena) *PhaseNode {
 	g := topo.Graph()
-	if arena == nil {
-		arena = graph.NewPathArena(g)
-	}
+	// A nil arena stays nil until the first dynamic flooding round: a node
+	// switched to replay (UseReplay) adopts the plan's frozen arena
+	// instead and would never touch a private one.
 	return &PhaseNode{
 		g:      g,
 		me:     me,
@@ -114,8 +139,9 @@ func newPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, input sim.Value,
 		topo:   topo,
 		gamma:  input,
 		arena:  arena,
-		ident:  flood.NewIdent(),
-		stepB:  make(map[stepBKey]graph.PathID),
+		// ident and stepB are created lazily by the dynamic path; a
+		// replaying node never needs them (its value-flood body IDs are
+		// constants and its step-(b) cache is shared on the analysis).
 	}
 }
 
@@ -138,6 +164,35 @@ func (nd *PhaseNode) ID() graph.NodeID { return nd.me }
 
 // Gamma exposes the current state γv (for tests and tracing).
 func (nd *PhaseNode) Gamma() sim.Value { return nd.gamma }
+
+// UseReplay switches the node's step-(a) flooding sessions to replay mode
+// over the shared compiled plan: receipts are bulk-installed from the
+// plan's schedule and outboxes materialized from its templates, with the
+// phase bodies drawn from the run's ReplayShared blackboard. The node
+// adopts the plan's frozen arena as its run arena (every path it will ever
+// look up is already interned there). Replay is an execution strategy, not
+// a semantics change — it is only sound when the whole flood is fault-free
+// (every node initiates, every relay forwards correctly), which the caller
+// asserts by calling this; eval enables it exactly for executions with no
+// Byzantine overrides. Must be called before the first Step, and every
+// honest node of the run must share the same ReplayShared.
+func (nd *PhaseNode) UseReplay(rs *ReplayShared) {
+	nd.replay = rs
+	nd.arena = rs.plan.Arena()
+	nd.sharedStepB = replayStepBCache(nd.topo)
+	nd.replayBuf = make([]sim.Outgoing, 0, rs.plan.MaxRoundReceipts(nd.me))
+}
+
+// SetReceiptHint seeds the first phase's receipt-store reservation with an
+// expected receipt count — typically a compiled plan's exact per-node
+// count, which a dynamic node in a mixed (partly faulty) batch can use
+// even though it cannot replay. Later phases size from the previous
+// phase's actual count, as before.
+func (nd *PhaseNode) SetReceiptHint(n int) { nd.expectHint = n }
+
+// IgnoresInbox implements sim.InboxIgnorer: a replaying node draws every
+// arrival from the compiled plan and never reads its inbox.
+func (nd *PhaseNode) IgnoresInbox() bool { return nd.replay != nil }
 
 // EnableEarlyDecision lets the node decide before the final phase via the
 // observed-unanimity rule: at the end of a phase, if the node received the
@@ -175,28 +230,10 @@ func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 		return nil
 	}
 	var out []sim.Outgoing
-	switch nd.roundInPhase {
-	case 0:
-		// Step (a): initiate flooding of γv. Flooding structure repeats
-		// phase over phase, so the previous session's receipt count sizes
-		// this one's store.
-		expect := 0
-		if nd.flooder != nil {
-			expect = nd.flooder.Store().Len()
-		}
-		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
-		nd.flooder.Expect(expect)
-		nd.phaseStartGamma = nd.gamma
-		out = nd.flooder.Start(flood.ValueBody{Value: nd.gamma})
-	case 1:
-		// Initiations arrive now; after processing, substitute the
-		// default message for silent neighbors.
-		out = nd.flooder.Deliver(inbox)
-		out = nd.flooder.AppendMissing(out, func(graph.NodeID) flood.Body {
-			return flood.ValueBody{Value: sim.DefaultValue}
-		})
-	default:
-		out = nd.flooder.Deliver(inbox)
+	if nd.replay != nil {
+		out = nd.replayStep()
+	} else {
+		out = nd.dynamicStep(inbox)
 	}
 	nd.roundInPhase++
 	if nd.roundInPhase == PhaseRounds(nd.g.N()) {
@@ -210,11 +247,74 @@ func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 	return out
 }
 
+// dynamicStep runs one round of the message-by-message flooding path.
+func (nd *PhaseNode) dynamicStep(inbox []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
+	switch nd.roundInPhase {
+	case 0:
+		// Step (a): initiate flooding of γv. Flooding structure repeats
+		// phase over phase, so the previous session's receipt count sizes
+		// this one's store (the plan's exact count seeds the first phase
+		// when a hint was provided).
+		flood.NoteDynamicSession()
+		if nd.arena == nil {
+			nd.arena = graph.NewPathArena(nd.g)
+		}
+		if nd.ident == nil {
+			nd.ident = flood.NewIdent()
+		}
+		expect := nd.expectHint
+		if nd.flooder != nil {
+			expect = nd.flooder.Store().Len()
+		}
+		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
+		nd.flooder.Expect(expect)
+		nd.store = nd.flooder.Store()
+		nd.phaseStartGamma = nd.gamma
+		out = nd.flooder.Start(flood.ValueBody{Value: nd.gamma})
+	case 1:
+		// Initiations arrive now; after processing, substitute the
+		// default message for silent neighbors.
+		out = nd.flooder.Deliver(inbox)
+		out = nd.flooder.AppendMissing(out, func(graph.NodeID) flood.Body {
+			return flood.ValueBody{Value: sim.DefaultValue}
+		})
+	default:
+		out = nd.flooder.Deliver(inbox)
+	}
+	return out
+}
+
+// replayStep runs one round of the plan-replay path: at phase start it
+// publishes this node's body to the run blackboard and opens an
+// exact-sized store; every round then bulk-installs the plan's scheduled
+// arrivals and materializes the precompiled outbox. The emitted
+// transmissions are byte-identical to the dynamic path's, so observers,
+// metrics, and any dynamically-flooding co-instances of a batch see the
+// same execution.
+func (nd *PhaseNode) replayStep() []sim.Outgoing {
+	plan := nd.replay.plan
+	if nd.roundInPhase == 0 {
+		flood.NoteReplaySession()
+		if nd.replayStore == nil {
+			nd.replayStore = plan.PlannedStore(nd.me, nd.ident)
+		} else {
+			nd.replayStore.ResetPlanned()
+		}
+		nd.store = nd.replayStore
+		nd.phaseStartGamma = nd.gamma
+		nd.replay.bodies[nd.me] = flood.ValueBody{Value: nd.gamma}
+	}
+	out := plan.ReplayRound(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	nd.replayBuf = out
+	return out
+}
+
 // endPhase runs steps (b) and (c) of the current phase.
 func (nd *PhaseNode) endPhase() {
 	spec := nd.phases[nd.phaseIdx]
 	excl := spec.F.Union(spec.T)
-	st := nd.flooder.Store()
+	st := nd.store
 	if nd.earlyOK && !nd.earlyDecided && nd.observedUnanimity(st) {
 		nd.earlyDecided = true
 		nd.earlyValue = nd.phaseStartGamma
@@ -223,9 +323,10 @@ func (nd *PhaseNode) endPhase() {
 	// Step (b): for each u ∈ V−T pick the (deterministic) uv-path Puv
 	// that excludes F∪T and read the value received along it. Zv collects
 	// the nodes whose value arrived as 0; everything else (including
-	// nodes whose Puv delivered nothing) lands in Nv.
-	zv := graph.NewSet()
-	nv := graph.NewSet()
+	// nodes whose Puv delivered nothing) lands in Nv. The sets live only
+	// within this phase end, so the buffers are reused phase over phase.
+	zv := resetSet(&nd.zvBuf)
+	nv := resetSet(&nd.nvBuf)
 	for _, u := range nd.g.Nodes() {
 		if spec.T.Contains(u) {
 			continue
@@ -269,12 +370,15 @@ func (nd *PhaseNode) endPhase() {
 // node's state is x.
 func (nd *PhaseNode) observedUnanimity(st *flood.ReceiptStore) bool {
 	want := flood.ValueKeyID(nd.phaseStartGamma)
+	orig := resetSet(&nd.origBuf)
 	for _, u := range nd.g.Nodes() {
 		if u == nd.me {
 			continue
 		}
+		clear(orig)
+		orig.Add(u)
 		fil := flood.Filter{
-			Origins: graph.NewSet(u),
+			Origins: orig,
 			Body:    want,
 		}
 		if !flood.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.InternallyDisjoint) {
@@ -306,9 +410,16 @@ func selectAvBv(zv, nv, fSet graph.Set, f, phi int) (av, bv graph.Set) {
 }
 
 // chosenPath returns the interned step-(b) path choice for origin u under
-// exclusion set excl, NoPath if none exists. The BFS runs once per
-// distinct (u, excl) over the node's whole run.
+// exclusion set excl, NoPath if none exists. Dynamic nodes memoize per
+// node (their arena is private, so PathIDs are node-local); replaying
+// nodes share the analysis-wide cache over the frozen plan arena.
 func (nd *PhaseNode) chosenPath(u graph.NodeID, excl graph.Set) graph.PathID {
+	if nd.sharedStepB != nil {
+		return nd.sharedStepB.chosen(nd.topo, nd.arena, u, nd.me, excl)
+	}
+	if nd.stepB == nil {
+		nd.stepB = make(map[stepBKey]graph.PathID)
+	}
 	return chosenStepBPath(nd.topo, nd.arena, nd.stepB, u, nd.me, excl)
 }
 

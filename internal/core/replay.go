@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+)
+
+// This file holds the shared state of a replayed execution. A compiled
+// flood.Plan fixes the complete value-blind skeleton of every flooding
+// phase — who accepts which path in which round, and what is forwarded —
+// so the only live information a replaying node needs from its peers is
+// the body each origin floods this phase. ReplayShared is that channel: a
+// per-run blackboard of phase bodies, written by each node at its own
+// phase start and read by every node from the following round on.
+//
+// The synchronization argument: all honest nodes of a replayed run change
+// phase in the same engine round (phases have a fixed round count and all
+// nodes start together), so every write to bodies[u] happens in the
+// phase-start round, while reads of bodies[u] (installing receipts whose
+// origin is u, materializing forwards of u's body) happen in strictly
+// later rounds — the first arrival from u is at graph distance ≥ 1. The
+// engine's round barrier orders writes before reads, and within the
+// phase-start round each node writes only its own slot.
+
+// ReplayShared is the run-wide state of a replayed execution: the compiled
+// plan plus the per-phase origin-body blackboard. One ReplayShared serves
+// all nodes of one run (or all vertices of one batch lane group); it must
+// not be shared across concurrent runs.
+type ReplayShared struct {
+	plan *flood.Plan
+	// bodies[u] is the body node u floods in the current phase. Slots are
+	// overwritten phase over phase; see the file comment for why the round
+	// barrier makes this safe under parallel node stepping.
+	bodies []flood.Body
+}
+
+// NewReplayShared returns the shared replay state for one run over the
+// given plan.
+func NewReplayShared(plan *flood.Plan) *ReplayShared {
+	return &ReplayShared{plan: plan, bodies: make([]flood.Body, plan.Graph().N())}
+}
+
+// Plan returns the compiled plan the run replays.
+func (rs *ReplayShared) Plan() *flood.Plan { return rs.plan }
+
+// stepBCacheKey keys the run-crossing replay step-(b) cache in
+// Analysis.Memo.
+type stepBCacheKey struct{}
+
+// sharedStepBKey identifies one step-(b) choice across all nodes: origin,
+// choosing node, and the exclusion set (mask when exact, canonical string
+// otherwise).
+type sharedStepBKey struct {
+	u, me graph.NodeID
+	mask  uint64
+	excl  string
+}
+
+// stepBCache is the step-(b) path-choice memo shared by every REPLAYING
+// node, run, trial, and sweep cell over one analysis. Replaying nodes all
+// draw PathIDs from the same frozen plan arena, so the interned choice for
+// (u, me, excl) is a global constant of the analysis — unlike dynamic
+// nodes, whose private arenas make the IDs node-local (they keep their
+// per-node stepB maps). Guarded for concurrent trials; after the first
+// run every access is a read.
+type stepBCache struct {
+	mu sync.RWMutex
+	m  map[sharedStepBKey]graph.PathID
+}
+
+// replayStepBCache returns the analysis's shared replay step-(b) cache.
+func replayStepBCache(topo *graph.Analysis) *stepBCache {
+	return topo.Memo(stepBCacheKey{}, func() any {
+		return &stepBCache{m: make(map[sharedStepBKey]graph.PathID)}
+	}).(*stepBCache)
+}
+
+// chosen returns the interned step-(b) path choice for (u, me, excl) over
+// the frozen plan arena, computing and caching it on first use. The BFS is
+// deterministic and the arena frozen, so concurrent fills store identical
+// values.
+func (c *stepBCache) chosen(topo *graph.Analysis, arena *graph.PathArena, u, me graph.NodeID, excl graph.Set) graph.PathID {
+	k := sharedStepBKey{u: u, me: me}
+	if arena.Exact() {
+		k.mask = graph.SetMask(excl)
+	} else {
+		k.excl = excl.String()
+	}
+	c.mu.RLock()
+	pid, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return pid
+	}
+	pid = graph.NoPath
+	if puv := topo.ShortestPathExcluding(u, me, excl); puv != nil {
+		// The frozen plan arena holds every simple path of the graph (the
+		// compile flood traverses them all), so this is a pure lookup.
+		pid = arena.Intern(puv)
+	}
+	c.mu.Lock()
+	c.m[k] = pid
+	c.mu.Unlock()
+	return pid
+}
+
+// resetSet clears and returns the reusable set at *s, allocating it on
+// first use — the phase-end scratch sets (Zv/Nv, singleton origin
+// filters) are rebuilt every phase, and clearing beats reallocating.
+func resetSet(s *graph.Set) graph.Set {
+	if *s == nil {
+		*s = graph.NewSet()
+	} else {
+		clear(*s)
+	}
+	return *s
+}

@@ -95,13 +95,31 @@ type VectorPhaseNode struct {
 	phaseIdx     int
 	roundInPhase int
 	flooder      *flood.Flooder
-	done         bool
+	// store holds the current phase's receipts (the flooder's store on the
+	// dynamic path, a plan-sized bulk-installed store on the replay path);
+	// the phase-end lane computations read only the store.
+	store *flood.ReceiptStore
+	done  bool
+
+	// replay, when non-nil, selects plan replay for the group's shared
+	// flooding session — the lane group is benign by construction, so its
+	// flood is fault-free whatever the rest of the batch does. replayStore
+	// is the run's planned store view, recycled phase over phase;
+	// replayBuf is the reused replay outbox buffer.
+	replay      *ReplayShared
+	replayStore *flood.ReceiptStore
+	replayBuf   []sim.Outgoing
+	// sharedStepB replaces the private stepB map for replaying groups; see
+	// PhaseNode.sharedStepB.
+	sharedStepB *stepBCache
+	// zvBuf/nvBuf/origBuf are the reusable phase-end scratch sets.
+	zvBuf, nvBuf, origBuf graph.Set
 
 	arena *graph.PathArena
 	ident *flood.Ident
 	// stepB caches the step-(b) path choice per (origin, exclusion set),
 	// exactly as PhaseNode does — the choice is topology-only, so one
-	// entry serves every lane.
+	// entry serves every lane. Created lazily by the dynamic path.
 	stepB map[stepBKey]graph.PathID
 
 	earlyOK         bool
@@ -110,8 +128,11 @@ type VectorPhaseNode struct {
 	phaseStartGamma []sim.Value
 }
 
-var _ sim.Node = (*VectorPhaseNode)(nil)
-var _ sim.LaneDecider = (*VectorPhaseNode)(nil)
+var (
+	_ sim.Node         = (*VectorPhaseNode)(nil)
+	_ sim.LaneDecider  = (*VectorPhaseNode)(nil)
+	_ sim.InboxIgnorer = (*VectorPhaseNode)(nil)
+)
 
 // NewVectorAlgo1Node builds a multi-lane Algorithm 1 node over the given
 // per-lane inputs. topo and arena follow the newPhaseNode sharing
@@ -129,9 +150,8 @@ func NewVectorHybridNode(topo *graph.Analysis, f, t int, me graph.NodeID, inputs
 
 func newVectorPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, inputs []sim.Value, phases []PhaseSpec, arena *graph.PathArena) *VectorPhaseNode {
 	g := topo.Graph()
-	if arena == nil {
-		arena = graph.NewPathArena(g)
-	}
+	// A nil arena stays nil until the first dynamic flooding round; see
+	// newPhaseNode.
 	gammas := make([]sim.Value, len(inputs))
 	copy(gammas, inputs)
 	return &VectorPhaseNode{
@@ -142,8 +162,6 @@ func newVectorPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, inputs []s
 		topo:            topo,
 		gammas:          gammas,
 		arena:           arena,
-		ident:           flood.NewIdent(),
-		stepB:           make(map[stepBKey]graph.PathID),
 		earlyDecided:    make([]bool, len(inputs)),
 		earlyValues:     make([]sim.Value, len(inputs)),
 		phaseStartGamma: make([]sim.Value, len(inputs)),
@@ -155,6 +173,23 @@ func (nd *VectorPhaseNode) ID() graph.NodeID { return nd.me }
 
 // Lanes returns the number of lanes.
 func (nd *VectorPhaseNode) Lanes() int { return len(nd.gammas) }
+
+// UseReplay switches the group's shared flooding sessions to plan replay;
+// see PhaseNode.UseReplay for the contract. The vector group's lanes are
+// all benign (that is what admits them to the group), so its flood is
+// fault-free and replayable even when the batch also carries faulty scalar
+// instances — those stay dynamic, and the multiplexed transmissions remain
+// byte-identical. One ReplayShared serves all vertices of the group.
+func (nd *VectorPhaseNode) UseReplay(rs *ReplayShared) {
+	nd.replay = rs
+	nd.arena = rs.plan.Arena()
+	nd.sharedStepB = replayStepBCache(nd.topo)
+	nd.replayBuf = make([]sim.Outgoing, 0, rs.plan.MaxRoundReceipts(nd.me))
+}
+
+// IgnoresInbox implements sim.InboxIgnorer: a replaying group draws every
+// arrival from the compiled plan and never reads its inbox.
+func (nd *VectorPhaseNode) IgnoresInbox() bool { return nd.replay != nil }
 
 // EnableEarlyDecision enables the per-lane observed-unanimity rule; see
 // PhaseNode.EnableEarlyDecision for the soundness argument, which applies
@@ -181,14 +216,43 @@ func (nd *VectorPhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing 
 		return nil
 	}
 	var out []sim.Outgoing
+	if nd.replay != nil {
+		out = nd.replayStep()
+	} else {
+		out = nd.dynamicStep(inbox)
+	}
+	nd.roundInPhase++
+	if nd.roundInPhase == PhaseRounds(nd.g.N()) {
+		nd.endPhase()
+		nd.roundInPhase = 0
+		nd.phaseIdx++
+		if nd.phaseIdx == len(nd.phases) {
+			nd.done = true
+		}
+	}
+	return out
+}
+
+// dynamicStep runs one round of the message-by-message flooding path,
+// mirroring PhaseNode.dynamicStep with the lane-vector body.
+func (nd *VectorPhaseNode) dynamicStep(inbox []sim.Delivery) []sim.Outgoing {
+	var out []sim.Outgoing
 	switch nd.roundInPhase {
 	case 0:
+		flood.NoteDynamicSession()
+		if nd.arena == nil {
+			nd.arena = graph.NewPathArena(nd.g)
+		}
+		if nd.ident == nil {
+			nd.ident = flood.NewIdent()
+		}
 		expect := 0
 		if nd.flooder != nil {
 			expect = nd.flooder.Store().Len()
 		}
 		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
 		nd.flooder.Expect(expect)
+		nd.store = nd.flooder.Store()
 		copy(nd.phaseStartGamma, nd.gammas)
 		vals := make([]sim.Value, len(nd.gammas))
 		copy(vals, nd.gammas)
@@ -205,16 +269,49 @@ func (nd *VectorPhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing 
 	default:
 		out = nd.flooder.Deliver(inbox)
 	}
-	nd.roundInPhase++
-	if nd.roundInPhase == PhaseRounds(nd.g.N()) {
-		nd.endPhase()
-		nd.roundInPhase = 0
-		nd.phaseIdx++
-		if nd.phaseIdx == len(nd.phases) {
-			nd.done = true
-		}
-	}
 	return out
+}
+
+// replayStep runs one round of the plan-replay path, mirroring
+// PhaseNode.replayStep: the published phase body is the group's lane
+// vector, shared by every receipt installed from this origin.
+func (nd *VectorPhaseNode) replayStep() []sim.Outgoing {
+	plan := nd.replay.plan
+	if nd.roundInPhase == 0 {
+		flood.NoteReplaySession()
+		if nd.ident == nil {
+			// Unlike scalar value bodies, VectorBody identities intern
+			// through the table (slice-identity memo), so a replaying
+			// group still needs one.
+			nd.ident = flood.NewIdent()
+		}
+		if nd.replayStore == nil {
+			nd.replayStore = plan.PlannedStore(nd.me, nd.ident)
+		} else {
+			nd.replayStore.ResetPlanned()
+		}
+		nd.store = nd.replayStore
+		copy(nd.phaseStartGamma, nd.gammas)
+		vals := make([]sim.Value, len(nd.gammas))
+		copy(vals, nd.gammas)
+		nd.replay.bodies[nd.me] = VectorBody{Values: vals}
+	}
+	out := plan.ReplayRound(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	nd.replayBuf = out
+	return out
+}
+
+// chosenPath returns the interned step-(b) path choice for origin u under
+// excl, mirroring PhaseNode.chosenPath (shared analysis-wide cache when
+// replaying, private memo otherwise).
+func (nd *VectorPhaseNode) chosenPath(u graph.NodeID, excl graph.Set) graph.PathID {
+	if nd.sharedStepB != nil {
+		return nd.sharedStepB.chosen(nd.topo, nd.arena, u, nd.me, excl)
+	}
+	if nd.stepB == nil {
+		nd.stepB = make(map[stepBKey]graph.PathID)
+	}
+	return chosenStepBPath(nd.topo, nd.arena, nd.stepB, u, nd.me, excl)
 }
 
 // laneValue projects lane l's value out of a vector receipt body.
@@ -235,7 +332,7 @@ func laneValue(b flood.Body, l int) (sim.Value, bool) {
 func (nd *VectorPhaseNode) endPhase() {
 	spec := nd.phases[nd.phaseIdx]
 	excl := spec.F.Union(spec.T)
-	st := nd.flooder.Store()
+	st := nd.store
 	if nd.earlyOK {
 		nd.checkUnanimity(st)
 	}
@@ -247,7 +344,7 @@ func (nd *VectorPhaseNode) endPhase() {
 		if spec.T.Contains(u) || u == nd.me {
 			continue
 		}
-		pid := chosenStepBPath(nd.topo, nd.arena, nd.stepB, u, nd.me, excl)
+		pid := nd.chosenPath(u, excl)
 		if pid == graph.NoPath {
 			continue
 		}
@@ -265,8 +362,10 @@ func (nd *VectorPhaseNode) endPhase() {
 	candidates := flood.Candidates(st, flood.Filter{Exclude: excl})
 
 	for l := range nd.gammas {
-		zv := graph.NewSet()
-		nv := graph.NewSet()
+		// The per-lane sets live only within the lane's step (b)/(c); the
+		// buffers are reused across lanes and phases.
+		zv := resetSet(&nd.zvBuf)
+		nv := resetSet(&nd.nvBuf)
 		for _, u := range nd.g.Nodes() {
 			if spec.T.Contains(u) {
 				continue
@@ -334,11 +433,14 @@ func (nd *VectorPhaseNode) checkUnanimity(st *flood.ReceiptStore) {
 	for l := range undecided {
 		undecided[l] = !nd.earlyDecided[l]
 	}
+	orig := resetSet(&nd.origBuf)
 	for _, u := range nd.g.Nodes() {
 		if u == nd.me {
 			continue
 		}
-		cands := flood.Candidates(st, flood.Filter{Origins: graph.NewSet(u)})
+		clear(orig)
+		orig.Add(u)
+		cands := flood.Candidates(st, flood.Filter{Origins: orig})
 		for l := range nd.gammas {
 			if !undecided[l] {
 				continue

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lbcast/internal/core"
+	"lbcast/internal/flood"
 	"lbcast/internal/graph"
 	"lbcast/internal/sim"
 )
@@ -53,6 +54,10 @@ type BatchSpec struct {
 	FullBudget bool
 	// Sequential disables the engine's parallel round execution.
 	Sequential bool
+	// DisableReplay forces the dynamic flooding path for the benign lane
+	// group even though it qualifies for compiled-plan replay (see
+	// Spec.DisableReplay).
+	DisableReplay bool
 	// Observer, when set, receives the batch engine's events. Payloads are
 	// sim.BatchPayload multiplexes, and no Decision events fire (instance
 	// decisions are per instance; read them from the BatchOutcome).
@@ -120,6 +125,14 @@ func (s BatchSpec) base() Spec {
 // Spec.normalize, and every instance's inputs and overrides are
 // range-checked with the same rules.
 func NewBatchSession(spec BatchSpec) (*BatchSession, error) {
+	return newBatchSessionShared(spec, nil)
+}
+
+// newBatchSessionShared is NewBatchSession drawing topology state from a
+// caller-provided shared analysis of spec.G (nil builds a private one) —
+// the batched analogue of newSessionShared, so Monte Carlo trial groups
+// over one graph share a single analysis and compiled plan.
+func newBatchSessionShared(spec BatchSpec, topo *graph.Analysis) (*BatchSession, error) {
 	if len(spec.Instances) == 0 {
 		return nil, fmt.Errorf("eval: batch has no instances")
 	}
@@ -135,7 +148,10 @@ func NewBatchSession(spec BatchSpec) (*BatchSession, error) {
 			return nil, fmt.Errorf("eval: batch instance %d: %w", i, err)
 		}
 	}
-	return &BatchSession{spec: spec, base: base, topo: graph.NewAnalysis(base.G)}, nil
+	if topo == nil {
+		topo = graph.NewAnalysis(base.G)
+	}
+	return &BatchSession{spec: spec, base: base, topo: topo}, nil
 }
 
 // Spec returns the session's batch spec.
@@ -193,6 +209,36 @@ func (s *BatchSession) Run(ctx context.Context) (BatchOutcome, error) {
 		}
 	}
 
+	// Compiled-plan replay, per group: the vector group and every benign
+	// scalar instance flood fault-free (a benign instance has no Byzantine
+	// override at any vertex, and other groups' traffic is demultiplexed
+	// away), so they replay the shared plan; instances with faults stay
+	// dynamic, and their honest nodes at least seed their receipt stores
+	// from the plan's exact per-node counts. Each replaying group gets its
+	// own body blackboard, shared across the vertices of the group.
+	var plan *flood.Plan
+	var vecRS *core.ReplayShared
+	scalarRS := make([]*core.ReplayShared, groups)
+	if vectorizable && !s.spec.DisableReplay {
+		needPlan := vectorLanes != nil
+		for i, inst := range s.spec.Instances {
+			if !inVector[i] && len(inst.Byzantine) == 0 {
+				needPlan = true
+			}
+		}
+		if needPlan {
+			plan = flood.PlanFor(s.topo)
+			if vectorLanes != nil {
+				vecRS = core.NewReplayShared(plan)
+			}
+			for i, inst := range s.spec.Instances {
+				if !inVector[i] && len(inst.Byzantine) == 0 {
+					scalarRS[groupOf[i]] = core.NewReplayShared(plan)
+				}
+			}
+		}
+	}
+
 	honest := make([]graph.Set, b)
 	honestInputs := make([]map[graph.NodeID]sim.Value, b)
 	for i := range honest {
@@ -223,6 +269,9 @@ func (s *BatchSession) Run(ctx context.Context) (BatchOutcome, error) {
 			if early {
 				vn.EnableEarlyDecision()
 			}
+			if vecRS != nil {
+				vn.UseReplay(vecRS)
+			}
 			inner[0] = vn
 		}
 		for i, inst := range s.spec.Instances {
@@ -236,7 +285,15 @@ func (s *BatchSession) Run(ctx context.Context) (BatchOutcome, error) {
 				continue
 			}
 			in := inst.Inputs[u]
-			inner[groupOf[i]] = s.base.NewHonestNode(s.topo, arena, u, in)
+			nd := s.base.NewHonestNode(s.topo, arena, u, in)
+			if pn, ok := nd.(*core.PhaseNode); ok {
+				if rs := scalarRS[groupOf[i]]; rs != nil {
+					pn.UseReplay(rs)
+				} else if plan != nil {
+					pn.SetReceiptHint(plan.NodeReceipts(u))
+				}
+			}
+			inner[groupOf[i]] = nd
 			honest[i].Add(u)
 			honestInputs[i][u] = in
 		}
@@ -357,7 +414,13 @@ func judgeInstance(batchNodes []*sim.BatchNode, honest graph.Set, honestInputs m
 // RunBatch executes the batch spec once. It is the one-shot form of
 // NewBatchSession(spec).Run(ctx).
 func RunBatch(ctx context.Context, spec BatchSpec) (BatchOutcome, error) {
-	s, err := NewBatchSession(spec)
+	return runBatchShared(ctx, spec, nil)
+}
+
+// runBatchShared is RunBatch over a caller-shared analysis (nil builds a
+// private one).
+func runBatchShared(ctx context.Context, spec BatchSpec, topo *graph.Analysis) (BatchOutcome, error) {
+	s, err := newBatchSessionShared(spec, topo)
 	if err != nil {
 		return BatchOutcome{}, err
 	}

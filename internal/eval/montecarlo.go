@@ -103,6 +103,13 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 	if cfg.FaultProb < 0 || cfg.FaultProb > 1 {
 		return MonteCarloResult{}, fmt.Errorf("eval: fault probability %v outside [0, 1]", cfg.FaultProb)
 	}
+	// One shared topology analysis for the whole sweep: every trial (and
+	// every batched trial group) draws its memoized BFS choices,
+	// disjoint-path layouts, and the compiled propagation plan from it, so
+	// the per-graph work is paid once across all trials instead of per
+	// trial. The analysis is concurrency-safe; a compiled plan's frozen
+	// arena is read-only and shared by every replaying trial.
+	topo := graph.NewAnalysis(cfg.G)
 	results := make([]mcTrialResult, cfg.Trials)
 	if cfg.Batch > 1 {
 		groups := (cfg.Trials + cfg.Batch - 1) / cfg.Batch
@@ -110,11 +117,11 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 		RunPool(cfg.Workers, groups, func(gi int) {
 			lo := gi * cfg.Batch
 			hi := min(lo+cfg.Batch, cfg.Trials)
-			runMonteCarloBatch(ctx, cfg, lo, hi, sequential, results[lo:hi])
+			runMonteCarloBatch(ctx, cfg, topo, lo, hi, sequential, results[lo:hi])
 		})
 	} else {
 		RunPool(cfg.Workers, cfg.Trials, func(trial int) {
-			results[trial] = runMonteCarloTrial(ctx, cfg, trial)
+			results[trial] = runMonteCarloTrial(ctx, cfg, topo, trial)
 		})
 	}
 
@@ -192,10 +199,11 @@ func mcVerdict(trial int, faulty []graph.NodeID, strat string, run Outcome) mcTr
 }
 
 // runMonteCarloTrial executes one trial; all randomness derives from the
-// trial's own seed.
-func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) mcTrialResult {
+// trial's own seed, while topology state (and compiled plans) come from
+// the sweep-wide shared analysis.
+func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, topo *graph.Analysis, trial int) mcTrialResult {
 	inputs, faulty, strat, byz := mcTrialSetup(cfg, trial)
-	s, err := NewSession(Spec{
+	s, err := newSessionShared(Spec{
 		G:         cfg.G,
 		F:         cfg.F,
 		Algorithm: cfg.Algorithm,
@@ -205,7 +213,7 @@ func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) mc
 		// sequentially avoids oversubscription; a single-worker sweep
 		// keeps node-level parallelism. Never affects results.
 		Sequential: effectiveWorkers(cfg.Workers, cfg.Trials) > 1,
-	})
+	}, topo)
 	if err != nil {
 		return mcTrialResult{err: err}
 	}
@@ -217,8 +225,9 @@ func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, trial int) mc
 }
 
 // runMonteCarloBatch executes trials [lo, hi) as one multi-instance batch
-// and writes each trial's verdict into its slot of results.
-func runMonteCarloBatch(ctx context.Context, cfg MonteCarloConfig, lo, hi int, sequential bool, results []mcTrialResult) {
+// and writes each trial's verdict into its slot of results. The shared
+// analysis serves every group of the sweep.
+func runMonteCarloBatch(ctx context.Context, cfg MonteCarloConfig, topo *graph.Analysis, lo, hi int, sequential bool, results []mcTrialResult) {
 	b := hi - lo
 	instances := make([]BatchInstance, b)
 	faulties := make([][]graph.NodeID, b)
@@ -229,13 +238,13 @@ func runMonteCarloBatch(ctx context.Context, cfg MonteCarloConfig, lo, hi int, s
 		faulties[i] = faulty
 		strats[i] = strat
 	}
-	out, err := RunBatch(ctx, BatchSpec{
+	out, err := runBatchShared(ctx, BatchSpec{
 		G:          cfg.G,
 		F:          cfg.F,
 		Algorithm:  cfg.Algorithm,
 		Sequential: sequential,
 		Instances:  instances,
-	})
+	}, topo)
 	if err != nil {
 		for i := range results {
 			results[i] = mcTrialResult{err: err}

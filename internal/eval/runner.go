@@ -10,6 +10,7 @@ import (
 
 	"lbcast/internal/adversary"
 	"lbcast/internal/core"
+	"lbcast/internal/flood"
 	"lbcast/internal/graph"
 	"lbcast/internal/sim"
 )
@@ -79,6 +80,12 @@ type Spec struct {
 	// Sequential disables the engine's goroutine-per-node round
 	// execution (useful for debugging and deterministic profiling).
 	Sequential bool
+	// DisableReplay forces the dynamic message-by-message flooding path
+	// even for executions that qualify for compiled-plan replay (no
+	// Byzantine overrides, phase-based algorithm). Replay is byte-identical
+	// to the dynamic path; this knob exists for the parity tests that
+	// enforce exactly that, and for A/B benchmarking.
+	DisableReplay bool
 	// Observer, when set, receives the execution's round, transmission,
 	// decision and completion events.
 	Observer sim.Observer
@@ -241,10 +248,38 @@ type Session struct {
 // bounds, inputs or overrides for out-of-range nodes, t > f) is rejected
 // with a descriptive error.
 func NewSession(spec Spec) (*Session, error) {
+	return newSessionShared(spec, nil)
+}
+
+// newSessionShared is NewSession drawing topology state — memoized BFS
+// choices, disjoint-path layouts, and compiled propagation plans — from a
+// caller-provided shared analysis of spec.G (nil builds a private one).
+// Monte Carlo trials and sweep cells over one graph pass the same analysis
+// so the per-graph work (including plan compilation) is paid once across
+// all of them.
+func newSessionShared(spec Spec, topo *graph.Analysis) (*Session, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
-	return &Session{spec: spec, topo: graph.NewAnalysis(spec.G)}, nil
+	if topo == nil {
+		topo = graph.NewAnalysis(spec.G)
+	}
+	return &Session{spec: spec, topo: topo}, nil
+}
+
+// replayable reports whether the spec's executions qualify for
+// compiled-plan replay: a phase-based algorithm with no Byzantine
+// overrides anywhere, so every step-(a) flood is fault-free — every node
+// initiates and every relay forwards correctly — and the compiled
+// all-benign schedule reproduces the dynamic execution exactly. Any
+// Byzantine override (silent, tamper, equivocate, forge) falls the whole
+// run back to the dynamic path: a faulty node touches every slot's
+// propagation, since flooding traverses all simple paths.
+func (s Spec) replayable() bool {
+	if s.DisableReplay || len(s.Byzantine) != 0 {
+		return false
+	}
+	return s.Algorithm == Algo1 || s.Algorithm == Algo3
 }
 
 // Spec returns the session's normalized spec.
@@ -260,7 +295,13 @@ func (s *Session) Spec() Spec { return s.spec }
 func (s *Session) Run(ctx context.Context) (Outcome, error) {
 	spec := s.spec
 	g := spec.G
-	factory := spec.honestFactory(s.topo)
+	// Fault-free phase-based executions replay the compiled propagation
+	// plan (compiled once per analysis, shared across Runs, trials, and
+	// cells) instead of re-flooding message by message; see flood.Plan.
+	var rs *core.ReplayShared
+	if spec.replayable() {
+		rs = core.NewReplayShared(flood.PlanFor(s.topo))
+	}
 	nodes := make([]sim.Node, g.N())
 	honest := graph.NewSet()
 	honestInputs := make(map[graph.NodeID]sim.Value)
@@ -270,7 +311,13 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 			continue
 		}
 		in := spec.Inputs[u]
-		nodes[u] = factory(u, in)
+		nd := spec.NewHonestNode(s.topo, nil, u, in)
+		if rs != nil {
+			if pn, ok := nd.(*core.PhaseNode); ok {
+				pn.UseReplay(rs)
+			}
+		}
+		nodes[u] = nd
 		honest.Add(u)
 		honestInputs[u] = in
 	}

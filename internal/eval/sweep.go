@@ -209,7 +209,7 @@ func (g Grid) Expand() ([]Cell, error) {
 // adversary seeds) comes from the cell's own seed, so the result is a
 // pure function of the cell; sequential only controls how the engine
 // schedules node steps and never affects the outcome.
-func (c Cell) run(ctx context.Context, fullBudget, sequential bool) CellOutcome {
+func (c Cell) run(ctx context.Context, topo *graph.Analysis, fullBudget, sequential bool) CellOutcome {
 	out := CellOutcome{Cell: c}
 	rng := rand.New(rand.NewSource(c.Seed))
 	n := c.g.N()
@@ -256,7 +256,7 @@ func (c Cell) run(ctx context.Context, fullBudget, sequential bool) CellOutcome 
 		// keeps node-level parallelism instead.
 		Sequential: sequential,
 	}
-	s, err := NewSession(spec)
+	s, err := newSessionShared(spec, topo)
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -323,10 +323,20 @@ func RunSweep(ctx context.Context, grid Grid, workers int) (SweepResult, error) 
 	if err != nil {
 		return SweepResult{}, err
 	}
+	// One shared analysis per distinct graph: all cells over a graph reuse
+	// its memoized topology state and compiled propagation plan instead of
+	// re-deriving them per cell. Analyses (and frozen plan arenas) are
+	// concurrency-safe, so parallel cells share freely.
+	analyses := make(map[*graph.Graph]*graph.Analysis)
+	for _, c := range cells {
+		if _, ok := analyses[c.g]; !ok {
+			analyses[c.g] = graph.NewAnalysis(c.g)
+		}
+	}
 	outcomes := make([]CellOutcome, len(cells))
 	sequential := effectiveWorkers(workers, len(cells)) > 1
 	RunPool(workers, len(cells), func(i int) {
-		outcomes[i] = cells[i].run(ctx, grid.FullBudget, sequential)
+		outcomes[i] = cells[i].run(ctx, analyses[cells[i].g], grid.FullBudget, sequential)
 	})
 	if err := ctx.Err(); err != nil {
 		return SweepResult{}, fmt.Errorf("eval: sweep canceled: %w", err)

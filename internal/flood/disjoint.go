@@ -1,7 +1,7 @@
 package flood
 
 import (
-	"sort"
+	"slices"
 
 	"lbcast/internal/graph"
 )
@@ -115,7 +115,7 @@ func Candidates(st *ReceiptStore, fil Filter) []Receipt {
 		for _, b := range buckets {
 			idxs = append(idxs, b...)
 		}
-		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		slices.Sort(idxs)
 		for _, i := range idxs {
 			visit(i)
 		}
@@ -142,7 +142,7 @@ func SelectDisjoint(ar *graph.PathArena, candidates []Receipt, k int, mode Disjo
 	// the search tree.
 	cs := make([]Receipt, len(candidates))
 	copy(cs, candidates)
-	sort.SliceStable(cs, func(i, j int) bool { return ar.PathLen(cs[i].PathID) < ar.PathLen(cs[j].PathID) })
+	slices.SortStableFunc(cs, func(a, b Receipt) int { return ar.PathLen(a.PathID) - ar.PathLen(b.PathID) })
 
 	chosen := make([]Receipt, 0, k)
 	var rec func(start int) bool

@@ -274,7 +274,7 @@ func (f *Flooder) SynthesizeMissing(mk func(neighbor graph.NodeID) Body) []sim.O
 // slice — the round loop passes its Deliver output, so the default-message
 // forwards ride in the same (reused) buffer instead of a fresh one.
 func (f *Flooder) AppendMissing(out []sim.Outgoing, mk func(neighbor graph.NodeID) Body) []sim.Outgoing {
-	for _, u := range f.g.Neighbors(f.me) {
+	for _, u := range f.g.AdjList(f.me) {
 		if f.initiatedBy[u] {
 			continue
 		}

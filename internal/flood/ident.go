@@ -224,7 +224,9 @@ func (t *Ident) SetNodeSlot(ns int32, u graph.NodeID, slot string) SlotID {
 
 // BodyKeyID returns the body's canonical identity, taking the cheapest
 // route available: fixed constants for ValueBody, the body's own
-// KeyInterner fast path, or interning the rendered Key().
+// KeyInterner fast path, or interning the rendered Key(). The ValueBody
+// branch never touches the table, so it is valid on a nil receiver (the
+// ident-free planned-store case; see ReceiptStore.AddPlanned).
 func (t *Ident) BodyKeyID(b Body) BodyID {
 	if vb, ok := b.(ValueBody); ok {
 		return ValueKeyID(vb.Value)

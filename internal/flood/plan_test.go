@@ -1,0 +1,150 @@
+package flood
+
+import (
+	"fmt"
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// The plan-parity property: a compiled plan's replayed receipts and
+// outboxes are element-wise identical — same origins, same materialized
+// paths, same bodies, same acceptance and forward order, round by round —
+// to a reference dynamic flood run with fully private per-node state
+// (independent arenas and idents, exactly like a real session's nodes).
+// The reference loop below reimplements the engine's canonical delivery
+// order independently of the compiler, so the two sides share no
+// shortcuts.
+
+// dynamicRef runs one fault-free flooding session with private per-node
+// flooders and returns, per node, the receipts in acceptance order with
+// the round each was accepted in, plus the per-round outbox payload keys.
+func dynamicRef(g *graph.Graph, body Body) (recRounds [][]int, flooders []*Flooder, outKeys [][][]string) {
+	n := g.N()
+	flooders = make([]*Flooder, n)
+	recRounds = make([][]int, n)
+	outKeys = make([][][]string, n)
+	for u := 0; u < n; u++ {
+		flooders[u] = New(g, graph.NodeID(u)) // private arena + ident
+		outKeys[u] = make([][]string, Rounds(n))
+	}
+	record := func(v, r int, outs []sim.Outgoing) {
+		for len(recRounds[v]) < flooders[v].Store().Len() {
+			recRounds[v] = append(recRounds[v], r)
+		}
+		for _, o := range outs {
+			outKeys[v][r] = append(outKeys[v][r], o.Payload.Key())
+		}
+	}
+	outs := make([][]sim.Outgoing, n)
+	for u := 0; u < n; u++ {
+		outs[u] = flooders[u].Start(body)
+		record(u, 0, outs[u])
+	}
+	inboxes := make([][]sim.Delivery, n)
+	for r := 1; r < Rounds(n); r++ {
+		for v := range inboxes {
+			inboxes[v] = inboxes[v][:0]
+		}
+		for u := 0; u < n; u++ {
+			for _, out := range outs[u] {
+				for _, w := range g.Neighbors(graph.NodeID(u)) {
+					inboxes[w] = append(inboxes[w], sim.Delivery{From: graph.NodeID(u), Payload: out.Payload})
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			// Copy the reused Deliver buffer: the reference keeps outboxes
+			// across the inbox-building step like the engine does.
+			fwd := flooders[v].Deliver(inboxes[v])
+			outs[v] = append([]sim.Outgoing(nil), fwd...)
+			record(v, r, outs[v])
+		}
+	}
+	return recRounds, flooders, outKeys
+}
+
+// checkPlanParity compares plan replay against the dynamic reference on g.
+func checkPlanParity(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	n := g.N()
+	body := ValueBody{Value: sim.DefaultValue}
+	plan := CompilePlan(g)
+	recRounds, flooders, outKeys := dynamicRef(g, body)
+
+	bodies := make([]Body, n)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	for v := 0; v < n; v++ {
+		store := plan.PlannedStore(graph.NodeID(v), nil)
+		var replayRounds []int
+		replayOut := make([][]string, plan.Rounds())
+		for r := 0; r < plan.Rounds(); r++ {
+			out := plan.ReplayRound(graph.NodeID(v), r, bodies, store, nil)
+			for len(replayRounds) < store.Len() {
+				replayRounds = append(replayRounds, r)
+			}
+			for _, o := range out {
+				replayOut[r] = append(replayOut[r], o.Payload.Key())
+			}
+		}
+		dynStore := flooders[v].Store()
+		if store.Len() != dynStore.Len() {
+			t.Fatalf("node %d: %d replayed receipts, %d dynamic", v, store.Len(), dynStore.Len())
+		}
+		if store.Len() != plan.NodeReceipts(graph.NodeID(v)) {
+			t.Fatalf("node %d: NodeReceipts %d != installed %d", v, plan.NodeReceipts(graph.NodeID(v)), store.Len())
+		}
+		for i, rr := range store.All() {
+			dr := dynStore.All()[i]
+			if rr.Origin != dr.Origin {
+				t.Fatalf("node %d receipt %d: origin %d != %d", v, i, rr.Origin, dr.Origin)
+			}
+			rp, dp := store.Path(rr), dynStore.Path(dr)
+			if fmt.Sprint(rp) != fmt.Sprint(dp) {
+				t.Fatalf("node %d receipt %d: path %v != %v", v, i, rp, dp)
+			}
+			if rr.Body.Key() != dr.Body.Key() {
+				t.Fatalf("node %d receipt %d: body %q != %q", v, i, rr.Body.Key(), dr.Body.Key())
+			}
+			if replayRounds[i] != recRounds[v][i] {
+				t.Fatalf("node %d receipt %d: accepted in round %d, dynamic in %d", v, i, replayRounds[i], recRounds[v][i])
+			}
+		}
+		for r := 0; r < plan.Rounds(); r++ {
+			if fmt.Sprint(replayOut[r]) != fmt.Sprint(outKeys[v][r]) {
+				t.Fatalf("node %d round %d: outbox\nreplay:  %v\ndynamic: %v", v, r, replayOut[r], outKeys[v][r])
+			}
+		}
+	}
+}
+
+func TestPlanMatchesDynamicFloodFixedGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"figure1a", gen.Figure1a()},
+		{"figure1b", gen.Figure1b()},
+		{"petersen", gen.Petersen()},
+	} {
+		t.Run(tc.name, func(t *testing.T) { checkPlanParity(t, tc.g) })
+	}
+}
+
+// TestPlanMatchesDynamicFloodRandom is the property over seeded random
+// graphs: whatever the topology, replay reproduces the dynamic flood
+// element for element.
+func TestPlanMatchesDynamicFloodRandom(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		n := 6 + int(seed)%4
+		g, err := gen.RandomWithMinConnectivity(n, 3, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		t.Run(fmt.Sprintf("seed%d-n%d", seed, n), func(t *testing.T) { checkPlanParity(t, g) })
+	}
+}

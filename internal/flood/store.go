@@ -118,6 +118,45 @@ func (s *ReceiptStore) BodyKey(i int) string { return s.ident.KeyString(s.bodyID
 // slice is shared (see graph.PathArena.Path); callers must not modify it.
 func (s *ReceiptStore) Path(r Receipt) graph.Path { return s.arena.Path(r.PathID) }
 
+// PlannedView returns an empty store that shares this store's index
+// structures (byOrigin, byPath) instead of building its own. It exists for
+// plan replay: a replayed flooding session records exactly this store's
+// receipts — same paths, same acceptance order, same index positions —
+// with only the bodies substituted, so the completed template's indexes
+// describe every phase's store verbatim and need not be rebuilt (or even
+// touched) per phase. Receipts must be installed with AddPlanned, in full
+// and in schedule order, before the view is queried; ResetPlanned recycles
+// the view for the next phase. The template must not grow while views of
+// it exist.
+func (s *ReceiptStore) PlannedView(ident *Ident) *ReceiptStore {
+	return &ReceiptStore{
+		arena:    s.arena,
+		ident:    ident,
+		receipts: make([]Receipt, 0, len(s.receipts)),
+		bodyIDs:  make([]BodyID, 0, len(s.receipts)),
+		byOrigin: s.byOrigin,
+		byPath:   s.byPath,
+	}
+}
+
+// AddPlanned appends a receipt whose index entries already exist in the
+// shared planned index (see PlannedView): only the receipt record and its
+// interned body identity are written, nothing is indexed. A view whose
+// receipts are all ValueBody (scalar value flooding) may carry a nil
+// Ident — ValueBody identities are pre-reserved constants that never touch
+// the table.
+func (s *ReceiptStore) AddPlanned(r Receipt) {
+	s.receipts = append(s.receipts, r)
+	s.bodyIDs = append(s.bodyIDs, s.ident.BodyKeyID(r.Body))
+}
+
+// ResetPlanned empties a planned view for the next phase, keeping its
+// backing arrays (their capacity is exactly one session's receipts).
+func (s *ReceiptStore) ResetPlanned() {
+	s.receipts = s.receipts[:0]
+	s.bodyIDs = s.bodyIDs[:0]
+}
+
 // FromOrigin iterates, in acceptance order and without copying, over the
 // receipts whose provenance path starts at origin.
 func (s *ReceiptStore) FromOrigin(origin graph.NodeID) iter.Seq[Receipt] {

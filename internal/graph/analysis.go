@@ -32,6 +32,17 @@ type Analysis struct {
 
 	spMu sync.RWMutex
 	sp   map[spKey]Path
+
+	memoMu sync.Mutex
+	memos  map[any]*memoSlot
+}
+
+// memoSlot is one Memo entry: a once guarding the build plus the built
+// value, so concurrent callers of the same key block on one build instead
+// of duplicating it.
+type memoSlot struct {
+	once sync.Once
+	val  any
 }
 
 // spKey identifies one memoized shortest-path query: endpoints plus the
@@ -105,4 +116,27 @@ func (a *Analysis) ShortestPathExcluding(s, t NodeID, exclude Set) Path {
 // shared; callers must not modify them.
 func (a *Analysis) DisjointPaths(u, v NodeID, want int) []Path {
 	return a.paths.DisjointPaths(u, v, want)
+}
+
+// Memo returns the value cached on this analysis under key, building it
+// exactly once via build on first use. It exists so that higher layers can
+// attach their own derived, graph-pure state to the shared analysis (e.g.
+// flood's compiled propagation plans) without graph depending on them.
+// build must be a deterministic pure function of the immutable graph, and
+// the value it returns must be safe for concurrent read-only use — the
+// same contract every native Analysis memo obeys. Concurrent callers of
+// the same key share one build; distinct keys build independently.
+func (a *Analysis) Memo(key any, build func() any) any {
+	a.memoMu.Lock()
+	if a.memos == nil {
+		a.memos = make(map[any]*memoSlot)
+	}
+	slot, ok := a.memos[key]
+	if !ok {
+		slot = &memoSlot{}
+		a.memos[key] = slot
+	}
+	a.memoMu.Unlock()
+	slot.once.Do(func() { slot.val = build() })
+	return slot.val
 }

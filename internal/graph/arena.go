@@ -17,9 +17,14 @@ import "strconv"
 // per-entry node bitmask, exact when the graph has at most 64 nodes and a
 // conservative filter (confirmed by a parent-chain walk) above that.
 //
-// A PathArena is NOT safe for concurrent use; each protocol node owns one
-// arena for its whole run (all flooding phases), which also makes PathIDs
-// stable across phases.
+// A PathArena is NOT safe for concurrent use while it is being grown; each
+// protocol node owns one arena for its whole run (all flooding phases),
+// which also makes PathIDs stable across phases. A FROZEN arena (Freeze) is
+// the exception: freezing pre-materializes every lazy per-entry cache and
+// turns all further operations into pure reads, after which the arena is
+// safe for any number of concurrent readers — this is what lets one
+// compiled propagation plan share its arena across every node of a run and
+// across parallel Monte Carlo trials.
 
 // PathID is the stable integer identity of an interned path.
 type PathID int32
@@ -57,6 +62,10 @@ type PathArena struct {
 	roots []PathID
 	// exact reports whether masks are exact node sets (n <= 64).
 	exact bool
+	// frozen marks the arena immutable: growth operations fail (NoPath)
+	// instead of interning, and the lazy caches are already materialized,
+	// so every method is a pure read (see Freeze).
+	frozen bool
 	// bySlice memoizes InternCached results by slice identity (base
 	// pointer, with the length double-checked in the memo entry — the
 	// pointer alone keeps the map on the fast 8-byte hash path). Keys pin
@@ -104,6 +113,9 @@ func (a *PathArena) Root(u NodeID) PathID {
 	if id := a.roots[u]; id != NoPath {
 		return id
 	}
+	if a.frozen {
+		return NoPath
+	}
 	id := PathID(len(a.entries))
 	a.entries = append(a.entries, pathEntry{
 		parent:     NoPath,
@@ -131,7 +143,7 @@ func (a *PathArena) Extend(id PathID, u NodeID) PathID {
 		}
 	}
 	e := &a.entries[id]
-	if !a.g.HasEdge(e.node, u) || a.contains(id, u) {
+	if a.frozen || !a.g.HasEdge(e.node, u) || a.contains(id, u) {
 		return NoPath
 	}
 	c := PathID(len(a.entries))
@@ -182,7 +194,7 @@ func (a *PathArena) InternCached(p Path) PathID {
 		return m.id
 	}
 	id := a.Intern(p)
-	if id != NoPath {
+	if id != NoPath && !a.frozen {
 		if a.bySlice == nil {
 			a.bySlice = make(map[*NodeID]sliceMemo)
 		}
@@ -215,6 +227,25 @@ func (a *PathArena) Mask(id PathID) uint64 { return a.entries[id].mask }
 
 // Exact reports whether bitmasks identify node sets exactly (n <= 64).
 func (a *PathArena) Exact() bool { return a.exact }
+
+// Freeze makes the arena immutable and safe for concurrent readers: every
+// entry's lazy materialized path is built eagerly, and from now on Root,
+// Extend, Intern, and InternCached return their cached results for known
+// paths and NoPath for unknown ones instead of growing the arena. Freezing
+// is how a compiled propagation plan publishes its arena: replaying nodes
+// only ever look up paths the plan already interned, so the frozen arena
+// behaves, for them, exactly like a private arena that happens to be
+// pre-populated. Freeze is idempotent; it must be called before the arena
+// is shared across goroutines.
+func (a *PathArena) Freeze() {
+	for id := range a.entries {
+		a.Path(PathID(id))
+	}
+	a.frozen = true
+}
+
+// Frozen reports whether the arena has been frozen.
+func (a *PathArena) Frozen() bool { return a.frozen }
 
 // Contains reports whether u lies on the path.
 func (a *PathArena) Contains(id PathID, u NodeID) bool {
@@ -272,11 +303,17 @@ func (a *PathArena) Path(id PathID) Path {
 func (a *PathArena) Key(id PathID) string {
 	e := &a.entries[id]
 	if e.key == "" {
-		if e.parent == NoPath {
-			e.key = strconv.Itoa(int(e.node))
-		} else {
-			e.key = a.Key(e.parent) + "->" + strconv.Itoa(int(e.node))
+		k := strconv.Itoa(int(e.node))
+		if e.parent != NoPath {
+			k = a.Key(e.parent) + "->" + k
 		}
+		if a.frozen {
+			// A frozen arena may have concurrent readers; renderings that
+			// were not cached before the freeze are computed per call
+			// instead of racing on the lazy cache.
+			return k
+		}
+		e.key = k
 	}
 	return e.key
 }

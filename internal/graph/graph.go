@@ -175,6 +175,17 @@ func (g *Graph) Neighbors(u NodeID) []NodeID {
 	return out
 }
 
+// AdjList returns u's adjacency list (ascending, like Neighbors) without
+// copying. The slice is shared with the graph and must be treated as
+// read-only; hot paths — engine routing, per-round neighbor scans — use it
+// to avoid one allocation per call, everyone else should prefer Neighbors.
+func (g *Graph) AdjList(u NodeID) []NodeID {
+	if !g.valid(u) {
+		return nil
+	}
+	return g.adj[u]
+}
+
 // Degree returns the number of neighbors of u.
 func (g *Graph) Degree(u NodeID) int {
 	if !g.valid(u) {

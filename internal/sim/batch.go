@@ -132,6 +132,23 @@ func (bn *BatchNode) Retire(i int) { bn.retired[i] = true }
 // Retired reports whether instance i has been retired.
 func (bn *BatchNode) Retired(i int) bool { return bn.retired[i] }
 
+// IgnoresInbox reports whether every live inner instance ignores its
+// inbox (see InboxIgnorer): the vertex then needs no demultiplexed
+// deliveries at all. Retiring a dynamic instance can turn this on
+// mid-run; it can never turn off, matching the engine's contract.
+func (bn *BatchNode) IgnoresInbox() bool {
+	for i, nd := range bn.inner {
+		if bn.retired[i] {
+			continue
+		}
+		ig, ok := nd.(InboxIgnorer)
+		if !ok || !ig.IgnoresInbox() {
+			return false
+		}
+	}
+	return true
+}
+
 // Step demultiplexes the vertex inbox, steps every live instance, and
 // merges the instances' outgoings position-wise. For each position p, the
 // instances' p-th outgoings are grouped by destination (first-seen order,

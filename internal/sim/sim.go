@@ -90,6 +90,21 @@ type Decider interface {
 	Decision() (Value, bool)
 }
 
+// InboxIgnorer is an optional Node capability: a node whose IgnoresInbox
+// reports true promises to never read any inbox passed to its Step calls
+// for the remainder of the run (nodes replaying a compiled propagation
+// plan draw arrivals from the plan instead). When every node of a round
+// reports true, the engine skips materializing the round's deliveries —
+// transmissions are still routed, counted, and observed identically, but
+// no Delivery records are built — which removes the per-delivery fan-out
+// cost from fully-planned rounds. The promise may begin as false and
+// become true (e.g. after a batch retires its dynamic instances), never
+// the reverse.
+type InboxIgnorer interface {
+	// IgnoresInbox reports whether the node ignores all future inboxes.
+	IgnoresInbox() bool
+}
+
 // Topology abstracts who hears whom. The undirected graph case is
 // GraphTopology; the necessity proofs use directed clone networks
 // (adversary package).
@@ -112,9 +127,10 @@ var _ Topology = GraphTopology{}
 // N returns the node count.
 func (t GraphTopology) N() int { return t.G.N() }
 
-// Receivers returns the sender's neighbors.
+// Receivers returns the sender's neighbors. The slice is shared with the
+// graph's adjacency (read-only) — Receivers runs once per transmission.
 func (t GraphTopology) Receivers(sender graph.NodeID) []graph.NodeID {
-	return t.G.Neighbors(sender)
+	return t.G.AdjList(sender)
 }
 
 // Model selects the communication model.
@@ -366,6 +382,11 @@ func (e *Engine) step(round int) {
 	for i := range next {
 		next[i] = next[i][:0]
 	}
+	// When every node promises to ignore its inbox (InboxIgnorer — all
+	// arrivals come from a compiled plan), skip building Delivery records:
+	// transmissions are still routed, counted, and observed identically,
+	// only the per-delivery fan-out below is elided.
+	skipDeliveries := e.allIgnoreInboxes()
 	// Ascending sender order + outbox order gives deterministic FIFO
 	// delivery.
 	for i := 0; i < n; i++ {
@@ -384,6 +405,10 @@ func (e *Engine) step(round int) {
 					Receivers: receivers,
 				})
 			}
+			if skipDeliveries {
+				e.metrics.Deliveries += len(receivers)
+				continue
+			}
 			for _, rcv := range receivers {
 				next[rcv] = append(next[rcv], Delivery{From: sender, Payload: out.Payload})
 				e.metrics.Deliveries++
@@ -393,6 +418,20 @@ func (e *Engine) step(round int) {
 	}
 	e.inboxes, e.nextInboxes = next, e.inboxes
 	e.metrics.Rounds++
+}
+
+// allIgnoreInboxes reports whether every node has promised to ignore its
+// future inboxes (see InboxIgnorer). Checked per round: the promise can
+// turn on mid-run (a batch retiring its last dynamic instance) but never
+// off.
+func (e *Engine) allIgnoreInboxes() bool {
+	for _, nd := range e.nodes {
+		ig, ok := nd.(InboxIgnorer)
+		if !ok || !ig.IgnoresInbox() {
+			return false
+		}
+	}
+	return true
 }
 
 // route resolves a transmission to its receiver set under the configured
