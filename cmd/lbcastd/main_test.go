@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lbcast/internal/server"
+)
+
+// TestParseFlags pins the flag surface and its defaults.
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != ":8418" || cfg.MaxBatch != 64 || cfg.Linger != 2*time.Millisecond {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-addr", ":0", "-workers", "3", "-max-batch", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != ":0" || cfg.Workers != 3 || cfg.MaxBatch != 8 {
+		t.Errorf("flags not applied: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"extra"}); err == nil {
+		t.Error("positional arguments accepted")
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, serves one
+// decision, and verifies the signal-context path drains cleanly — the
+// same handshake the CI smoke job drives against the real binary.
+func TestDaemonLifecycle(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	cfg.OnListen = func(addr string) { addrCh <- addr }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := server.New(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx) }()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not start listening")
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	body := `{"graph":"figure1a","f":1,"inputs":[0,1,0,1,1]}`
+	resp, err = http.Post(base+"/v1/decide", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decided struct {
+		Outcome struct {
+			Agreement bool `json:"agreement"`
+		} `json:"outcome"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decided); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !decided.Outcome.Agreement {
+		t.Fatalf("decide: status=%d agreement=%v", resp.StatusCode, decided.Outcome.Agreement)
+	}
+	cancel() // the signal path: ctx cancellation drains and exits
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}

@@ -6,10 +6,12 @@
 // Workload names are slash-separated descriptors,
 // "<family>/<algorithm-or-subject>/<graph>/<variant>": the session/*
 // workloads run one consensus execution per op, sweep/* and montecarlo/*
-// run a whole sweep per op, and the throughput/* pairs run the same B
+// run a whole sweep per op, the throughput/* pairs run the same B
 // instances either batched (one multi-instance engine) or as independent
 // sequential Session runs — the batched/independent ratio is the batching
-// speedup. The output schema (also printed by -help) is documented in
+// speedup — and the serving/* pairs drive B concurrent requests through
+// the lbcastd daemon's full admit/pack/decide path, single vs sharded
+// scheduler. The output schema (also printed by -help) is documented in
 // DESIGN.md §8.
 //
 // Usage:
@@ -22,27 +24,40 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"lbcast"
 	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
 	"lbcast/internal/flood"
 	"lbcast/internal/graph/gen"
+	"lbcast/internal/server"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM stop the suite between workloads: measurements already
+	// taken still flush as valid JSON, so an interrupted long run leaves a
+	// usable partial BENCH file.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lbcbench:", err)
 		os.Exit(1)
 	}
@@ -106,9 +121,13 @@ const benchSchema = `output schema (BENCH_*.json):
                       (possibly an explicit 0) whenever any phase-node
                       flooding session was counted
   One op is one consensus execution (session/*), one full sweep
-  (sweep/*, montecarlo/*), or one batch of B instances (throughput/*).
+  (sweep/*, montecarlo/*), one batch of B instances (throughput/*), or
+  one packed group of B served requests (serving/*).
   The throughput/batch vs throughput/independent pairs run identical
   instance sets; their decisions_per_sec ratio is the batching speedup.
+  The serving/*-single vs serving/*-sharded pairs serve identical request
+  sets; their ratio is the sharded scheduler's speedup (bounded by the
+  machine's spare cores).
   The plan_* counters are accumulated across every benchmark iteration of
   the workload (not per op); omitted when zero.`
 
@@ -172,6 +191,64 @@ func throughputInstances(g *lbcast.Graph, b int) []lbcast.BatchInstance {
 		out[i] = inst
 	}
 	return out
+}
+
+// servingBodies builds B distinct benign decision requests for the
+// serving workloads (rotated input patterns over figure1b). Benign traffic
+// is the daemon's steady state, so the recorded replay_hit_rate is the
+// compiled-plan fraction under serving load (~1 by design).
+func servingBodies(bsize int) [][]byte {
+	out := make([][]byte, bsize)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(`{"graph":"figure1b","f":2,"input_pattern":[%d,%d,1]}`, i%2, (i/2)%2))
+	}
+	return out
+}
+
+// servingWorkload measures lbcastd's full decide path — admit, pack,
+// batch-execute, respond — by driving B concurrent in-process HTTP
+// requests per op against a Server handler; one op is one packed group of
+// B decisions. The single/sharded variants differ only in ShardWorkers:
+// the sharded scheduler splits each group's instances across parallel
+// round loops (identical decisions; wall-clock scales with spare cores).
+func servingWorkload(name string, bsize, shardWorkers int) workload {
+	return workload{name: name, instances: bsize, fn: func(b *testing.B) {
+		srv := server.New(server.Config{
+			Workers:      1,
+			ShardWorkers: shardWorkers,
+			MaxBatch:     bsize,
+			Linger:       time.Second, // groups flush by size, never by timer
+			MaxPending:   4 * bsize,
+			ClientQuota:  4 * bsize,
+		})
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				b.Error(err)
+			}
+		}()
+		h := srv.Handler()
+		bodies := servingBodies(bsize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for j := 0; j < bsize; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					req := httptest.NewRequest(http.MethodPost, "/v1/decide", bytes.NewReader(bodies[j]))
+					req.Header.Set("X-Client-ID", fmt.Sprintf("bench-%d", j%8))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Errorf("decide: status %d: %s", rec.Code, rec.Body.Bytes())
+					}
+				}(j)
+			}
+			wg.Wait()
+		}
+	}}
 }
 
 // workloads returns the benchmark suite. The early/full pair on the same
@@ -376,6 +453,14 @@ func workloads() []workload {
 				}
 			}
 		}},
+		// The daemon serving pairs: same B requests through the full
+		// admit/pack/decide/respond path, single round loop vs the sharded
+		// scheduler. decisions_per_sec here is end-to-end serving
+		// throughput, HTTP included.
+		servingWorkload("serving/decide/figure1b/B16-single", 16, 1),
+		servingWorkload("serving/decide/figure1b/B16-sharded", 16, 4),
+		servingWorkload("serving/decide/figure1b/B64-single", 64, 1),
+		servingWorkload("serving/decide/figure1b/B64-sharded", 64, 4),
 	}
 }
 
@@ -496,7 +581,7 @@ func checkTime(w io.Writer, ms []Measurement, prev map[string]Measurement, budge
 	return nil
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcbench", flag.ContinueOnError)
 	out := fs.String("out", "", "write JSON to this file instead of stdout")
 	filter := fs.String("filter", "", "only run workloads whose name contains this substring")
@@ -540,7 +625,14 @@ func run(args []string, w io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 	var ms []Measurement
+	interrupted := false
 	for _, wl := range workloads() {
+		// The interrupt boundary: a signal between workloads stops the
+		// suite but the measurements already taken still flush below.
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		if *filter != "" && !strings.Contains(wl.name, *filter) {
 			continue
 		}
@@ -580,6 +672,9 @@ func run(args []string, w io.Writer) error {
 		ms = append(ms, m)
 	}
 	if len(ms) == 0 {
+		if interrupted {
+			return fmt.Errorf("interrupted before any workload completed")
+		}
 		return fmt.Errorf("no workloads match filter %q", *filter)
 	}
 	if *memprofile != "" {
@@ -602,7 +697,10 @@ func run(args []string, w io.Writer) error {
 		prevMeasurements = pm
 		printDeltas(os.Stderr, ms, pm)
 	}
-	if budgets != nil {
+	// Regression gates are meaningless on a partial run (the alloc gate
+	// would fail every unmeasured budgeted workload), so an interrupt
+	// skips them and flushes the partial measurements instead.
+	if budgets != nil && !interrupted {
 		if err := checkAllocs(os.Stderr, ms, budgets); err != nil {
 			return err
 		}
@@ -620,7 +718,14 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		return cliutil.WriteJSON(f, ms)
+		if err := cliutil.WriteJSON(f, ms); err != nil {
+			return err
+		}
+	} else if err := cliutil.WriteJSON(w, ms); err != nil {
+		return err
 	}
-	return cliutil.WriteJSON(w, ms)
+	if interrupted {
+		return fmt.Errorf("interrupted after %d workloads; partial measurements flushed", len(ms))
+	}
+	return nil
 }

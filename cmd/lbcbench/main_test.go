@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -13,7 +15,7 @@ func TestRunBenchFiltered(t *testing.T) {
 		t.Skip("benchmark run is slow")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-filter", "session/algo2/figure1a"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-filter", "session/algo2/figure1a"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var ms []Measurement
@@ -34,7 +36,7 @@ func TestRunBenchOutFile(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-filter", "session/algo2/figure1a", "-out", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-filter", "session/algo2/figure1a", "-out", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -52,8 +54,47 @@ func TestRunBenchOutFile(t *testing.T) {
 
 func TestRunBenchUnknownFilter(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-filter", "no-such-workload"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-filter", "no-such-workload"}, &buf); err == nil {
 		t.Fatal("unmatched filter accepted")
+	}
+}
+
+// TestRunBenchServingSmoke runs one serving workload end to end: the full
+// daemon decide path must measure, report decisions_per_sec, and record a
+// replay hit rate of 1 on the benign request mix.
+func TestRunBenchServingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-filter", "serving/decide/figure1b/B16-single"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(buf.Bytes(), &ms); err != nil {
+		t.Fatalf("json: %v\n%s", err, buf.String())
+	}
+	if len(ms) != 1 {
+		t.Fatalf("measurements = %+v", ms)
+	}
+	m := ms[0]
+	if m.Instances != 16 || m.DecisionsPerSec <= 0 {
+		t.Fatalf("serving throughput not recorded: %+v", m)
+	}
+	if m.ReplayHitRate == nil || *m.ReplayHitRate != 1 {
+		t.Fatalf("benign serving traffic should replay plans exclusively: %+v", m)
+	}
+}
+
+// TestRunBenchInterrupted pins the signal path: a canceled context flushes
+// the (empty) partial suite and reports the interruption.
+func TestRunBenchInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interruption report", err)
 	}
 }
 

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"lbcast/internal/cliutil"
@@ -25,7 +28,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM stop the grid between experiments: tables already
+	// computed still flush (marked "canceled" where interrupted), so a long
+	// -all run cut short leaves its completed artifacts behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lbcexp:", err)
 		os.Exit(1)
 	}
@@ -33,24 +41,28 @@ func main() {
 
 // expResult is one experiment's slot in the result table.
 type expResult struct {
-	tab     *eval.Table
-	err     error
-	skipped bool
-	elapsed time.Duration
+	tab      *eval.Table
+	err      error
+	skipped  bool
+	canceled bool
+	elapsed  time.Duration
 }
 
 // expJSON is the machine-readable form of one experiment.
 type expJSON struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Paper   string     `json:"paper"`
-	Skipped bool       `json:"skipped,omitempty"`
-	Header  []string   `json:"header,omitempty"`
-	Rows    [][]string `json:"rows,omitempty"`
-	Notes   []string   `json:"notes,omitempty"`
+	ID      string `json:"id"`
+	Title   string `json:"title"`
+	Paper   string `json:"paper"`
+	Skipped bool   `json:"skipped,omitempty"`
+	// Canceled marks an experiment that never ran because the grid was
+	// interrupted; completed experiments keep their tables.
+	Canceled bool       `json:"canceled,omitempty"`
+	Header   []string   `json:"header,omitempty"`
+	Rows     [][]string `json:"rows,omitempty"`
+	Notes    []string   `json:"notes,omitempty"`
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcexp", flag.ContinueOnError)
 	all := fs.Bool("all", false, "include slow experiments")
 	id := fs.String("id", "", "run a single experiment by id (E1..E14)")
@@ -90,10 +102,23 @@ func run(args []string, w io.Writer) error {
 			results[idx] = expResult{skipped: true}
 			return
 		}
+		// The interrupt boundary: experiments not yet started when the
+		// signal lands are marked canceled instead of running, so completed
+		// tables flush promptly.
+		if ctx.Err() != nil {
+			results[idx] = expResult{canceled: true}
+			return
+		}
 		start := time.Now()
 		tab, err := e.Run()
 		results[idx] = expResult{tab: tab, err: err, elapsed: time.Since(start)}
 	})
+	interrupted := 0
+	for _, r := range results {
+		if r.canceled {
+			interrupted++
+		}
+	}
 
 	if *jsonOut {
 		out := make([]expJSON, 0, len(exps))
@@ -102,7 +127,7 @@ func run(args []string, w io.Writer) error {
 			if r.err != nil {
 				return fmt.Errorf("%s: %w", e.ID, r.err)
 			}
-			ej := expJSON{ID: e.ID, Title: e.Title, Paper: e.Paper, Skipped: r.skipped}
+			ej := expJSON{ID: e.ID, Title: e.Title, Paper: e.Paper, Skipped: r.skipped, Canceled: r.canceled}
 			if r.tab != nil {
 				ej.Header = r.tab.Header
 				ej.Rows = r.tab.Rows
@@ -110,7 +135,13 @@ func run(args []string, w io.Writer) error {
 			}
 			out = append(out, ej)
 		}
-		return cliutil.WriteJSON(w, out)
+		if err := cliutil.WriteJSON(w, out); err != nil {
+			return err
+		}
+		if interrupted > 0 {
+			return fmt.Errorf("interrupted: %d of %d experiments did not run", interrupted, len(exps))
+		}
+		return nil
 	}
 
 	for i, e := range exps {
@@ -122,9 +153,16 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "== %s: %s (skipped; pass -all) ==\n\n", e.ID, e.Title)
 			continue
 		}
+		if r.canceled {
+			fmt.Fprintf(w, "== %s: %s (canceled by interrupt) ==\n\n", e.ID, e.Title)
+			continue
+		}
 		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
 		fmt.Fprintf(w, "paper artifact: %s\n\n%s", e.Paper, r.tab)
 		fmt.Fprintf(w, "(%s)\n\n", r.elapsed.Round(time.Millisecond))
+	}
+	if interrupted > 0 {
+		return fmt.Errorf("interrupted: %d of %d experiments did not run", interrupted, len(exps))
 	}
 	return nil
 }

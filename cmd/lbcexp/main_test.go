@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestRunExpSingle(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-id", "E9"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "E9"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -20,7 +21,7 @@ func TestRunExpSingle(t *testing.T) {
 
 func TestRunExpSkipsSlowByDefault(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-id", ""}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", ""}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "skipped; pass -all") {
@@ -30,7 +31,7 @@ func TestRunExpSkipsSlowByDefault(t *testing.T) {
 
 func TestRunExpUnknownID(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-id", "E99"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-id", "E99"}, &buf); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -41,7 +42,7 @@ func TestRunExpDeterministicAcrossWorkerCounts(t *testing.T) {
 	outputs := make([]string, 0, 3)
 	for _, workers := range []string{"1", "2", "8"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-json", "-workers", workers}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-json", "-workers", workers}, &buf); err != nil {
 			t.Fatal(err)
 		}
 		outputs = append(outputs, buf.String())
@@ -54,9 +55,38 @@ func TestRunExpDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestRunExpInterrupted pins the signal path: a canceled context marks
+// not-yet-run experiments canceled, still emits JSON, and reports the
+// interruption as an error.
+func TestRunExpInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{"-json"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interruption report", err)
+	}
+	var decoded []struct {
+		Canceled bool `json:"canceled"`
+		Skipped  bool `json:"skipped"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("no JSON flushed on interrupt: %v\n%s", err, buf.String())
+	}
+	marked := 0
+	for _, e := range decoded {
+		if e.Canceled {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Fatalf("no experiment marked canceled:\n%s", buf.String())
+	}
+}
+
 func TestRunExpJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-id", "E9", "-json"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "E9", "-json"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var decoded []map[string]interface{}

@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
@@ -32,7 +36,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the sweep instead of killing the process: the
+	// completed trials still flush (JSON marked "canceled"), so a long
+	// interrupted sweep leaves a usable partial record.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lbcmc:", err)
 		os.Exit(1)
 	}
@@ -48,10 +57,13 @@ type mcJSON struct {
 	// Faults, FaultProb and Batch complete the reproduction record: the
 	// first two affect per-trial derivation; Batch never affects
 	// verdicts but is recorded for exact re-runs.
-	Faults     int               `json:"faults,omitempty"`
-	FaultProb  float64           `json:"fault_prob,omitempty"`
-	Batch      int               `json:"batch,omitempty"`
-	OK         int               `json:"ok"`
+	Faults    int     `json:"faults,omitempty"`
+	FaultProb float64 `json:"fault_prob,omitempty"`
+	Batch     int     `json:"batch,omitempty"`
+	OK        int     `json:"ok"`
+	// Canceled marks a sweep interrupted by SIGINT/SIGTERM: OK and
+	// Violations cover only the trials that completed before the signal.
+	Canceled   bool              `json:"canceled,omitempty"`
 	Violations []mcViolationJSON `json:"violations,omitempty"`
 }
 
@@ -62,7 +74,7 @@ type mcViolationJSON struct {
 	Outcome  eval.Outcome   `json:"outcome"`
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lbcmc", flag.ContinueOnError)
 	spec := fs.String("graph", "figure1a", "graph spec")
 	f := fs.Int("f", 1, "fault bound f")
@@ -90,7 +102,7 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %d", *algo)
 	}
-	res, err := eval.MonteCarlo(eval.MonteCarloConfig{
+	res, err := eval.MonteCarloContext(ctx, eval.MonteCarloConfig{
 		G:         g,
 		F:         *f,
 		Faults:    *faults,
@@ -101,7 +113,10 @@ func run(args []string, w io.Writer) error {
 		Batch:     *batch,
 		FaultProb: *faultProb,
 	})
-	if err != nil {
+	// An interrupt is not a protocol failure: flush what completed, marked
+	// canceled, and report the interruption through the exit status.
+	canceled := err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled)
+	if err != nil && !canceled {
 		return err
 	}
 	if *jsonOut {
@@ -115,6 +130,7 @@ func run(args []string, w io.Writer) error {
 			FaultProb: *faultProb,
 			Batch:     *batch,
 			OK:        res.OK,
+			Canceled:  canceled,
 		}
 		for _, v := range res.Violations {
 			out.Violations = append(out.Violations, mcViolationJSON{
@@ -126,7 +142,11 @@ func run(args []string, w io.Writer) error {
 		}
 	} else {
 		fmt.Fprintf(w, "graph: %s\nalgorithm=%s f=%d trials=%d seed=%d\n", g, alg, *f, *trials, *seed)
-		fmt.Fprintf(w, "consensus held in %d/%d trials\n", res.OK, res.Trials)
+		if canceled {
+			fmt.Fprintf(w, "interrupted: consensus held in %d trials completed before the signal\n", res.OK)
+		} else {
+			fmt.Fprintf(w, "consensus held in %d/%d trials\n", res.OK, res.Trials)
+		}
 		for _, v := range res.Violations {
 			fmt.Fprintf(w, "VIOLATION trial=%d faulty=%v strategy=%s agreement=%v validity=%v decisions=%v\n",
 				v.Trial, v.Faulty, v.Strategy, v.Outcome.Agreement, v.Outcome.Validity, v.Outcome.Decisions)
@@ -134,6 +154,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(res.Violations) > 0 {
 		return fmt.Errorf("%d violations observed", len(res.Violations))
+	}
+	if canceled {
+		return fmt.Errorf("interrupted after %d of %d trials", res.OK, res.Trials)
 	}
 	return nil
 }

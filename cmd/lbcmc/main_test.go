@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestRunMCCleanSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-graph", "figure1a", "-f", "1", "-trials", "10", "-seed", "5"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-graph", "figure1a", "-f", "1", "-trials", "10", "-seed", "5"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "consensus held in 10/10 trials") {
@@ -19,7 +20,7 @@ func TestRunMCCleanSweep(t *testing.T) {
 
 func TestRunMCAlgorithm2(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-graph", "figure1a", "-f", "1", "-algorithm", "2", "-trials", "6"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-graph", "figure1a", "-f", "1", "-algorithm", "2", "-trials", "6"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,7 +29,7 @@ func TestRunMCJSONDeterministicAcrossWorkers(t *testing.T) {
 	outputs := make([]string, 0, 3)
 	for _, workers := range []string{"1", "2", "6"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-graph", "figure1a", "-f", "1", "-trials", "12",
+		if err := run(context.Background(), []string{"-graph", "figure1a", "-f", "1", "-trials", "12",
 			"-seed", "9", "-workers", workers, "-json"}, &buf); err != nil {
 			t.Fatal(err)
 		}
@@ -48,12 +49,33 @@ func TestRunMCJSONDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRunMCInterrupted pins the signal path: a canceled context still
+// flushes JSON (marked canceled) and reports the interruption as an error.
+func TestRunMCInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{"-graph", "figure1a", "-f", "1", "-trials", "8", "-json"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interruption report", err)
+	}
+	var decoded struct {
+		Canceled bool `json:"canceled"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("no JSON flushed on interrupt: %v\n%s", err, buf.String())
+	}
+	if !decoded.Canceled {
+		t.Fatalf("partial output not marked canceled:\n%s", buf.String())
+	}
+}
+
 func TestRunMCErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-graph", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-graph", "bogus"}, &buf); err == nil {
 		t.Fatal("bad graph accepted")
 	}
-	if err := run([]string{"-graph", "figure1a", "-algorithm", "7"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-graph", "figure1a", "-algorithm", "7"}, &buf); err == nil {
 		t.Fatal("bad algorithm accepted")
 	}
 }

@@ -3,6 +3,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"lbcast/internal/core"
 	"lbcast/internal/flood"
@@ -58,6 +59,16 @@ type BatchSpec struct {
 	// group even though it qualifies for compiled-plan replay (see
 	// Spec.DisableReplay).
 	DisableReplay bool
+	// Workers shards the batch across parallel round loops: W > 1
+	// partitions the instances into min(W, B) contiguous shards, each
+	// executed as its own round loop on its own goroutine, all drawing
+	// topology state and the compiled propagation plan from the one shared
+	// graph.Analysis. 0 and 1 run the historical single shared loop.
+	// Instances are independent, so sharding changes wall-clock time on
+	// multi-core hardware, never decisions (enforced by
+	// TestShardedBatchMatchesSingleLoop). Sharded runs reject an Observer:
+	// its events would interleave arbitrarily across shards.
+	Workers int
 	// Observer, when set, receives the batch engine's events. Payloads are
 	// sim.BatchPayload multiplexes, and no Decision events fire (instance
 	// decisions are per instance; read them from the BatchOutcome).
@@ -128,6 +139,19 @@ func NewBatchSession(spec BatchSpec) (*BatchSession, error) {
 	return newBatchSessionShared(spec, nil)
 }
 
+// NewBatchSessionShared is NewBatchSession drawing topology state —
+// memoized BFS choices, disjoint-path layouts, and the compiled
+// propagation plan — from a caller-provided shared analysis of spec.G
+// (nil builds a private one). Long-lived callers that serve many batches
+// over the same graph (the lbcastd scheduler) memoize one analysis per
+// graph and pass it here, so steady-state traffic rides the compiled-plan
+// replay path instead of re-deriving per-graph state per batch. The
+// analysis must be of spec.G and is safe for any number of concurrent
+// sessions.
+func NewBatchSessionShared(spec BatchSpec, topo *graph.Analysis) (*BatchSession, error) {
+	return newBatchSessionShared(spec, topo)
+}
+
 // newBatchSessionShared is NewBatchSession drawing topology state from a
 // caller-provided shared analysis of spec.G (nil builds a private one) —
 // the batched analogue of newSessionShared, so Monte Carlo trial groups
@@ -135,6 +159,12 @@ func NewBatchSession(spec BatchSpec) (*BatchSession, error) {
 func newBatchSessionShared(spec BatchSpec, topo *graph.Analysis) (*BatchSession, error) {
 	if len(spec.Instances) == 0 {
 		return nil, fmt.Errorf("eval: batch has no instances")
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("eval: negative batch worker count %d", spec.Workers)
+	}
+	if spec.Workers > 1 && spec.Observer != nil {
+		return nil, fmt.Errorf("eval: sharded batches (Workers=%d) do not support an Observer; events would interleave across shards", spec.Workers)
 	}
 	base := spec.base()
 	if err := base.normalize(); err != nil {
@@ -157,16 +187,81 @@ func newBatchSessionShared(spec BatchSpec, topo *graph.Analysis) (*BatchSession,
 // Spec returns the session's batch spec.
 func (s *BatchSession) Spec() BatchSpec { return s.spec }
 
-// Run executes every instance of the batch in one shared round loop and
-// judges each instance's outcome.
+// Run executes every instance of the batch and judges each instance's
+// outcome. With Workers <= 1 all instances share one round loop; Workers
+// > 1 shards them across parallel loops (see BatchSpec.Workers) with
+// identical per-instance results.
 //
-// Unless the spec demands the full budget, each instance retires from the
+// Unless the spec demands the full budget, each instance retires from its
 // loop as soon as all of its honest nodes have decided — its nodes stop
 // being stepped and stop transmitting, exactly like an independent
-// Session run that terminates early — and the loop ends when every
-// instance has retired or the round budget is exhausted. The context is
-// checked between rounds; cancellation aborts mid-execution.
+// Session run that terminates early — and a loop ends when every one of
+// its instances has retired or the round budget is exhausted. The context
+// is checked between rounds; cancellation aborts mid-execution.
 func (s *BatchSession) Run(ctx context.Context) (BatchOutcome, error) {
+	if w := min(s.spec.Workers, len(s.spec.Instances)); w > 1 {
+		return s.runSharded(ctx, w)
+	}
+	return s.runLoop(ctx)
+}
+
+// runSharded partitions the instances into w contiguous near-equal shards
+// and runs each shard as its own single-loop batch on its own goroutine.
+// Every shard draws memoized topology state — including the compiled
+// propagation plan — from the session's one shared analysis, so the
+// per-graph work is still paid once; shards step their nodes sequentially
+// (shard-level parallelism replaces node-level parallelism, exactly like
+// parallel sweep cells). Shard outcomes are stitched back in instance
+// order; the merged Rounds is the max over shards and the merged engine
+// totals are the sums.
+func (s *BatchSession) runSharded(ctx context.Context, w int) (BatchOutcome, error) {
+	b := len(s.spec.Instances)
+	outs := make([]BatchOutcome, w)
+	errs := make([]error, w)
+	bounds := make([]int, w+1)
+	for k := 0; k < w; k++ {
+		// Balanced contiguous partition: the first b%w shards take one
+		// extra instance.
+		bounds[k+1] = bounds[k] + b/w
+		if k < b%w {
+			bounds[k+1]++
+		}
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		shard := s.spec
+		shard.Workers = 0
+		shard.Sequential = true
+		shard.Instances = s.spec.Instances[bounds[k]:bounds[k+1]]
+		wg.Add(1)
+		go func(k int, shard BatchSpec) {
+			defer wg.Done()
+			ss, err := newBatchSessionShared(shard, s.topo)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			outs[k], errs[k] = ss.Run(ctx)
+		}(k, shard)
+	}
+	wg.Wait()
+	merged := BatchOutcome{Outcomes: make([]Outcome, 0, b)}
+	for k := 0; k < w; k++ {
+		if errs[k] != nil {
+			return BatchOutcome{}, errs[k]
+		}
+		merged.Outcomes = append(merged.Outcomes, outs[k].Outcomes...)
+		merged.Rounds = max(merged.Rounds, outs[k].Rounds)
+		merged.Metrics.Rounds = max(merged.Metrics.Rounds, outs[k].Metrics.Rounds)
+		merged.Metrics.Transmissions += outs[k].Metrics.Transmissions
+		merged.Metrics.Deliveries += outs[k].Metrics.Deliveries
+	}
+	return merged, nil
+}
+
+// runLoop executes every instance in one shared round loop — the
+// single-shard engine body.
+func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 	b := len(s.spec.Instances)
 	g := s.base.G
 	n := g.N()

@@ -86,6 +86,10 @@ type Spec struct {
 	// to the dynamic path; this knob exists for the parity tests that
 	// enforce exactly that, and for A/B benchmarking.
 	DisableReplay bool
+	// Workers is plumbing for batched executions (see BatchSpec.Workers):
+	// the public option layer sets it here and NewBatch carries it over.
+	// Single-Session runs have exactly one round loop and ignore it.
+	Workers int
 	// Observer, when set, receives the execution's round, transmission,
 	// decision and completion events.
 	Observer sim.Observer
@@ -127,6 +131,9 @@ func (s *Spec) normalize() error {
 	}
 	if s.Rounds < 0 {
 		return fmt.Errorf("eval: negative round budget %d", s.Rounds)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("eval: negative worker count %d", s.Workers)
 	}
 	for u := range s.Inputs {
 		if int(u) < 0 || int(u) >= n {

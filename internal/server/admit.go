@@ -1,0 +1,128 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission control: every accepted request occupies one pending slot
+// from submission until its decision is delivered (or its batch fails).
+// Two ceilings bound the daemon's memory and fairness: a global pending
+// cap (backpressure — the queue never grows past what the scheduler can
+// absorb) and a per-client quota (one client cannot starve the rest).
+// Rejections are cheap and explicit: the HTTP layer maps them to 429.
+
+// Rejection reasons returned by admitter.admit.
+var (
+	// errQueueFull reports the global pending ceiling was hit.
+	errQueueFull = errors.New("server queue full")
+	// errClientQuota reports the per-client in-flight quota was hit.
+	errClientQuota = errors.New("client quota exhausted")
+	// errDraining reports the daemon is shutting down and admits nothing.
+	errDraining = errors.New("server is draining")
+)
+
+// admitter tracks pending (admitted, not yet decided) requests globally
+// and per client, and owns the drain handshake: once draining, admission
+// stops and drained() unblocks when the last pending request resolves.
+type admitter struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	maxPending int
+	quota      int
+	pending    int
+	perClient  map[string]int
+	draining   bool
+	abandoned  bool // drain wait gave up (timeout); waiters stop blocking
+}
+
+func newAdmitter(maxPending, quota int) *admitter {
+	a := &admitter{
+		maxPending: maxPending,
+		quota:      quota,
+		perClient:  make(map[string]int),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// admit claims a pending slot for client, or reports why it cannot.
+func (a *admitter) admit(client string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case a.draining:
+		return errDraining
+	case a.pending >= a.maxPending:
+		return errQueueFull
+	case a.perClient[client] >= a.quota:
+		return errClientQuota
+	}
+	a.pending++
+	a.perClient[client]++
+	return nil
+}
+
+// release returns client's pending slot once its request resolved.
+func (a *admitter) release(client string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pending--
+	if a.perClient[client]--; a.perClient[client] == 0 {
+		delete(a.perClient, client)
+	}
+	if a.pending == 0 {
+		a.cond.Broadcast()
+	}
+}
+
+// depth reports the current pending count (the queue-depth gauge).
+func (a *admitter) depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pending
+}
+
+// startDrain stops admission; subsequent admits fail with errDraining.
+func (a *admitter) startDrain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	if a.pending == 0 {
+		a.cond.Broadcast()
+	}
+}
+
+// isDraining reports whether the drain handshake has started.
+func (a *admitter) isDraining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// drained blocks until every pending request has resolved (call after
+// startDrain) or stop is closed; it reports whether the queue emptied.
+func (a *admitter) drained(stop <-chan struct{}) bool {
+	done := make(chan struct{})
+	go func() {
+		a.mu.Lock()
+		for a.pending > 0 && !a.abandoned {
+			a.cond.Wait()
+		}
+		a.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-stop:
+		// Give up: mark the wait abandoned and wake the waiter so its
+		// goroutine exits even though pending requests remain.
+		a.mu.Lock()
+		a.abandoned = true
+		a.cond.Broadcast()
+		a.mu.Unlock()
+		<-done
+		return false
+	}
+}

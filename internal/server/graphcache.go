@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+)
+
+// graphEntry is one cached topology: the parsed graph, its canonical
+// form (the packing-key component), and the shared analysis every batch
+// over this graph draws memoized state — including the compiled flood
+// plan — from. Entries are immutable once published; the analysis is
+// concurrency-safe by contract.
+type graphEntry struct {
+	g     *graph.Graph
+	canon string
+	topo  *graph.Analysis
+}
+
+// graphCache memoizes graph specs: parsing ("figure1b" -> graph), canonical
+// deduplication (two spec strings for the same topology share one entry,
+// hence one analysis and one compiled plan), and a size cap. Beyond the
+// cap, lookups still succeed but are not retained — a client cycling
+// through unbounded random:N:P:SEED specs costs itself plan compiles, not
+// the daemon its memory.
+type graphCache struct {
+	mu      sync.Mutex
+	max     int
+	bySpec  map[string]*graphEntry
+	byCanon map[string]*graphEntry
+}
+
+func newGraphCache(max int) *graphCache {
+	return &graphCache{
+		max:     max,
+		bySpec:  make(map[string]*graphEntry),
+		byCanon: make(map[string]*graphEntry),
+	}
+}
+
+// lookup resolves a spec string to its shared entry, building and (space
+// permitting) publishing it on first sight.
+func (c *graphCache) lookup(spec string) (*graphEntry, error) {
+	c.mu.Lock()
+	if e, ok := c.bySpec[spec]; ok {
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.mu.Unlock()
+	// Parse and analyze outside the lock: graph construction is cheap but
+	// unbounded in n, and holding the cache lock across it would serialize
+	// unrelated requests.
+	g, err := gen.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("bad graph spec %q: %v", spec, err)
+	}
+	canon := g.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byCanon[canon]; ok {
+		// Same topology under a new spec string: alias it if the spec
+		// table has room.
+		if len(c.bySpec) < c.max {
+			c.bySpec[spec] = e
+		}
+		return e, nil
+	}
+	e := &graphEntry{g: g, canon: canon, topo: graph.NewAnalysis(g)}
+	if len(c.byCanon) < c.max {
+		c.byCanon[canon] = e
+		c.bySpec[spec] = e
+	}
+	return e, nil
+}
+
+// size reports the number of distinct cached topologies.
+func (c *graphCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byCanon)
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lbcast/internal/flood"
+)
+
+// metrics are the daemon's counters, exposed in Prometheus text format on
+// GET /metrics. Everything is plain counters and gauges maintained under
+// one mutex — no client library dependency — plus the process-wide
+// propagation-plan statistics read from the flood package, whose replay
+// hit rate is the signal that steady-state traffic is riding the compiled
+// fast path.
+type metrics struct {
+	mu      sync.Mutex
+	start   time.Time
+	now     func() time.Time // injectable clock (tests)
+	decided int64            // decisions delivered
+	batches int64            // groups executed
+	failed  int64            // groups that errored
+	occSum  int64            // sum of group occupancies (avg = occSum/batches)
+
+	perClient map[string]*clientCounters
+
+	// rate ring: cumulative decision counts with timestamps, giving a
+	// sliding-window decisions/sec gauge without a scrape-to-scrape state.
+	ring [64]rateSample
+	head int
+}
+
+// clientCounters tallies one client's traffic.
+type clientCounters struct {
+	accepted      int64
+	rejectedQuota int64
+	rejectedFull  int64
+	decided       int64
+}
+
+// rateSample is one point of the decisions/sec window.
+type rateSample struct {
+	t       time.Time
+	decided int64
+}
+
+// rateWindow is the sliding window the decisions/sec gauge averages over.
+const rateWindow = 10 * time.Second
+
+func newMetrics() *metrics {
+	now := time.Now
+	return &metrics{
+		start:     now(),
+		now:       now,
+		perClient: make(map[string]*clientCounters),
+	}
+}
+
+// client returns (creating) the counters for one client. Caller holds mu.
+func (m *metrics) client(name string) *clientCounters {
+	c := m.perClient[name]
+	if c == nil {
+		c = &clientCounters{}
+		m.perClient[name] = c
+	}
+	return c
+}
+
+// recordAccepted counts one admitted request.
+func (m *metrics) recordAccepted(client string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.client(client).accepted++
+}
+
+// recordRejected counts one 429, by reason.
+func (m *metrics) recordRejected(client string, quota bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if quota {
+		m.client(client).rejectedQuota++
+	} else {
+		m.client(client).rejectedFull++
+	}
+}
+
+// recordDecided counts one delivered decision.
+func (m *metrics) recordDecided(client string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decided++
+	m.client(client).decided++
+}
+
+// recordBatch counts one executed group and samples the decision counter
+// into the rate ring.
+func (m *metrics) recordBatch(occupancy int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.occSum += int64(occupancy)
+	if !ok {
+		m.failed++
+	}
+	// The per-request completion hook has already advanced the decision
+	// counter for this group, so the sample is the counter itself.
+	m.ring[m.head] = rateSample{t: m.now(), decided: m.decided}
+	m.head = (m.head + 1) % len(m.ring)
+}
+
+// decisionsPerSecond computes the sliding-window rate from the ring: the
+// decision-count delta between now and the oldest sample inside the
+// window, over the elapsed time. Caller holds mu.
+func (m *metrics) decisionsPerSecond() float64 {
+	now := m.now()
+	newest := m.ring[(m.head+len(m.ring)-1)%len(m.ring)]
+	if newest.t.IsZero() {
+		return 0
+	}
+	oldest := newest
+	for i := 0; i < len(m.ring); i++ {
+		s := m.ring[(m.head+i)%len(m.ring)]
+		if !s.t.IsZero() && now.Sub(s.t) <= rateWindow {
+			oldest = s
+			break
+		}
+	}
+	dt := newest.t.Sub(oldest.t).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(newest.decided-oldest.decided) / dt
+}
+
+// writePrometheus renders the exposition. queueDepth and graphs are
+// sampled at scrape time from their owners.
+func (m *metrics) writePrometheus(w io.Writer, queueDepth, graphs int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP lbcastd_uptime_seconds Seconds since the daemon started.\n")
+	p("# TYPE lbcastd_uptime_seconds gauge\n")
+	p("lbcastd_uptime_seconds %.3f\n", m.now().Sub(m.start).Seconds())
+
+	p("# HELP lbcastd_queue_depth Admitted requests not yet decided.\n")
+	p("# TYPE lbcastd_queue_depth gauge\n")
+	p("lbcastd_queue_depth %d\n", queueDepth)
+
+	p("# HELP lbcastd_graphs_cached Distinct topologies with a memoized analysis.\n")
+	p("# TYPE lbcastd_graphs_cached gauge\n")
+	p("lbcastd_graphs_cached %d\n", graphs)
+
+	p("# HELP lbcastd_decisions_total Decisions delivered to clients.\n")
+	p("# TYPE lbcastd_decisions_total counter\n")
+	p("lbcastd_decisions_total %d\n", m.decided)
+
+	p("# HELP lbcastd_batches_total Packed groups executed by the scheduler.\n")
+	p("# TYPE lbcastd_batches_total counter\n")
+	p("lbcastd_batches_total %d\n", m.batches)
+
+	p("# HELP lbcastd_batches_failed_total Packed groups whose execution errored.\n")
+	p("# TYPE lbcastd_batches_failed_total counter\n")
+	p("lbcastd_batches_failed_total %d\n", m.failed)
+
+	p("# HELP lbcastd_batch_occupancy_sum Sum of executed group sizes (avg occupancy = sum/count).\n")
+	p("# TYPE lbcastd_batch_occupancy_sum counter\n")
+	p("lbcastd_batch_occupancy_sum %d\n", m.occSum)
+	p("# HELP lbcastd_batch_occupancy_count Executed group count.\n")
+	p("# TYPE lbcastd_batch_occupancy_count counter\n")
+	p("lbcastd_batch_occupancy_count %d\n", m.batches)
+
+	p("# HELP lbcastd_decisions_per_second Decisions delivered per second over the last %ds.\n", int(rateWindow.Seconds()))
+	p("# TYPE lbcastd_decisions_per_second gauge\n")
+	p("lbcastd_decisions_per_second %.3f\n", m.decisionsPerSecond())
+
+	p("# HELP lbcastd_requests_total Requests by client and admission result.\n")
+	p("# TYPE lbcastd_requests_total counter\n")
+	for _, name := range sortedClients(m.perClient) {
+		c := m.perClient[name]
+		p("lbcastd_requests_total{client=%q,result=\"accepted\"} %d\n", name, c.accepted)
+		if c.rejectedQuota > 0 {
+			p("lbcastd_requests_total{client=%q,result=\"rejected_quota\"} %d\n", name, c.rejectedQuota)
+		}
+		if c.rejectedFull > 0 {
+			p("lbcastd_requests_total{client=%q,result=\"rejected_queue_full\"} %d\n", name, c.rejectedFull)
+		}
+	}
+
+	p("# HELP lbcastd_client_decisions_total Decisions delivered, by client.\n")
+	p("# TYPE lbcastd_client_decisions_total counter\n")
+	for _, name := range sortedClients(m.perClient) {
+		p("lbcastd_client_decisions_total{client=%q} %d\n", name, m.perClient[name].decided)
+	}
+
+	// Process-wide propagation-plan statistics: the replay hit rate is
+	// the fraction of per-node flooding sessions served by compiled-plan
+	// replay — ~1 under benign steady-state traffic.
+	ps := flood.ReadPlanStats()
+	p("# HELP lbcastd_plan_compiles_total Propagation-plan compilations (process-wide).\n")
+	p("# TYPE lbcastd_plan_compiles_total counter\n")
+	p("lbcastd_plan_compiles_total %d\n", ps.Compiles)
+	p("# HELP lbcastd_plan_replay_sessions_total Per-node flooding sessions served by plan replay.\n")
+	p("# TYPE lbcastd_plan_replay_sessions_total counter\n")
+	p("lbcastd_plan_replay_sessions_total %d\n", ps.ReplaySessions)
+	p("# HELP lbcastd_plan_dynamic_sessions_total Per-node flooding sessions on the dynamic fallback.\n")
+	p("# TYPE lbcastd_plan_dynamic_sessions_total counter\n")
+	p("lbcastd_plan_dynamic_sessions_total %d\n", ps.DynamicSessions)
+	if total := ps.ReplaySessions + ps.DynamicSessions; total > 0 {
+		p("# HELP lbcastd_replay_hit_rate Fraction of flooding sessions served by plan replay.\n")
+		p("# TYPE lbcastd_replay_hit_rate gauge\n")
+		p("lbcastd_replay_hit_rate %.6f\n", float64(ps.ReplaySessions)/float64(total))
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"lbcast/internal/eval"
+)
+
+// The packer is the admission-to-execution bridge: admitted requests
+// accumulate in per-compatibility-key groups, and a group is dispatched
+// to the scheduler as one eval.BatchSpec when it fills to the batch
+// ceiling or its linger timer expires — classic size-or-timeout batching.
+// Packing is outcome-preserving by construction: a group shares every
+// batch-wide parameter (that is what the key encodes), and the batched
+// engine's per-instance results are proven identical to independent runs.
+
+// pendingReq is one admitted request waiting for its decision.
+type pendingReq struct {
+	client   string
+	inst     eval.BatchInstance
+	enqueued time.Time
+	// done receives exactly one result; buffered so delivery never blocks
+	// on an abandoned client.
+	done chan decideResult
+}
+
+// decideResult is what the scheduler delivers back per request.
+type decideResult struct {
+	outcome eval.Outcome
+	batch   BatchInfo
+	err     error
+}
+
+// packGroup is one forming batch: requests compatible under one key.
+type packGroup struct {
+	key   string
+	entry *graphEntry
+	base  eval.BatchSpec
+	reqs  []*pendingReq
+	timer *time.Timer
+}
+
+// packer accumulates requests into groups and hands full or expired
+// groups to dispatch (the scheduler's queue).
+type packer struct {
+	mu       sync.Mutex
+	groups   map[string]*packGroup
+	maxBatch int
+	linger   time.Duration
+	draining bool
+	dispatch func(*packGroup)
+}
+
+func newPacker(maxBatch int, linger time.Duration, dispatch func(*packGroup)) *packer {
+	return &packer{
+		groups:   make(map[string]*packGroup),
+		maxBatch: maxBatch,
+		linger:   linger,
+		dispatch: dispatch,
+	}
+}
+
+// add enqueues one admitted request. The first request of a group arms
+// the linger timer; the maxBatch-th flushes the group immediately. While
+// draining, requests dispatch without lingering so the queue empties at
+// scheduler speed.
+func (p *packer) add(w *work, r *pendingReq) {
+	p.mu.Lock()
+	g, ok := p.groups[w.key]
+	if !ok {
+		g = &packGroup{key: w.key, entry: w.entry, base: w.base}
+		p.groups[w.key] = g
+	}
+	g.reqs = append(g.reqs, r)
+	switch {
+	case len(g.reqs) >= p.maxBatch || p.draining:
+		p.detach(g)
+		p.mu.Unlock()
+		p.dispatch(g)
+	case len(g.reqs) == 1 && p.linger > 0:
+		g.timer = time.AfterFunc(p.linger, func() { p.flushKey(w.key, g) })
+		p.mu.Unlock()
+	case p.linger <= 0:
+		// Zero linger: every request dispatches alone (degenerate but
+		// well-defined; used by tests to force group-of-one scheduling).
+		p.detach(g)
+		p.mu.Unlock()
+		p.dispatch(g)
+	default:
+		p.mu.Unlock()
+	}
+}
+
+// detach removes a group from the forming table and disarms its timer.
+// Caller holds p.mu.
+func (p *packer) detach(g *packGroup) {
+	delete(p.groups, g.key)
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+}
+
+// flushKey dispatches the group g if it is still the one forming under
+// key (it may already have been flushed by size, in which case the timer
+// fires on a detached group and must do nothing).
+func (p *packer) flushKey(key string, g *packGroup) {
+	p.mu.Lock()
+	if p.groups[key] != g {
+		p.mu.Unlock()
+		return
+	}
+	p.detach(g)
+	p.mu.Unlock()
+	p.dispatch(g)
+}
+
+// flushAll dispatches every forming group immediately and puts the packer
+// in draining mode (subsequent adds dispatch without lingering).
+func (p *packer) flushAll() {
+	p.mu.Lock()
+	p.draining = true
+	var flushed []*packGroup
+	for _, g := range p.groups {
+		flushed = append(flushed, g)
+	}
+	for _, g := range flushed {
+		p.detach(g)
+	}
+	p.mu.Unlock()
+	for _, g := range flushed {
+		p.dispatch(g)
+	}
+}
