@@ -21,6 +21,7 @@
 //	lbcbench -batch               # only the batched-throughput pairs
 //	lbcbench -out BENCH_4.json -prev BENCH_3.json
 //	lbcbench -check-allocs testdata/alloc_budgets.json
+//	lbcbench -leaderboard BENCH_5.json,BENCH_7.json
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -547,6 +549,94 @@ func checkAllocs(w io.Writer, ms []Measurement, budgets allocBudgets) error {
 	return nil
 }
 
+// graphFamily extracts the graph segment of a workload descriptor
+// ("<family>/<algorithm-or-subject>/<graph>/<variant>") for leaderboard
+// grouping; workloads with fewer segments group under "-".
+func graphFamily(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) >= 3 {
+		return parts[2]
+	}
+	return "-"
+}
+
+// printLeaderboard renders a decisions/sec table from one or more
+// BENCH_*.json files: one row per workload that recorded a
+// decisions_per_sec (the throughput/* and serving/* families), one
+// column per file, rows grouped by graph family and ranked within each
+// group by the last (newest) file's throughput. This is the
+// trajectory-at-a-glance view: feed it the whole BENCH_* sequence and
+// each column is one PR.
+func printLeaderboard(w io.Writer, paths []string) error {
+	type column struct {
+		label string
+		ms    map[string]Measurement
+	}
+	cols := make([]column, 0, len(paths))
+	names := make(map[string]bool)
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		ms, err := loadMeasurements(p)
+		if err != nil {
+			return err
+		}
+		for name, m := range ms {
+			if m.DecisionsPerSec > 0 {
+				names[name] = true
+			}
+		}
+		cols = append(cols, column{label: strings.TrimSuffix(filepath.Base(p), ".json"), ms: ms})
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no throughput measurements (decisions_per_sec) in %s", strings.Join(paths, ", "))
+	}
+	rows := make([]string, 0, len(names))
+	for name := range names {
+		rows = append(rows, name)
+	}
+	newest := cols[len(cols)-1].ms
+	sort.Slice(rows, func(i, j int) bool {
+		gi, gj := graphFamily(rows[i]), graphFamily(rows[j])
+		if gi != gj {
+			return gi < gj
+		}
+		if di, dj := newest[rows[i]].DecisionsPerSec, newest[rows[j]].DecisionsPerSec; di != dj {
+			return di > dj
+		}
+		return rows[i] < rows[j]
+	})
+	fmt.Fprintln(w, "decisions/sec leaderboard (grouped by graph family, ranked by newest column):")
+	fmt.Fprintf(w, "%-42s %-12s %4s", "workload", "graph", "B")
+	for _, c := range cols {
+		fmt.Fprintf(w, "  %14s", c.label)
+	}
+	fmt.Fprintln(w)
+	prevFamily := ""
+	for _, name := range rows {
+		fam := graphFamily(name)
+		if prevFamily != "" && fam != prevFamily {
+			fmt.Fprintln(w)
+		}
+		prevFamily = fam
+		instances := 0
+		for _, c := range cols {
+			if m, ok := c.ms[name]; ok && m.Instances > 0 {
+				instances = m.Instances
+			}
+		}
+		fmt.Fprintf(w, "%-42s %-12s %4d", name, fam, instances)
+		for _, c := range cols {
+			if m, ok := c.ms[name]; ok && m.DecisionsPerSec > 0 {
+				fmt.Fprintf(w, "  %14.1f", m.DecisionsPerSec)
+			} else {
+				fmt.Fprintf(w, "  %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
 // timeSlack is the tolerated ns_per_op regression against a previous
 // BENCH file — looser semantics than the alloc gate (wall-clock is
 // machine-sensitive), so it runs only when the caller supplies -prev.
@@ -591,6 +681,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	prev := fs.String("prev", "", "previous BENCH_*.json file; print per-workload bytes_per_op/ns_per_op deltas to stderr")
 	checkAllocsPath := fs.String("check-allocs", "",
 		"allocs_per_op budget file (testdata/alloc_budgets.json); run only the budgeted workloads and fail on a >15% regression (with -prev, also fail on a >15% ns_per_op regression)")
+	leaderboard := fs.String("leaderboard", "",
+		"comma-separated BENCH_*.json files; print a decisions/sec leaderboard from the recorded measurements instead of running benchmarks")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lbcbench [flags]")
 		fs.PrintDefaults()
@@ -599,6 +691,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *leaderboard != "" {
+		return printLeaderboard(w, strings.Split(*leaderboard, ","))
 	}
 	var budgets allocBudgets
 	if *checkAllocsPath != "" {
@@ -646,7 +741,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 		// Isolate workloads from each other's heap state: a preceding
 		// allocation-heavy workload otherwise leaves a large live heap and
-		// its GC pacing behind, skewing the next measurement.
+		// its GC pacing behind, skewing the next measurement. The second
+		// collection drains the run-state pools — sync.Pool empties over two
+		// GC cycles (live → victim → gone) — so every workload starts cold
+		// and its first-op pool misses are its own, not a predecessor's.
+		runtime.GC()
 		runtime.GC()
 		before := flood.ReadPlanStats()
 		r := testing.Benchmark(wl.fn)

@@ -157,6 +157,63 @@ func TestAllocBudgetsFile(t *testing.T) {
 	}
 }
 
+// TestLeaderboard drives the -leaderboard mode over two synthetic BENCH
+// files: rows are throughput workloads only, grouped by graph family,
+// columns in file order, and a workload absent from one file renders a
+// placeholder rather than a zero.
+func TestLeaderboard(t *testing.T) {
+	dir := t.TempDir()
+	writeBench := func(name string, ms []Measurement) string {
+		data, err := json.Marshal(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := writeBench("BENCH_old.json", []Measurement{
+		{Name: "throughput/batch/figure1b/B16", Instances: 16, DecisionsPerSec: 100},
+		{Name: "session/algo1/figure1a/early", NsPerOp: 50000}, // no decisions_per_sec: excluded
+	})
+	cur := writeBench("BENCH_new.json", []Measurement{
+		{Name: "throughput/batch/figure1b/B16", Instances: 16, DecisionsPerSec: 400},
+		{Name: "throughput/batch/harary/B32", Instances: 32, DecisionsPerSec: 250},
+	})
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-leaderboard", old + "," + cur}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BENCH_old", "BENCH_new",
+		"throughput/batch/figure1b/B16", "figure1b", "400.0", "100.0",
+		"throughput/batch/harary/B32", "harary", "250.0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("leaderboard missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "session/algo1/figure1a/early") {
+		t.Fatalf("non-throughput workload leaked into the leaderboard:\n%s", out)
+	}
+	// The harary row exists only in the new file; the old column must show
+	// the placeholder, not a fabricated number.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "harary/B32") && !strings.Contains(line, "-") {
+			t.Fatalf("missing-measurement placeholder absent: %q", line)
+		}
+	}
+
+	// No throughput measurements at all is an error, not an empty table.
+	empty := writeBench("BENCH_empty.json", []Measurement{{Name: "session/x", NsPerOp: 1}})
+	if err := run(context.Background(), []string{"-leaderboard", empty}, &buf); err == nil {
+		t.Fatal("leaderboard over a file with no throughput workloads accepted")
+	}
+}
+
 func TestPrintDeltas(t *testing.T) {
 	ms := []Measurement{
 		{Name: "a", BytesPerOp: 50, NsPerOp: 10},

@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"lbcast/internal/adversary"
+	"lbcast/internal/eval"
+	"lbcast/internal/sim"
 )
 
 // The golden parity suite pins the observable behavior of fixed scenarios —
@@ -149,6 +151,13 @@ func runGolden(t *testing.T, sc goldenScenario, sequential bool) goldenRun {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return goldenFromRun(t, res, rec.Transmissions())
+}
+
+// goldenFromRun canonicalizes one recorded execution (judged result plus
+// its transmission trace) into the golden-file representation.
+func goldenFromRun(t *testing.T, res Result, recs []sim.Transmission) goldenRun {
+	t.Helper()
 	out := goldenRun{
 		Decisions:     res.Decisions,
 		Agreement:     res.Agreement,
@@ -160,7 +169,6 @@ func runGolden(t *testing.T, sc goldenScenario, sequential bool) goldenRun {
 		Deliveries:    res.Deliveries,
 	}
 	h := sha256.New()
-	recs := rec.Transmissions()
 	out.TraceLen = len(recs)
 	for _, tr := range recs {
 		gt := goldenTransmission{
@@ -192,6 +200,58 @@ func goldenJSON(t *testing.T, run goldenRun) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// TestGoldenParityRecycled reruns the benign golden scenarios twice on
+// ONE Session: the first Run warms the session's run pool, the second
+// executes on recycled state (pooled engine, receipt stores, replay
+// blackboards), and both executions must still match the checked-in
+// golden bytes exactly — the byte-identity contract through pooled
+// state, against the same fixtures the fresh-state suite pins.
+// Byzantine scenarios are skipped here: their adversaries advance RNG
+// state across runs, so reruns on one Session are intentionally not
+// trace-reproducible (and dynamic runs pool via the batch path, covered
+// by the eval-level pool-parity suite, which rebuilds adversaries per
+// run).
+func TestGoldenParityRecycled(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are being rewritten by TestGoldenParity")
+	}
+	for _, sc := range goldenScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			g := sc.graph()
+			opts := sc.opts(g)
+			var spec eval.Spec
+			for _, o := range opts {
+				o(&spec)
+			}
+			if len(spec.Byzantine) > 0 {
+				t.Skip("stateful adversaries are not rerunnable on one session")
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", sc.name+".json"))
+			if err != nil {
+				t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+			}
+			rec := &TraceRecorder{}
+			s, err := NewSession(g, append(opts, WithObserver(rec))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := 0
+			for pass := 0; pass < 2; pass++ {
+				res, err := s.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				recs := rec.Transmissions()
+				got := goldenJSON(t, goldenFromRun(t, res, recs[prev:]))
+				prev = len(recs)
+				if !bytes.Equal(got, want) {
+					t.Errorf("pass %d diverges from golden %s.json:\ngot:  %s\nwant: %s", pass, sc.name, got, want)
+				}
+			}
+		})
+	}
 }
 
 func TestGoldenParity(t *testing.T) {

@@ -47,8 +47,10 @@ type PhaseNode struct {
 	// replaying nodes share the frozen plan arena, so step-(b) choices are
 	// analysis-global and cached once across runs and trials.
 	sharedStepB *stepBCache
-	// zvBuf/nvBuf/origBuf are the reusable phase-end scratch sets.
+	// zvBuf/nvBuf/origBuf are the reusable phase-end scratch sets, and
+	// scratch backs the phase-end disjoint-receipt queries.
 	zvBuf, nvBuf, origBuf graph.Set
+	scratch               flood.QueryScratch
 	// expectHint, when set, seeds the first phase's receipt-store
 	// reservation (SetReceiptHint); later phases use the previous phase's
 	// actual count.
@@ -103,8 +105,7 @@ func NewAlgo1Node(g *graph.Graph, f int, me graph.NodeID, input sim.Value) *Phas
 // NewAlgo1NodeShared is NewAlgo1Node drawing topology data from a shared
 // analysis; see newPhaseNode for the sharing contract.
 func NewAlgo1NodeShared(topo *graph.Analysis, f int, me graph.NodeID, input sim.Value, arena *graph.PathArena) *PhaseNode {
-	g := topo.Graph()
-	return newPhaseNode(topo, f, me, input, Algo1Phases(g.N(), f), arena)
+	return newPhaseNode(topo, f, me, input, algo1PhasesShared(topo, f), arena)
 }
 
 // NewHybridNode builds a non-faulty Algorithm 3 node for the hybrid model
@@ -116,8 +117,7 @@ func NewHybridNode(g *graph.Graph, f, t int, me graph.NodeID, input sim.Value) *
 // NewHybridNodeShared is NewHybridNode drawing topology data from a shared
 // analysis; see newPhaseNode for the sharing contract.
 func NewHybridNodeShared(topo *graph.Analysis, f, t int, me graph.NodeID, input sim.Value, arena *graph.PathArena) *PhaseNode {
-	g := topo.Graph()
-	return newPhaseNode(topo, f, me, input, HybridPhases(g.N(), f, t), arena)
+	return newPhaseNode(topo, f, me, input, hybridPhasesShared(topo, f, t), arena)
 }
 
 // newPhaseNode assembles a phase node. topo is read-only and may be shared
@@ -181,6 +181,24 @@ func (nd *PhaseNode) UseReplay(rs *ReplayShared) {
 	nd.arena = rs.plan.Arena()
 	nd.sharedStepB = replayStepBCache(nd.topo)
 	nd.replayBuf = make([]sim.Outgoing, 0, rs.plan.MaxRoundReceipts(nd.me))
+}
+
+// Reset returns the node to its initial protocol state with a fresh input,
+// recycling every buffer it grew during previous runs: the planned store
+// view (re-emptied at the next phase start), the replay outbox buffer, the
+// flooder and its receipt store on the dynamic path, the phase-end scratch
+// sets and query scratch, and every step-(b) cache (whose entries are
+// run-independent facts about the topology and stay valid). The run-level
+// wiring (UseReplay, SetReceiptHint, EnableEarlyDecision) is preserved, so
+// a reset node re-runs under exactly the configuration it was pooled with.
+func (nd *PhaseNode) Reset(input sim.Value) {
+	nd.gamma = input
+	nd.phaseIdx = 0
+	nd.roundInPhase = 0
+	nd.decided = false
+	nd.earlyDecided = false
+	nd.earlyValue = 0
+	nd.phaseStartGamma = 0
 }
 
 // SetReceiptHint seeds the first phase's receipt-store reservation with an
@@ -252,10 +270,12 @@ func (nd *PhaseNode) dynamicStep(inbox []sim.Delivery) []sim.Outgoing {
 	var out []sim.Outgoing
 	switch nd.roundInPhase {
 	case 0:
-		// Step (a): initiate flooding of γv. Flooding structure repeats
-		// phase over phase, so the previous session's receipt count sizes
-		// this one's store (the plan's exact count seeds the first phase
-		// when a hint was provided).
+		// Step (a): initiate flooding of γv. One flooder serves every
+		// phase: flooding structure repeats phase over phase, so recycling
+		// it (receipts and acceptance state cleared, index capacity kept)
+		// leaves every append of the new phase landing in pre-grown
+		// storage. The first phase sizes from the hint, when one was
+		// provided (a compiled plan's exact per-node count).
 		flood.NoteDynamicSession()
 		if nd.arena == nil {
 			nd.arena = graph.NewPathArena(nd.g)
@@ -263,21 +283,21 @@ func (nd *PhaseNode) dynamicStep(inbox []sim.Delivery) []sim.Outgoing {
 		if nd.ident == nil {
 			nd.ident = flood.NewIdent()
 		}
-		expect := nd.expectHint
-		if nd.flooder != nil {
-			expect = nd.flooder.Store().Len()
+		if nd.flooder == nil {
+			nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
+			nd.flooder.Expect(nd.expectHint)
+			nd.store = nd.flooder.Store()
+		} else {
+			nd.flooder.Recycle()
 		}
-		nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
-		nd.flooder.Expect(expect)
-		nd.store = nd.flooder.Store()
 		nd.phaseStartGamma = nd.gamma
-		out = nd.flooder.Start(flood.ValueBody{Value: nd.gamma})
+		out = nd.flooder.Start(flood.CanonValueBody(nd.gamma))
 	case 1:
 		// Initiations arrive now; after processing, substitute the
 		// default message for silent neighbors.
 		out = nd.flooder.Deliver(inbox)
 		out = nd.flooder.AppendMissing(out, func(graph.NodeID) flood.Body {
-			return flood.ValueBody{Value: sim.DefaultValue}
+			return flood.CanonValueBody(sim.DefaultValue)
 		})
 	default:
 		out = nd.flooder.Deliver(inbox)
@@ -303,9 +323,14 @@ func (nd *PhaseNode) replayStep() []sim.Outgoing {
 		}
 		nd.store = nd.replayStore
 		nd.phaseStartGamma = nd.gamma
-		nd.replay.bodies[nd.me] = flood.ValueBody{Value: nd.gamma}
+		nd.replay.bodies[nd.me] = flood.CanonValueBody(nd.gamma)
 	}
-	out := plan.ReplayRound(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	var out []sim.Outgoing
+	if nd.replay.phantom {
+		out = plan.ReplayRoundPhantom(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	} else {
+		out = plan.ReplayRound(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	}
 	nd.replayBuf = out
 	return out
 }
@@ -354,7 +379,7 @@ func (nd *PhaseNode) endPhase() {
 			Body:    flood.ValueKeyID(delta),
 			Exclude: excl,
 		}
-		if flood.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.DisjointExceptLast) {
+		if nd.scratch.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.DisjointExceptLast) {
 			nd.gamma = delta
 			return
 		}
@@ -381,7 +406,7 @@ func (nd *PhaseNode) observedUnanimity(st *flood.ReceiptStore) bool {
 			Origins: orig,
 			Body:    want,
 		}
-		if !flood.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.InternallyDisjoint) {
+		if !nd.scratch.ReceivedOnDisjointPaths(st, fil, nd.f+1, flood.InternallyDisjoint) {
 			return false
 		}
 	}
@@ -396,7 +421,14 @@ func (nd *PhaseNode) observedUnanimity(st *flood.ReceiptStore) bool {
 //	case 3: |Zv∩F| > ⌊ϕ/2⌋ and |Zv| > f  → Av = Zv, Bv = Nv
 //	case 4: |Zv∩F| > ⌊ϕ/2⌋ and |Zv| ≤ f  → Av = Nv, Bv = Zv
 func selectAvBv(zv, nv, fSet graph.Set, f, phi int) (av, bv graph.Set) {
-	zf := zv.Intersect(fSet).Len()
+	// Count |Zv∩F| directly: materializing the intersection set would
+	// allocate once per lane per phase end on the replay hot path.
+	zf := 0
+	for u := range zv {
+		if fSet.Contains(u) {
+			zf++
+		}
+	}
 	switch {
 	case zf <= phi/2 && nv.Len() > f:
 		return nv, zv

@@ -38,3 +38,32 @@ func HybridPhases(n, f, t int) []PhaseSpec {
 	})
 	return out
 }
+
+// Phase schedules are pure functions of (n, f, t), but the subset
+// enumeration behind them is a real per-node construction cost (every node
+// of every run used to enumerate its own copy). The Shared constructors
+// memoize the schedule on the Analysis instead: one enumeration per
+// topology and fault bound, shared by every node and every recycled run.
+// The memoized slice is shared and must be treated as immutable.
+type (
+	algo1PhasesKey  struct{ f int }
+	hybridPhasesKey struct{ f, t int }
+)
+
+// algo1PhasesShared returns the memoized Algorithm 1 phase schedule for
+// topo's graph.
+func algo1PhasesShared(topo *graph.Analysis, f int) []PhaseSpec {
+	n := topo.Graph().N()
+	return topo.Memo(algo1PhasesKey{f: f}, func() any {
+		return Algo1Phases(n, f)
+	}).([]PhaseSpec)
+}
+
+// hybridPhasesShared returns the memoized Algorithm 3 phase schedule for
+// topo's graph.
+func hybridPhasesShared(topo *graph.Analysis, f, t int) []PhaseSpec {
+	n := topo.Graph().N()
+	return topo.Memo(hybridPhasesKey{f: f, t: t}, func() any {
+		return HybridPhases(n, f, t)
+	}).([]PhaseSpec)
+}

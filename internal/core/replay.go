@@ -34,6 +34,10 @@ type ReplayShared struct {
 	// overwritten phase over phase; see the file comment for why the round
 	// barrier makes this safe under parallel node stepping.
 	bodies []flood.Body
+	// phantom switches the run's replayed outboxes to the phantom wire
+	// protocol (flood.Plan.ReplayRoundPhantom): transmissions carry the
+	// sim.Phantom sentinel instead of materialized messages. See SetPhantom.
+	phantom bool
 }
 
 // NewReplayShared returns the shared replay state for one run over the
@@ -44,6 +48,18 @@ func NewReplayShared(plan *flood.Plan) *ReplayShared {
 
 // Plan returns the compiled plan the run replays.
 func (rs *ReplayShared) Plan() *flood.Plan { return rs.plan }
+
+// SetPhantom toggles phantom transmissions for the run. In a replayed run
+// every consumer of a replaying node's transmissions is itself replaying
+// (it draws arrivals from the plan and ignores its inbox), so the payloads
+// exist only to be counted — phantom mode stops materializing them while
+// leaving the transmission and delivery schedule, and hence every metric
+// and decision, byte-identical. It is only sound when no observer is
+// attached (observers retain and render payloads) and no dynamically
+// flooding node reads the run's inboxes; eval enables it exactly for
+// observer-free runs, where Byzantine co-instances of a batch demux their
+// own parts without reading the replayed lanes'.
+func (rs *ReplayShared) SetPhantom(on bool) { rs.phantom = on }
 
 // stepBCacheKey keys the run-crossing replay step-(b) cache in
 // Analysis.Memo.

@@ -112,8 +112,19 @@ type VectorPhaseNode struct {
 	// sharedStepB replaces the private stepB map for replaying groups; see
 	// PhaseNode.sharedStepB.
 	sharedStepB *stepBCache
-	// zvBuf/nvBuf/origBuf are the reusable phase-end scratch sets.
+	// zvBuf/nvBuf/origBuf are the reusable phase-end scratch sets; scratch
+	// backs the disjoint-receipt queries; readsBuf/readsValid are the
+	// per-origin step-(b) read table; matchBuf and undecidedBuf serve the
+	// per-lane projections.
 	zvBuf, nvBuf, origBuf graph.Set
+	scratch               flood.QueryScratch
+	readsBuf              []VectorBody
+	readsValid            []bool
+	matchBuf              []flood.Receipt
+	undecidedBuf          []bool
+	// valsBuf, in phantom replay mode only, backs the published phase
+	// vector in place of a per-phase allocation; see replayStep.
+	valsBuf []sim.Value
 
 	arena *graph.PathArena
 	ident *flood.Ident
@@ -138,14 +149,12 @@ var (
 // per-lane inputs. topo and arena follow the newPhaseNode sharing
 // contract; arena may be nil for a private arena.
 func NewVectorAlgo1Node(topo *graph.Analysis, f int, me graph.NodeID, inputs []sim.Value, arena *graph.PathArena) *VectorPhaseNode {
-	g := topo.Graph()
-	return newVectorPhaseNode(topo, f, me, inputs, Algo1Phases(g.N(), f), arena)
+	return newVectorPhaseNode(topo, f, me, inputs, algo1PhasesShared(topo, f), arena)
 }
 
 // NewVectorHybridNode builds a multi-lane Algorithm 3 node.
 func NewVectorHybridNode(topo *graph.Analysis, f, t int, me graph.NodeID, inputs []sim.Value, arena *graph.PathArena) *VectorPhaseNode {
-	g := topo.Graph()
-	return newVectorPhaseNode(topo, f, me, inputs, HybridPhases(g.N(), f, t), arena)
+	return newVectorPhaseNode(topo, f, me, inputs, hybridPhasesShared(topo, f, t), arena)
 }
 
 func newVectorPhaseNode(topo *graph.Analysis, f int, me graph.NodeID, inputs []sim.Value, phases []PhaseSpec, arena *graph.PathArena) *VectorPhaseNode {
@@ -173,6 +182,33 @@ func (nd *VectorPhaseNode) ID() graph.NodeID { return nd.me }
 
 // Lanes returns the number of lanes.
 func (nd *VectorPhaseNode) Lanes() int { return len(nd.gammas) }
+
+// Reset returns the node to its initial protocol state over a fresh lane
+// input vector, recycling every buffer grown during previous runs (the
+// planned store view, replay and query scratch, read tables). The run
+// wiring (UseReplay, EnableEarlyDecision) is preserved; the lane count may
+// change between runs.
+func (nd *VectorPhaseNode) Reset(inputs []sim.Value) {
+	b := len(inputs)
+	if cap(nd.gammas) < b {
+		nd.gammas = make([]sim.Value, b)
+		nd.earlyDecided = make([]bool, b)
+		nd.earlyValues = make([]sim.Value, b)
+		nd.phaseStartGamma = make([]sim.Value, b)
+	} else {
+		nd.gammas = nd.gammas[:b]
+		nd.earlyDecided = nd.earlyDecided[:b]
+		nd.earlyValues = nd.earlyValues[:b]
+		nd.phaseStartGamma = nd.phaseStartGamma[:b]
+	}
+	copy(nd.gammas, inputs)
+	clear(nd.earlyDecided)
+	clear(nd.earlyValues)
+	clear(nd.phaseStartGamma)
+	nd.phaseIdx = 0
+	nd.roundInPhase = 0
+	nd.done = false
+}
 
 // UseReplay switches the group's shared flooding sessions to plan replay;
 // see PhaseNode.UseReplay for the contract. The vector group's lanes are
@@ -279,24 +315,42 @@ func (nd *VectorPhaseNode) replayStep() []sim.Outgoing {
 	plan := nd.replay.plan
 	if nd.roundInPhase == 0 {
 		flood.NoteReplaySession()
-		if nd.ident == nil {
-			// Unlike scalar value bodies, VectorBody identities intern
-			// through the table (slice-identity memo), so a replaying
-			// group still needs one.
-			nd.ident = flood.NewIdent()
-		}
+		// The planned view carries a nil Ident: no vector phase-end query
+		// filters by body identity (step (b) reads by path, step (c) and
+		// the unanimity certificate project lanes Go-side), so the interned
+		// IDs are never compared and AnyBody suffices. This also keeps
+		// recycled runs from accreting per-vector table state — a pooled
+		// ident would intern every distinct lane vector it ever saw.
 		if nd.replayStore == nil {
-			nd.replayStore = plan.PlannedStore(nd.me, nd.ident)
+			nd.replayStore = plan.PlannedStore(nd.me, nil)
 		} else {
 			nd.replayStore.ResetPlanned()
 		}
 		nd.store = nd.replayStore
 		copy(nd.phaseStartGamma, nd.gammas)
-		vals := make([]sim.Value, len(nd.gammas))
+		var vals []sim.Value
+		if nd.replay.phantom {
+			// Phantom mode materializes no payloads, so the only holders
+			// of the published body are the group's own planned stores,
+			// all of which reset before the next phase publishes: the
+			// backing array can be overwritten phase over phase. With an
+			// observer (non-phantom), retained payloads forbid this.
+			if cap(nd.valsBuf) < len(nd.gammas) {
+				nd.valsBuf = make([]sim.Value, len(nd.gammas))
+			}
+			vals = nd.valsBuf[:len(nd.gammas)]
+		} else {
+			vals = make([]sim.Value, len(nd.gammas))
+		}
 		copy(vals, nd.gammas)
 		nd.replay.bodies[nd.me] = VectorBody{Values: vals}
 	}
-	out := plan.ReplayRound(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	var out []sim.Outgoing
+	if nd.replay.phantom {
+		out = plan.ReplayRoundPhantom(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	} else {
+		out = plan.ReplayRound(nd.me, nd.roundInPhase, nd.replay.bodies, nd.store, nd.replayBuf[:0])
+	}
 	nd.replayBuf = out
 	return out
 }
@@ -338,8 +392,16 @@ func (nd *VectorPhaseNode) endPhase() {
 	}
 
 	// Step (b), shared across lanes: one chosen path per origin; one
-	// receipt read yields every lane's value.
-	reads := make(map[graph.NodeID]VectorBody)
+	// receipt read yields every lane's value. The read table is a reused
+	// node-indexed pair of slices (the former per-phase map).
+	n := nd.g.N()
+	if cap(nd.readsBuf) < n {
+		nd.readsBuf = make([]VectorBody, n)
+		nd.readsValid = make([]bool, n)
+	}
+	reads := nd.readsBuf[:n]
+	readsValid := nd.readsValid[:n]
+	clear(readsValid)
 	for _, u := range nd.g.Nodes() {
 		if spec.T.Contains(u) || u == nd.me {
 			continue
@@ -351,6 +413,7 @@ func (nd *VectorPhaseNode) endPhase() {
 		for r := range st.AtPath(pid) {
 			if vb, ok := r.Body.(VectorBody); ok {
 				reads[u] = vb
+				readsValid[u] = true
 				break
 			}
 		}
@@ -359,7 +422,7 @@ func (nd *VectorPhaseNode) endPhase() {
 	// Step (c) candidates, shared across lanes and values: every receipt
 	// whose path excludes F∪T. Lane- and value-specific filtering happens
 	// inside the per-lane selection.
-	candidates := flood.Candidates(st, flood.Filter{Exclude: excl})
+	candidates := nd.scratch.Candidates(st, flood.Filter{Exclude: excl})
 
 	for l := range nd.gammas {
 		// The per-lane sets live only within the lane's step (b)/(c); the
@@ -378,8 +441,13 @@ func (nd *VectorPhaseNode) endPhase() {
 				}
 				continue
 			}
-			r, ok := reads[u]
-			if v, vok := laneValue(r, l); ok && vok && v == sim.Zero {
+			zero := false
+			if readsValid[u] {
+				if vs := reads[u].Values; l < len(vs) && vs[l] == sim.Zero {
+					zero = true
+				}
+			}
+			if zero {
 				zv.Add(u)
 			} else {
 				nv.Add(u)
@@ -403,7 +471,7 @@ func (nd *VectorPhaseNode) endPhase() {
 // candidates — the lane projection of the step-(c)
 // flood.ReceivedOnDisjointPaths query.
 func (nd *VectorPhaseNode) laneDisjointReceipts(candidates []flood.Receipt, av graph.Set, l int, delta sim.Value) bool {
-	var match []flood.Receipt
+	match := nd.matchBuf[:0]
 	for _, r := range candidates {
 		if !av.Contains(r.Origin) {
 			continue
@@ -412,7 +480,8 @@ func (nd *VectorPhaseNode) laneDisjointReceipts(candidates []flood.Receipt, av g
 			match = append(match, r)
 		}
 	}
-	return flood.SelectDisjoint(nd.arena, match, nd.f+1, flood.DisjointExceptLast) != nil
+	nd.matchBuf = match
+	return nd.scratch.SelectDisjoint(nd.arena, match, nd.f+1, flood.DisjointExceptLast)
 }
 
 // checkUnanimity applies the per-lane early-decision certificate: lane l
@@ -429,7 +498,10 @@ func (nd *VectorPhaseNode) checkUnanimity(st *flood.ReceiptStore) {
 	if pending == 0 {
 		return
 	}
-	undecided := make([]bool, len(nd.gammas))
+	if cap(nd.undecidedBuf) < len(nd.gammas) {
+		nd.undecidedBuf = make([]bool, len(nd.gammas))
+	}
+	undecided := nd.undecidedBuf[:len(nd.gammas)]
 	for l := range undecided {
 		undecided[l] = !nd.earlyDecided[l]
 	}
@@ -440,18 +512,19 @@ func (nd *VectorPhaseNode) checkUnanimity(st *flood.ReceiptStore) {
 		}
 		clear(orig)
 		orig.Add(u)
-		cands := flood.Candidates(st, flood.Filter{Origins: orig})
+		cands := nd.scratch.Candidates(st, flood.Filter{Origins: orig})
 		for l := range nd.gammas {
 			if !undecided[l] {
 				continue
 			}
-			var match []flood.Receipt
+			match := nd.matchBuf[:0]
 			for _, r := range cands {
 				if v, ok := laneValue(r.Body, l); ok && v == nd.phaseStartGamma[l] {
 					match = append(match, r)
 				}
 			}
-			if flood.SelectDisjoint(nd.arena, match, nd.f+1, flood.InternallyDisjoint) == nil {
+			nd.matchBuf = match
+			if !nd.scratch.SelectDisjoint(nd.arena, match, nd.f+1, flood.InternallyDisjoint) {
 				undecided[l] = false
 				pending--
 			}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// steadyAllocBudget is the CI gate on the recycled steady state: a
+// replayed batch decision through a warmed run pool must cost at most
+// this many heap allocations per decided instance. The pipeline itself
+// runs allocation-free on pool hits (pooled engine, phantom payloads,
+// preboxed bodies, recycled stores and scratch); the budget's headroom
+// covers the per-run construction that is inherently fresh — the
+// BatchSession value, the judged outcome slices, and the per-instance
+// decision maps handed to the caller.
+const steadyAllocBudget = 16
+
+// TestSteadyStateAllocGate measures a steady-state replayed decision —
+// a B=16 all-benign batch on figure 1(b) through a warmed pool, the
+// serving daemon's hot shape — with testing.AllocsPerRun and fails if a
+// decision costs more than steadyAllocBudget allocations. This is the
+// regression gate for the zero-alloc pipeline: any new per-round or
+// per-phase allocation on the replay path multiplies through the round
+// loop and blows the budget immediately.
+func TestSteadyStateAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is meaningless under the race detector")
+	}
+	g := gen.Figure1b()
+	n := g.N()
+	const b = 16
+	topo := graph.NewAnalysis(g)
+	instances := make([]BatchInstance, b)
+	for i := range instances {
+		inputs := make(map[graph.NodeID]sim.Value, n)
+		for u := 0; u < n; u++ {
+			inputs[graph.NodeID(u)] = sim.Value((u + i) % 2)
+		}
+		instances[i] = BatchInstance{Inputs: inputs}
+	}
+	ctx := context.Background()
+	runOnce := func() {
+		s, err := newBatchSessionShared(BatchSpec{
+			G: g, F: 2, Algorithm: Algo1, Instances: instances,
+		}, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK() {
+			t.Fatal("batch outcome violates consensus properties")
+		}
+	}
+	// Warm the pool and every grow-once structure (arena, plan, stores,
+	// slabs) before measuring.
+	for i := 0; i < 3; i++ {
+		runOnce()
+	}
+	perRun := testing.AllocsPerRun(20, runOnce)
+	perDecision := perRun / b
+	t.Logf("steady state: %.1f allocs/run, %.2f allocs/decision (budget %d)", perRun, perDecision, steadyAllocBudget)
+	if perDecision > steadyAllocBudget {
+		t.Fatalf("steady-state decision costs %.2f allocs (budget %d): the zero-alloc pipeline regressed", perDecision, steadyAllocBudget)
+	}
+}

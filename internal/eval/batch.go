@@ -3,6 +3,9 @@ package eval
 import (
 	"context"
 	"fmt"
+	"slices"
+	"strconv"
+	"strings"
 	"sync"
 
 	"lbcast/internal/core"
@@ -105,14 +108,18 @@ func (b BatchOutcome) OK() bool {
 }
 
 // BatchSession is a validated, reusable batched execution plan. Each Run
-// builds fresh protocol state; the session itself never mutates after
-// construction, so concurrent Runs are safe under the same caveats as
-// Session (shared Observer and Byzantine instances are invoked from every
-// run).
+// acquires complete protocol state — recycled from the analysis's run pool
+// when the shape qualifies, built fresh otherwise; the session itself
+// never mutates after construction, so concurrent Runs are safe under the
+// same caveats as Session (shared Observer and Byzantine instances are
+// invoked from every run).
 type BatchSession struct {
 	spec BatchSpec
 	base Spec
 	topo *graph.Analysis
+	// pattern is the batch's Byzantine placement rendered canonically; it
+	// completes the run-pool key (see byzPattern).
+	pattern string
 }
 
 // base assembles the shared-parameter Spec of a batch (no inputs, no
@@ -181,7 +188,39 @@ func newBatchSessionShared(spec BatchSpec, topo *graph.Analysis) (*BatchSession,
 	if topo == nil {
 		topo = graph.NewAnalysis(base.G)
 	}
-	return &BatchSession{spec: spec, base: base, topo: topo}, nil
+	return &BatchSession{spec: spec, base: base, topo: topo, pattern: byzPattern(spec.Instances)}, nil
+}
+
+// byzPattern renders the batch's Byzantine placement — which vertices each
+// instance overrides — as a canonical string. Two batches with equal
+// patterns (and equal shared parameters) build structurally identical run
+// state: the same lane grouping, the same replay wiring, the same
+// adversary slots; only inputs, adversary node values, and the observer
+// differ, all of which a recycled run's reset pass re-applies. The pattern
+// is therefore the batch-specific part of the run-pool key.
+func byzPattern(instances []BatchInstance) string {
+	var sb strings.Builder
+	buf := make([]int, 0, 8)
+	for i, inst := range instances {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		if len(inst.Byzantine) == 0 {
+			continue
+		}
+		buf = buf[:0]
+		for u := range inst.Byzantine {
+			buf = append(buf, int(u))
+		}
+		slices.Sort(buf)
+		for j, v := range buf {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(v))
+		}
+	}
+	return sb.String()
 }
 
 // Spec returns the session's batch spec.
@@ -203,6 +242,21 @@ func (s *BatchSession) Run(ctx context.Context) (BatchOutcome, error) {
 		return s.runSharded(ctx, w)
 	}
 	return s.runLoop(ctx)
+}
+
+// poolable reports whether the batch's run state recycles through the
+// analysis-anchored run pool: the phase-based algorithms, with replay not
+// disabled. Byzantine placements pool too — the adversary nodes themselves
+// are never pooled; every recycled run re-plugs the current spec's
+// caller-owned overrides into their slots (see batchLoopState.reset) —
+// but each distinct placement keys its own pool via the pattern string.
+// DisableReplay runs stay fresh: that flag exists to measure the genuine
+// dynamic path, and recycling would contaminate the measurement.
+func (s *BatchSession) poolable() bool {
+	if s.spec.DisableReplay {
+		return false
+	}
+	return s.base.Algorithm == Algo1 || s.base.Algorithm == Algo3
 }
 
 // runSharded partitions the instances into w contiguous near-equal shards
@@ -259,9 +313,109 @@ func (s *BatchSession) runSharded(ctx context.Context, w int) (BatchOutcome, err
 	return merged, nil
 }
 
-// runLoop executes every instance in one shared round loop — the
-// single-shard engine body.
-func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
+// scalarSlot locates one honest scalar-group protocol node for run
+// recycling: instance inst's PhaseNode at vertex u.
+type scalarSlot struct {
+	inst int
+	u    graph.NodeID
+	pn   *core.PhaseNode
+}
+
+// byzSlot locates one Byzantine override slot: group grp at vertex u
+// belongs to instance inst. Recycling re-plugs the current spec's
+// caller-owned adversary node into the slot on every run — adversary
+// state is never pooled.
+type byzSlot struct {
+	inst int
+	u    graph.NodeID
+	grp  int
+}
+
+// batchLoopState is the complete working state of one single-loop batch
+// execution: lane grouping, replay blackboards, per-vertex batch nodes,
+// the engine, and the retirement bookkeeping. Poolable shapes recycle it
+// through the analysis's run pool (see pool.go); the reset pass restores
+// exactly the state a fresh construction would produce, while every
+// buffer — receipt stores, merge slabs, query scratch, the arena's
+// interned paths — keeps its high-water capacity.
+type batchLoopState struct {
+	groupOf, laneOf []int
+	vectorLanes     []int
+	inVector        []bool
+	groups          int
+	vecRS           *core.ReplayShared
+	scalarRS        []*core.ReplayShared
+	honest          []graph.Set
+	honestInputs    []map[graph.NodeID]sim.Value
+	batchNodes      []*sim.BatchNode
+	nodes           []sim.Node
+	vnodes          []*core.VectorPhaseNode // per vertex; nil without a vector group
+	scalars         []scalarSlot
+	byz             []byzSlot
+	eng             *sim.Engine
+	laneLeft        []int
+	rounds          []int
+	retired         []bool
+	inputsBuf       []sim.Value
+}
+
+// reset re-arms a recycled run for the session's current spec: engine
+// counters, inboxes, and observer; the phantom and recycling toggles (the
+// observer may have appeared or vanished since the state was pooled);
+// every protocol node's inputs and round state; and the current spec's
+// Byzantine overrides. The pool key guarantees the structure — grouping,
+// replay wiring, adversary slots — already matches.
+func (st *batchLoopState) reset(s *BatchSession) error {
+	obs := s.spec.Observer
+	phantom := obs == nil
+	st.eng.Reset(obs)
+	if st.vecRS != nil {
+		st.vecRS.SetPhantom(phantom)
+	}
+	for _, rs := range st.scalarRS {
+		if rs != nil {
+			rs.SetPhantom(phantom)
+		}
+	}
+	clear(st.rounds)
+	clear(st.retired)
+	clear(st.laneLeft)
+	for i := range st.groupOf {
+		st.laneLeft[st.groupOf[i]]++
+	}
+	for _, bn := range st.batchNodes {
+		bn.ResetRetirements()
+		bn.SetRecycling(phantom)
+	}
+	if st.vectorLanes != nil {
+		inputs := st.inputsBuf
+		for u, vn := range st.vnodes {
+			for l, i := range st.vectorLanes {
+				inputs[l] = s.spec.Instances[i].Inputs[graph.NodeID(u)]
+			}
+			vn.Reset(inputs)
+		}
+	}
+	for _, sc := range st.scalars {
+		sc.pn.Reset(s.spec.Instances[sc.inst].Inputs[sc.u])
+	}
+	for _, bz := range st.byz {
+		if err := st.batchNodes[bz.u].SetInstance(bz.grp, s.spec.Instances[bz.inst].Byzantine[bz.u]); err != nil {
+			return fmt.Errorf("eval: %w", err)
+		}
+	}
+	for i := range st.honestInputs {
+		clear(st.honestInputs[i])
+		for u := range st.honest[i] {
+			st.honestInputs[i][u] = s.spec.Instances[i].Inputs[u]
+		}
+	}
+	return nil
+}
+
+// newBatchLoopState builds the run state of a single-loop batch from
+// scratch.
+func newBatchLoopState(s *BatchSession) (*batchLoopState, error) {
 	b := len(s.spec.Instances)
 	g := s.base.G
 	n := g.N()
@@ -322,26 +476,52 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 			}
 		}
 		if needPlan {
+			// Observer-free runs flood phantom payloads: every consumer of
+			// a replaying group's transmissions is in that group and
+			// replays too (demultiplexing isolates groups by instance
+			// index), so nothing ever reads the materialized messages.
+			phantom := s.spec.Observer == nil
 			plan = flood.PlanFor(s.topo)
 			if vectorLanes != nil {
 				vecRS = core.NewReplayShared(plan)
+				vecRS.SetPhantom(phantom)
 			}
 			for i, inst := range s.spec.Instances {
 				if !inVector[i] && len(inst.Byzantine) == 0 {
-					scalarRS[groupOf[i]] = core.NewReplayShared(plan)
+					rs := core.NewReplayShared(plan)
+					rs.SetPhantom(phantom)
+					scalarRS[groupOf[i]] = rs
 				}
 			}
 		}
 	}
 
-	honest := make([]graph.Set, b)
-	honestInputs := make([]map[graph.NodeID]sim.Value, b)
+	st := &batchLoopState{
+		groupOf:      groupOf,
+		laneOf:       laneOf,
+		vectorLanes:  vectorLanes,
+		inVector:     inVector,
+		groups:       groups,
+		vecRS:        vecRS,
+		scalarRS:     scalarRS,
+		honest:       make([]graph.Set, b),
+		honestInputs: make([]map[graph.NodeID]sim.Value, b),
+		batchNodes:   make([]*sim.BatchNode, n),
+		nodes:        make([]sim.Node, n),
+		vnodes:       make([]*core.VectorPhaseNode, n),
+		laneLeft:     make([]int, groups),
+		rounds:       make([]int, b),
+		retired:      make([]bool, b),
+		inputsBuf:    make([]sim.Value, len(vectorLanes)),
+	}
+	honest := st.honest
+	honestInputs := st.honestInputs
 	for i := range honest {
 		honest[i] = graph.NewSet()
 		honestInputs[i] = make(map[graph.NodeID]sim.Value)
 	}
-	batchNodes := make([]*sim.BatchNode, n)
-	nodes := make([]sim.Node, n)
+	batchNodes := st.batchNodes
+	nodes := st.nodes
 	early := !s.base.FullBudget
 	for _, u := range g.Nodes() {
 		// One arena per vertex, shared by the vertex's co-located groups:
@@ -368,6 +548,7 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 				vn.UseReplay(vecRS)
 			}
 			inner[0] = vn
+			st.vnodes[u] = vn
 		}
 		for i, inst := range s.spec.Instances {
 			if inVector[i] {
@@ -377,6 +558,7 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 			}
 			if byz, ok := inst.Byzantine[u]; ok {
 				inner[groupOf[i]] = byz
+				st.byz = append(st.byz, byzSlot{inst: i, u: u, grp: groupOf[i]})
 				continue
 			}
 			in := inst.Inputs[u]
@@ -387,6 +569,7 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 				} else if plan != nil {
 					pn.SetReceiptHint(plan.NodeReceipts(u))
 				}
+				st.scalars = append(st.scalars, scalarSlot{inst: i, u: u, pn: pn})
 			}
 			inner[groupOf[i]] = nd
 			honest[i].Add(u)
@@ -394,8 +577,9 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 		}
 		bn, err := sim.NewBatchNode(u, inner)
 		if err != nil {
-			return BatchOutcome{}, fmt.Errorf("eval: %w", err)
+			return nil, fmt.Errorf("eval: %w", err)
 		}
+		bn.SetRecycling(s.spec.Observer == nil)
 		batchNodes[u] = bn
 		nodes[u] = bn
 	}
@@ -407,9 +591,48 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 		Parallel:     !s.base.Sequential,
 	}, nodes)
 	if err != nil {
-		return BatchOutcome{}, fmt.Errorf("eval: %w", err)
+		return nil, fmt.Errorf("eval: %w", err)
 	}
-	defer eng.Close()
+	st.eng = eng
+	for i := 0; i < b; i++ {
+		st.laneLeft[groupOf[i]]++
+	}
+	return st, nil
+}
+
+// runLoop executes every instance in one shared round loop — the
+// single-shard engine body. Poolable shapes (see poolable) draw their
+// complete run state from the analysis's run pool and return it after the
+// run; cancellation abandons the state mid-run instead of recycling it.
+func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
+	b := len(s.spec.Instances)
+	var st *batchLoopState
+	var pl *sync.Pool
+	if s.poolable() {
+		pl = poolsFor(s.topo).pool(batchShape(s.base, s.pattern))
+		if v := pl.Get(); v != nil {
+			poolHits.Add(1)
+			st = v.(*batchLoopState)
+			if err := st.reset(s); err != nil {
+				return BatchOutcome{}, err
+			}
+		} else {
+			poolMisses.Add(1)
+		}
+	}
+	if st == nil {
+		var err error
+		st, err = newBatchLoopState(s)
+		if err != nil {
+			return BatchOutcome{}, err
+		}
+	}
+	if pl == nil {
+		// Unpooled engines release their worker pool when the run ends;
+		// pooled engines stay warm (a GC-time cleanup closes them if the
+		// sync.Pool drops the state).
+		defer st.eng.Close()
+	}
 
 	budget := s.base.Rounds
 	if budget == 0 {
@@ -417,12 +640,7 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 	}
 	// laneLeft[g] counts the group's unretired lanes; a group is retired
 	// from the engine only when its last lane retires.
-	laneLeft := make([]int, groups)
-	for i := 0; i < b; i++ {
-		laneLeft[groupOf[i]]++
-	}
-	rounds := make([]int, b)
-	retired := make([]bool, b)
+	eng := st.eng
 	active := b
 	for r := 0; r < budget && active > 0; r++ {
 		if err := ctx.Err(); err != nil {
@@ -434,16 +652,16 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 			continue
 		}
 		for i := 0; i < b; i++ {
-			if retired[i] || !allDecided(batchNodes, honest[i], groupOf[i], laneOf[i]) {
+			if st.retired[i] || !allDecided(st.batchNodes, st.honest[i], st.groupOf[i], st.laneOf[i]) {
 				continue
 			}
-			retired[i] = true
-			rounds[i] = eng.Metrics().Rounds
+			st.retired[i] = true
+			st.rounds[i] = eng.Metrics().Rounds
 			active--
-			laneLeft[groupOf[i]]--
-			if laneLeft[groupOf[i]] == 0 {
-				for _, bn := range batchNodes {
-					bn.Retire(groupOf[i])
+			st.laneLeft[st.groupOf[i]]--
+			if st.laneLeft[st.groupOf[i]] == 0 {
+				for _, bn := range st.batchNodes {
+					bn.Retire(st.groupOf[i])
 				}
 			}
 		}
@@ -454,13 +672,16 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 		Metrics:  eng.Metrics(),
 	}
 	for i := 0; i < b; i++ {
-		if !retired[i] {
-			rounds[i] = eng.Metrics().Rounds
+		if !st.retired[i] {
+			st.rounds[i] = eng.Metrics().Rounds
 		}
-		out.Outcomes[i] = judgeInstance(batchNodes, honest[i], honestInputs[i], groupOf[i], laneOf[i], rounds[i], budget)
+		out.Outcomes[i] = judgeInstance(st.batchNodes, st.honest[i], st.honestInputs[i], st.groupOf[i], st.laneOf[i], st.rounds[i], budget)
 	}
 	if s.spec.Observer != nil {
 		s.spec.Observer.Done(eng.Metrics())
+	}
+	if pl != nil {
+		pl.Put(st)
 	}
 	return out, nil
 }

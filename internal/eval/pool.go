@@ -1,0 +1,191 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lbcast/internal/core"
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// This file implements run-state recycling for the steady-state decision
+// pipeline: a registry of sync.Pools, attached to the graph.Analysis (the
+// same anchor the compiled plan and the shared step-(b) cache live on),
+// holding fully-built run objects — protocol nodes, engine, replay
+// blackboard, receipt stores — keyed by the spec shape they were built
+// for. A recycled run re-runs after an explicit reset pass (engine
+// counters and inboxes, node protocol state, per-run toggles) instead of
+// reconstructing everything; every buffer the previous run grew (receipt
+// stores, outbox buffers, query scratch, merge slabs) is reused at its
+// high-water capacity, which is what takes the steady state to near zero
+// allocations per decision.
+//
+// Recycling is an execution strategy, not a semantics change: the reset
+// contract of every pooled component restores exactly the state a fresh
+// construction would have (enforced byte-for-byte by the golden and
+// replay-parity twice-through-pool suites). Sessions pool when they
+// qualify for compiled-plan replay; batches pool for the phase-based
+// algorithms with any Byzantine placement, each placement keying its own
+// pool — the honest state is closed under reset, and the caller-owned
+// adversary nodes are never pooled: every recycled run re-plugs the
+// current spec's overrides into their slots. Byzantine single sessions
+// build fresh (their honest node set varies with the placement and the
+// session path has no slot bookkeeping).
+
+// runShape keys a pool: every spec field that influences the constructed
+// run state. Two specs with equal shapes differ only in inputs, observer,
+// and Byzantine node values, all of which the reset pass re-applies per
+// run.
+type runShape struct {
+	kind       byte // 's' session, 'b' batch
+	alg        Algorithm
+	f, t       int
+	model      sim.Model
+	equiv      string
+	rounds     int
+	fullBudget bool
+	sequential bool
+	// pattern is the canonical Byzantine placement of a batch (see
+	// byzPattern); empty for sessions. Distinct placements build distinct
+	// lane groupings and adversary slots, so each keys its own pool.
+	pattern string
+}
+
+// runPoolsKey anchors the pool registry in Analysis.Memo.
+type runPoolsKey struct{}
+
+// runPools is the per-analysis pool registry.
+type runPools struct {
+	mu sync.Mutex
+	m  map[runShape]*sync.Pool
+}
+
+// poolsFor returns the analysis's pool registry, creating it on first use.
+func poolsFor(topo *graph.Analysis) *runPools {
+	return topo.Memo(runPoolsKey{}, func() any {
+		return &runPools{m: make(map[runShape]*sync.Pool)}
+	}).(*runPools)
+}
+
+// pool returns the pool for shape, creating it on first use. The pools
+// have no New func: a nil Get means "build fresh" at the call site, which
+// is also what counts the hit/miss statistics.
+func (p *runPools) pool(shape runShape) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pl, ok := p.m[shape]
+	if !ok {
+		pl = &sync.Pool{}
+		p.m[shape] = pl
+	}
+	return pl
+}
+
+// Pool hit/miss counters, process-wide across every analysis (the lbcastd
+// /metrics endpoint exports them).
+var (
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+)
+
+// ReadPoolStats returns the cumulative run-pool hit and miss counts: a hit
+// recycled a previously-built run's state, a miss built fresh.
+func ReadPoolStats() (hits, misses uint64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+// sessionShape derives the pool key of a replayable session spec.
+func sessionShape(spec Spec) runShape {
+	return runShape{
+		kind:       's',
+		alg:        spec.Algorithm,
+		f:          spec.F,
+		t:          spec.T,
+		model:      spec.Model,
+		equiv:      spec.Equivocators.String(),
+		rounds:     spec.Rounds,
+		fullBudget: spec.FullBudget,
+		sequential: spec.Sequential,
+	}
+}
+
+// sessionRun is the pooled state of one replayable session execution: the
+// nodes, engine, and replay blackboard of a complete run, reusable after
+// reset. The engine is never Closed while pooled — its worker pool stays
+// warm; if the sync.Pool drops the run under GC pressure, the engine's
+// cleanup closes the pool.
+type sessionRun struct {
+	nodes        []sim.Node
+	pnodes       []*core.PhaseNode
+	eng          *sim.Engine
+	rs           *core.ReplayShared
+	honest       graph.Set
+	honestInputs map[graph.NodeID]sim.Value
+}
+
+// newSessionRun builds the run state the way Session.Run always has; the
+// spec must be replayable.
+func newSessionRun(topo *graph.Analysis, spec Spec) (*sessionRun, error) {
+	g := spec.G
+	rs := core.NewReplayShared(flood.PlanFor(topo))
+	rs.SetPhantom(spec.Observer == nil)
+	run := &sessionRun{
+		nodes:        make([]sim.Node, g.N()),
+		pnodes:       make([]*core.PhaseNode, g.N()),
+		rs:           rs,
+		honest:       graph.NewSet(),
+		honestInputs: make(map[graph.NodeID]sim.Value, g.N()),
+	}
+	for _, u := range g.Nodes() {
+		in := spec.Inputs[u]
+		// Replayable specs are Algo1/Algo3 with no Byzantine overrides, so
+		// every node is an honest PhaseNode.
+		pn := spec.NewHonestNode(topo, nil, u, in).(*core.PhaseNode)
+		pn.UseReplay(rs)
+		run.nodes[u] = pn
+		run.pnodes[u] = pn
+		run.honest.Add(u)
+		run.honestInputs[u] = in
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		Topology:     sim.GraphTopology{G: g},
+		Model:        spec.Model,
+		Equivocators: spec.Equivocators,
+		Observer:     spec.Observer,
+		Parallel:     !spec.Sequential,
+	}, run.nodes)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	run.eng = eng
+	return run, nil
+}
+
+// reset re-arms a recycled run for spec: engine counters, inboxes, and
+// observer; the phantom toggle; every node's protocol state and input.
+// Only the fields outside the shape may differ from the run the state was
+// built for.
+func (r *sessionRun) reset(spec Spec) {
+	r.eng.Reset(spec.Observer)
+	r.rs.SetPhantom(spec.Observer == nil)
+	clear(r.honestInputs)
+	for u, pn := range r.pnodes {
+		in := spec.Inputs[graph.NodeID(u)]
+		pn.Reset(in)
+		r.honestInputs[graph.NodeID(u)] = in
+	}
+}
+
+// batchShape derives the pool key of a poolable batch spec from its shared
+// parameters and its Byzantine placement pattern. The instance count is
+// implied by the pattern (b-1 separators), so equal keys guarantee equal
+// lane structure.
+func batchShape(base Spec, pattern string) runShape {
+	shape := sessionShape(base)
+	shape.kind = 'b'
+	shape.pattern = pattern
+	return shape
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package eval
+
+// raceEnabled reports whether the race detector is compiled in. The
+// steady-state allocation gate skips under -race: the detector's shadow
+// allocations and sync.Pool's deliberate random drops make AllocsPerRun
+// meaningless there.
+const raceEnabled = false

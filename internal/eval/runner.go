@@ -10,7 +10,6 @@ import (
 
 	"lbcast/internal/adversary"
 	"lbcast/internal/core"
-	"lbcast/internal/flood"
 	"lbcast/internal/graph"
 	"lbcast/internal/sim"
 )
@@ -300,15 +299,13 @@ func (s *Session) Spec() Spec { return s.spec }
 // couple of phases. The context is checked between rounds; cancellation
 // aborts the run mid-execution and returns ctx's error.
 func (s *Session) Run(ctx context.Context) (Outcome, error) {
+	// Fault-free phase-based executions run on pooled recycled state (and
+	// replay the compiled propagation plan); see pool.go.
+	if s.spec.replayable() {
+		return s.runPooled(ctx)
+	}
 	spec := s.spec
 	g := spec.G
-	// Fault-free phase-based executions replay the compiled propagation
-	// plan (compiled once per analysis, shared across Runs, trials, and
-	// cells) instead of re-flooding message by message; see flood.Plan.
-	var rs *core.ReplayShared
-	if spec.replayable() {
-		rs = core.NewReplayShared(flood.PlanFor(s.topo))
-	}
 	nodes := make([]sim.Node, g.N())
 	honest := graph.NewSet()
 	honestInputs := make(map[graph.NodeID]sim.Value)
@@ -319,11 +316,6 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 		}
 		in := spec.Inputs[u]
 		nd := spec.NewHonestNode(s.topo, nil, u, in)
-		if rs != nil {
-			if pn, ok := nd.(*core.PhaseNode); ok {
-				pn.UseReplay(rs)
-			}
-		}
 		nodes[u] = nd
 		honest.Add(u)
 		honestInputs[u] = in
@@ -357,6 +349,50 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 	if spec.Observer != nil {
 		spec.Observer.Done(eng.Metrics())
 	}
+	return out, nil
+}
+
+// runPooled executes a replayable spec on recycled run state drawn from
+// the analysis's run pool (see pool.go): a hit resets a previously-built
+// run in place, a miss builds one exactly as the unpooled path would. The
+// run is returned to the pool only after completing normally — a
+// cancellation mid-execution abandons the state rather than recycling a
+// half-stepped run.
+func (s *Session) runPooled(ctx context.Context) (Outcome, error) {
+	spec := s.spec
+	pl := poolsFor(s.topo).pool(sessionShape(spec))
+	var run *sessionRun
+	if v := pl.Get(); v != nil {
+		poolHits.Add(1)
+		run = v.(*sessionRun)
+		run.reset(spec)
+	} else {
+		poolMisses.Add(1)
+		var err error
+		run, err = newSessionRun(s.topo, spec)
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
+	budget := spec.Rounds
+	if budget == 0 {
+		budget = spec.DefaultRounds()
+	}
+	for r := 0; r < budget; r++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, fmt.Errorf("eval: run canceled after %d of %d rounds: %w",
+				run.eng.Metrics().Rounds, budget, err)
+		}
+		run.eng.Step()
+		if !spec.FullBudget && run.eng.AllDecided(run.honest) {
+			break
+		}
+	}
+	out := Judge(run.eng, run.honest, run.honestInputs, budget)
+	if spec.Observer != nil {
+		spec.Observer.Done(run.eng.Metrics())
+	}
+	pl.Put(run)
 	return out, nil
 }
 

@@ -62,19 +62,78 @@ type Filter struct {
 	Exclude graph.Set
 }
 
+// QueryScratch holds the reusable buffers of the disjoint-receipt
+// queries: the candidate gather (dedup map, output slice, origin-bucket
+// merge) and the backtracking selection (sorted copy, chosen stack). One
+// scratch serves one protocol node — the queries of a phase end reuse its
+// buffers instead of allocating per call. Results returned from scratch
+// methods are valid until the next call on the same scratch method family
+// (Candidates output until the next Candidates call, and so on). The zero
+// value is ready to use; a nil *QueryScratch falls back to per-call
+// allocation, reproducing the package-level functions exactly.
+type QueryScratch struct {
+	seen   map[graph.PathID]struct{}
+	out    []Receipt
+	idxs   []int32
+	cs     []Receipt
+	chosen []Receipt
+}
+
+// Candidates is the scratch-backed form of the package-level Candidates:
+// same receipts, same order, buffers reused. The returned slice is
+// invalidated by the scratch's next Candidates call.
+func (sc *QueryScratch) Candidates(st *ReceiptStore, fil Filter) []Receipt {
+	if sc == nil {
+		return Candidates(st, fil)
+	}
+	if sc.seen == nil {
+		sc.seen = make(map[graph.PathID]struct{})
+	} else {
+		clear(sc.seen)
+	}
+	sc.out = appendCandidates(sc.out[:0], st, fil, sc.seen, &sc.idxs)
+	return sc.out
+}
+
+// SelectDisjoint is the scratch-backed existence form of the package-level
+// SelectDisjoint: it reports whether k pairwise-disjoint candidate paths
+// exist, reusing the search buffers and returning no selection.
+func (sc *QueryScratch) SelectDisjoint(ar *graph.PathArena, candidates []Receipt, k int, mode DisjointMode) bool {
+	if k <= 0 {
+		return true
+	}
+	if sc == nil {
+		return SelectDisjoint(ar, candidates, k, mode) != nil
+	}
+	var found bool
+	sc.cs, sc.chosen, found = selectDisjointInto(ar, candidates, k, mode, sc.cs[:0], sc.chosen[:0])
+	return found
+}
+
+// ReceivedOnDisjointPaths is the scratch-backed form of the package-level
+// ReceivedOnDisjointPaths predicate.
+func (sc *QueryScratch) ReceivedOnDisjointPaths(st *ReceiptStore, fil Filter, k int, mode DisjointMode) bool {
+	return sc.SelectDisjoint(st.Arena(), sc.Candidates(st, fil), k, mode)
+}
+
 // Candidates returns the store's receipts matching fil, deduplicated by
 // path (the first accepted content for a path is the relevant one; rule
 // (ii) already guarantees at most one content per (sender, slot, path)).
 // When fil.Origins is set, only the matching origin buckets are visited.
 func Candidates(st *ReceiptStore, fil Filter) []Receipt {
+	return appendCandidates(nil, st, fil, make(map[graph.PathID]struct{}), new([]int32))
+}
+
+// appendCandidates is the shared gather loop of Candidates and
+// QueryScratch.Candidates, appending matches into out with caller-owned
+// dedup and index-merge buffers.
+func appendCandidates(out []Receipt, st *ReceiptStore, fil Filter, seen map[graph.PathID]struct{}, idxsBuf *[]int32) []Receipt {
 	ar := st.Arena()
 	useMask := ar.Exact() && fil.Exclude.Len() > 0
 	var exclMask uint64
 	if useMask {
 		exclMask = graph.SetMask(fil.Exclude)
 	}
-	seen := make(map[graph.PathID]struct{})
-	var out []Receipt
 	visit := func(i int32) {
 		r := st.receipts[i]
 		if fil.Body != AnyBody && st.bodyIDs[i] != fil.Body {
@@ -94,6 +153,19 @@ func Candidates(st *ReceiptStore, fil Filter) []Receipt {
 		out = append(out, r)
 	}
 	if fil.Origins != nil {
+		if fil.Origins.Len() == 1 {
+			// Singleton origin filter — the checkUnanimity hot case. Pick
+			// the one bucket straight off the map; Origins.Slice() would
+			// allocate (and sort) a one-element slice per query.
+			for o := range fil.Origins {
+				if int(o) >= 0 && int(o) < len(st.byOrigin) {
+					for _, i := range st.byOrigin[o] {
+						visit(i)
+					}
+				}
+			}
+			return out
+		}
 		// Gather the matching origin buckets and merge them back into
 		// global acceptance order, so the output order is identical to
 		// the pre-index flat-slice scan. A single bucket (the common
@@ -111,11 +183,12 @@ func Candidates(st *ReceiptStore, fil Filter) []Receipt {
 			}
 			return out
 		}
-		var idxs []int32
+		idxs := (*idxsBuf)[:0]
 		for _, b := range buckets {
 			idxs = append(idxs, b...)
 		}
 		slices.Sort(idxs)
+		*idxsBuf = idxs
 		for _, i := range idxs {
 			visit(i)
 		}
@@ -135,16 +208,29 @@ func SelectDisjoint(ar *graph.PathArena, candidates []Receipt, k int, mode Disjo
 	if k <= 0 {
 		return []Receipt{}
 	}
-	if len(candidates) < k {
+	_, chosen, found := selectDisjointInto(ar, candidates, k, mode, nil, nil)
+	if !found {
 		return nil
+	}
+	out := make([]Receipt, k)
+	copy(out, chosen)
+	return out
+}
+
+// selectDisjointInto is the backtracking core of SelectDisjoint, writing
+// its working state into caller-provided buffers (grown as needed and
+// returned for reuse). On success, the first k entries of the returned
+// chosen buffer are one disjoint selection. k must be positive.
+func selectDisjointInto(ar *graph.PathArena, candidates []Receipt, k int, mode DisjointMode, csBuf, chosenBuf []Receipt) (cs, chosen []Receipt, found bool) {
+	if len(candidates) < k {
+		return csBuf, chosenBuf, false
 	}
 	// Shorter paths conflict with fewer others; trying them first shrinks
 	// the search tree.
-	cs := make([]Receipt, len(candidates))
-	copy(cs, candidates)
+	cs = append(csBuf, candidates...)
 	slices.SortStableFunc(cs, func(a, b Receipt) int { return ar.PathLen(a.PathID) - ar.PathLen(b.PathID) })
 
-	chosen := make([]Receipt, 0, k)
+	chosen = chosenBuf
 	var rec func(start int) bool
 	rec = func(start int) bool {
 		if len(chosen) == k {
@@ -173,12 +259,7 @@ func SelectDisjoint(ar *graph.PathArena, candidates []Receipt, k int, mode Disjo
 		}
 		return false
 	}
-	if rec(0) {
-		out := make([]Receipt, k)
-		copy(out, chosen)
-		return out
-	}
-	return nil
+	return cs, chosen, rec(0)
 }
 
 // ReceivedOnDisjointPaths reports whether the store contains k

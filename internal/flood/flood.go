@@ -65,6 +65,21 @@ func (b ValueBody) Key() string {
 // Slot returns the per-origin instance id (a node floods one value).
 func (ValueBody) Slot() string { return "" }
 
+// canonValueBodies holds the two ValueBody values pre-boxed as Body
+// interface values, so publishing a phase body or substituting a default
+// never allocates (ValueBody has exactly two inhabitants).
+var canonValueBodies = [2]Body{ValueBody{Value: sim.Zero}, ValueBody{Value: sim.One}}
+
+// CanonValueBody returns the shared pre-boxed Body for v. The returned
+// value is immutable and safe to share across runs, observers, and
+// goroutines.
+func CanonValueBody(v sim.Value) Body {
+	if v == sim.Zero {
+		return canonValueBodies[0]
+	}
+	return canonValueBodies[1]
+}
+
 // Msg is the wire payload: (body, Π). Π excludes the direct sender.
 type Msg struct {
 	Body Body
@@ -131,6 +146,13 @@ type Flooder struct {
 	// fwdBuf is the reused Deliver output buffer; its contents are valid
 	// until the next Deliver call.
 	fwdBuf []sim.Outgoing
+	// fwdCache caches boxed forward payloads by (body identity, accepted
+	// path): forwarding a body along a path always produces the same
+	// immutable Msg value, so the interface box is built once and reused
+	// across rounds, phases, and recycled sessions. Like the arena, the
+	// cache is pure value-deterministic identity state and survives
+	// Recycle.
+	fwdCache map[uint64]sim.Payload
 }
 
 // New creates a flooder for node me on graph g with private path-arena and
@@ -160,7 +182,42 @@ func NewWithState(g *graph.Graph, me graph.NodeID, arena *graph.PathArena, ident
 		accepted:    make(map[uint64]struct{}),
 		initiatedBy: make([]bool, g.N()),
 		store:       NewReceiptStore(arena, ident),
+		fwdCache:    make(map[uint64]sim.Payload),
 	}
+}
+
+// boxedMsg returns the shared boxed Msg forwarding body along the interned
+// path full — or the initiation Msg with a nil Π when full is
+// graph.NoPath — building and caching it on first use. The cache key
+// reuses the acceptKey packing with the body's key identity (not its
+// slot): two bodies with equal key identity are equal values, so the
+// first-boxed Msg represents both.
+func (f *Flooder) boxedMsg(body Body, full graph.PathID) sim.Payload {
+	ck := acceptKey(int32(f.ident.BodyKeyID(body)), full)
+	pl, ok := f.fwdCache[ck]
+	if !ok {
+		var pi graph.Path
+		if full != graph.NoPath {
+			pi = f.arena.Path(full)
+		}
+		pl = Msg{Body: body, Pi: pi}
+		f.fwdCache[ck] = pl
+	}
+	return pl
+}
+
+// Recycle resets the flooder for a fresh flooding session over the same
+// node, arena, and identity table: the rule-(ii) dedup map is cleared in
+// place (buckets kept), the initiation flags are zeroed, and the receipt
+// store is reset with all its index capacity retained (see
+// ReceiptStore.Reset). Multi-phase protocols recycle one flooder per node
+// across all phases instead of building a fresh one per phase — flooding
+// structure repeats phase over phase, so after the first phase a session
+// runs entirely in pre-grown memory.
+func (f *Flooder) Recycle() {
+	clear(f.accepted)
+	clear(f.initiatedBy)
+	f.store.Reset()
 }
 
 // Expect sizes the receipt store for n expected receipts (see
@@ -183,7 +240,7 @@ func (f *Flooder) Start(bodies ...Body) []sim.Outgoing {
 	self := f.arena.Root(f.me)
 	for _, b := range bodies {
 		f.store.Add(Receipt{Origin: f.me, PathID: self, Body: b})
-		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: b, Pi: nil}})
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: f.boxedMsg(b, graph.NoPath)})
 	}
 	return out
 }
@@ -259,7 +316,7 @@ func (f *Flooder) deliverOne(from graph.NodeID, m Msg) (sim.Outgoing, bool) {
 	// A message whose path would exceed the graph cannot be extended
 	// further by anyone, but forwarding is still required so neighbors
 	// record their receipts.
-	return sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: m.Body, Pi: f.arena.Path(full)}}, true
+	return sim.Outgoing{To: sim.Broadcast, Payload: f.boxedMsg(m.Body, full)}, true
 }
 
 // SynthesizeMissing applies the default-message rule of step (a): for every

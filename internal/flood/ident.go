@@ -226,10 +226,18 @@ func (t *Ident) SetNodeSlot(ns int32, u graph.NodeID, slot string) SlotID {
 // route available: fixed constants for ValueBody, the body's own
 // KeyInterner fast path, or interning the rendered Key(). The ValueBody
 // branch never touches the table, so it is valid on a nil receiver (the
-// ident-free planned-store case; see ReceiptStore.AddPlanned).
+// ident-free planned-store case; see ReceiptStore.AddPlanned). A nil
+// table records AnyBody for every structured body: such a store carries
+// no per-run ident state at all and must never be queried with a Body
+// filter (the vector replay group's planned views — their phase-end
+// reads project lane values out of receipt bodies directly and filter
+// by origin, path, and exclusion only).
 func (t *Ident) BodyKeyID(b Body) BodyID {
 	if vb, ok := b.(ValueBody); ok {
 		return ValueKeyID(vb.Value)
+	}
+	if t == nil {
+		return AnyBody
 	}
 	if fk, ok := b.(KeyInterner); ok {
 		return fk.InternKey(t)

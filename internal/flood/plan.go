@@ -61,6 +61,14 @@ type planSchedule struct {
 	// roundOff[r] .. roundOff[r+1] bound the receipts accepted in session
 	// round r (len rounds+1).
 	roundOff []int32
+	// payload[val][i] is the pre-boxed outgoing payload of receipt i when
+	// the flooded body is ValueBody{val}: Msg boxing is the last per-receipt
+	// allocation of a scalar replayed round, and ValueBody has exactly two
+	// inhabitants, so both variants of every scheduled forward are built at
+	// compile time. The payloads are immutable (shared canonical bodies,
+	// frozen-arena paths) and safe for concurrent replaying runs and for
+	// retention by observers.
+	payload [2][]sim.Payload
 }
 
 // CompilePlan builds the propagation plan of graph g by executing the
@@ -127,6 +135,18 @@ func CompilePlan(g *graph.Graph) *Plan {
 	p.tmpl = make([]*ReceiptStore, n)
 	for v := 0; v < n; v++ {
 		p.tmpl[v] = flooders[v].Store()
+	}
+	// Pre-box both scalar payload variants of every scheduled forward (the
+	// arena is frozen, so Path returns the pre-materialized shared slices).
+	for v := range p.sched {
+		s := &p.sched[v]
+		for val := 0; val < 2; val++ {
+			s.payload[val] = make([]sim.Payload, len(s.parents))
+			b := CanonValueBody(sim.Value(val))
+			for i, parent := range s.parents {
+				s.payload[val][i] = Msg{Body: b, Pi: arena.Path(parent)}
+			}
+		}
 	}
 	planCompiles.Add(1)
 	return p
@@ -201,7 +221,34 @@ func (p *Plan) ReplayRound(v graph.NodeID, r int, bodies []Body, store *ReceiptS
 	for i := s.roundOff[r]; i < s.roundOff[r+1]; i++ {
 		b := bodies[s.origins[i]]
 		store.AddPlanned(Receipt{Origin: s.origins[i], PathID: s.pids[i], Body: b})
-		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: Msg{Body: b, Pi: p.arena.Path(s.parents[i])}})
+		// Scalar value bodies ride the pre-boxed compile-time payloads;
+		// anything else (lane vectors) is boxed per forward as before.
+		var pay sim.Payload
+		if vb, ok := b.(ValueBody); ok {
+			pay = s.payload[vb.Value][i]
+		} else {
+			pay = Msg{Body: b, Pi: p.arena.Path(s.parents[i])}
+		}
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: pay})
+	}
+	return out
+}
+
+// ReplayRoundPhantom is ReplayRound emitting sim.Phantom in place of every
+// outgoing payload: receipts are installed for real (the node's own
+// phase-end reads depend on them), but the wire payloads are not
+// materialized. The transmission count and destinations are identical to
+// ReplayRound's; only the content is elided. Callers must hold the
+// phantom proof — no observer anywhere in the run, and no dynamic
+// consumer of this node's transmissions (see sim.Phantom).
+func (p *Plan) ReplayRoundPhantom(v graph.NodeID, r int, bodies []Body, store *ReceiptStore, out []sim.Outgoing) []sim.Outgoing {
+	s := &p.sched[v]
+	if r < 0 || r >= len(s.roundOff)-1 {
+		return out
+	}
+	for i := s.roundOff[r]; i < s.roundOff[r+1]; i++ {
+		store.AddPlanned(Receipt{Origin: s.origins[i], PathID: s.pids[i], Body: bodies[s.origins[i]]})
+		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: sim.Phantom})
 	}
 	return out
 }

@@ -35,6 +35,9 @@ type ReceiptStore struct {
 	// rarely mixed). A path determines its origin (its first node), so the
 	// PathID alone is the key.
 	byPath []*pathPage
+	// sharedIdx marks a PlannedView: byOrigin and byPath belong to the
+	// compile-time template and must never be mutated through this store.
+	sharedIdx bool
 }
 
 // pathPage is one block of per-PathID receipt buckets.
@@ -77,6 +80,34 @@ func (s *ReceiptStore) Reserve(n int) {
 		ids := make([]BodyID, len(s.bodyIDs), n)
 		copy(ids, s.bodyIDs)
 		s.bodyIDs = ids
+	}
+}
+
+// Reset empties the store for reuse — the whole-store analogue of
+// ResetPlanned, for stores that own their indexes (a Flooder recycled
+// phase over phase, see Flooder.Recycle). The receipt and body arrays are
+// truncated, every index bucket is truncated in place, and the byPath
+// pages are kept: a recycled flooding session records the same structural
+// receipt set as the last one, so every append lands in pre-grown
+// capacity and the phase performs no index allocation at all. On a
+// PlannedView the shared template indexes are left untouched (they are
+// immutable and already describe every phase).
+func (s *ReceiptStore) Reset() {
+	s.receipts = s.receipts[:0]
+	s.bodyIDs = s.bodyIDs[:0]
+	if s.sharedIdx {
+		return
+	}
+	for i := range s.byOrigin {
+		s.byOrigin[i] = s.byOrigin[i][:0]
+	}
+	for _, pg := range s.byPath {
+		if pg == nil {
+			continue
+		}
+		for i := range pg {
+			pg[i] = pg[i][:0]
+		}
 	}
 }
 
@@ -130,12 +161,13 @@ func (s *ReceiptStore) Path(r Receipt) graph.Path { return s.arena.Path(r.PathID
 // it exist.
 func (s *ReceiptStore) PlannedView(ident *Ident) *ReceiptStore {
 	return &ReceiptStore{
-		arena:    s.arena,
-		ident:    ident,
-		receipts: make([]Receipt, 0, len(s.receipts)),
-		bodyIDs:  make([]BodyID, 0, len(s.receipts)),
-		byOrigin: s.byOrigin,
-		byPath:   s.byPath,
+		arena:     s.arena,
+		ident:     ident,
+		receipts:  make([]Receipt, 0, len(s.receipts)),
+		bodyIDs:   make([]BodyID, 0, len(s.receipts)),
+		byOrigin:  s.byOrigin,
+		byPath:    s.byPath,
+		sharedIdx: true,
 	}
 }
 

@@ -12,6 +12,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -53,6 +54,8 @@ var (
 type Graph struct {
 	n   int
 	adj [][]NodeID // sorted neighbor lists
+	// nodes is the lazily-built shared Nodes() slice (see Nodes).
+	nodes []NodeID
 }
 
 // New returns an empty graph on n nodes (0..n-1).
@@ -99,13 +102,18 @@ func (g *Graph) M() int {
 	return total / 2
 }
 
-// Nodes returns all node ids in ascending order.
+// Nodes returns all node ids in ascending order. The slice is built once
+// per graph and shared by every caller — the graph is immutable and this
+// runs in round-loop hot paths — so callers must not modify it.
 func (g *Graph) Nodes() []NodeID {
-	out := make([]NodeID, g.n)
-	for i := range out {
-		out[i] = NodeID(i)
+	if g.nodes == nil && g.n > 0 {
+		out := make([]NodeID, g.n)
+		for i := range out {
+			out[i] = NodeID(i)
+		}
+		g.nodes = out
 	}
-	return out
+	return g.nodes
 }
 
 // valid reports whether u is a node of g.
@@ -302,5 +310,5 @@ func (g *Graph) String() string {
 
 // SortNodes sorts a node slice ascending in place.
 func SortNodes(s []NodeID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
+	"lbcast/internal/eval"
 	"lbcast/internal/flood"
 )
 
@@ -30,6 +32,11 @@ type metrics struct {
 	// sliding-window decisions/sec gauge without a scrape-to-scrape state.
 	ring [64]rateSample
 	head int
+
+	// baselineMallocs is the process allocation counter at daemon start;
+	// the scrape-time delta over decisions delivered is the amortized
+	// allocs-per-decision gauge the zero-alloc pipeline is judged by.
+	baselineMallocs uint64
 }
 
 // clientCounters tallies one client's traffic.
@@ -51,10 +58,13 @@ const rateWindow = 10 * time.Second
 
 func newMetrics() *metrics {
 	now := time.Now
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return &metrics{
-		start:     now(),
-		now:       now,
-		perClient: make(map[string]*clientCounters),
+		start:           now(),
+		now:             now,
+		perClient:       make(map[string]*clientCounters),
+		baselineMallocs: ms.Mallocs,
 	}
 }
 
@@ -213,4 +223,34 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, graphs int) {
 		p("# TYPE lbcastd_replay_hit_rate gauge\n")
 		p("lbcastd_replay_hit_rate %.6f\n", float64(ps.ReplaySessions)/float64(total))
 	}
+
+	// Run-pool statistics: a hit means a decision ran entirely on recycled
+	// state (engine, nodes, receipt stores, replay blackboards); misses
+	// past warm-up mean new batch shapes or GC-drained pools.
+	hits, misses := eval.ReadPoolStats()
+	p("# HELP lbcastd_run_pool_hits_total Batch/session runs served from the recycled run-state pool.\n")
+	p("# TYPE lbcastd_run_pool_hits_total counter\n")
+	p("lbcastd_run_pool_hits_total %d\n", hits)
+	p("# HELP lbcastd_run_pool_misses_total Batch/session runs that built fresh run state.\n")
+	p("# TYPE lbcastd_run_pool_misses_total counter\n")
+	p("lbcastd_run_pool_misses_total %d\n", misses)
+
+	// Allocator health: amortized allocations per delivered decision since
+	// start (includes HTTP serving overhead, so it sits above the replayed
+	// pipeline's own per-decision cost), and cumulative GC pause time —
+	// the two gauges that regress first if the zero-alloc pipeline leaks
+	// allocations back into the round loop.
+	var rms runtime.MemStats
+	runtime.ReadMemStats(&rms)
+	if m.decided > 0 {
+		p("# HELP lbcastd_allocs_per_decision Heap allocations per delivered decision since start (process-wide, HTTP included).\n")
+		p("# TYPE lbcastd_allocs_per_decision gauge\n")
+		p("lbcastd_allocs_per_decision %.1f\n", float64(rms.Mallocs-m.baselineMallocs)/float64(m.decided))
+	}
+	p("# HELP lbcastd_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	p("# TYPE lbcastd_gc_pause_seconds_total counter\n")
+	p("lbcastd_gc_pause_seconds_total %.6f\n", float64(rms.PauseTotalNs)/1e9)
+	p("# HELP lbcastd_gc_cycles_total Completed GC cycles.\n")
+	p("# TYPE lbcastd_gc_cycles_total counter\n")
+	p("lbcastd_gc_cycles_total %d\n", rms.NumGC)
 }

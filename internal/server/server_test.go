@@ -215,6 +215,11 @@ func TestDecideParityConcurrentClients(t *testing.T) {
 		`lbcastd_requests_total{client="client-00",result="accepted"} 2`,
 		`lbcastd_client_decisions_total{client="client-31"} 2`,
 		"lbcastd_replay_hit_rate",
+		"lbcastd_run_pool_hits_total",
+		"lbcastd_run_pool_misses_total",
+		"lbcastd_allocs_per_decision",
+		"lbcastd_gc_pause_seconds_total",
+		"lbcastd_gc_cycles_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition missing %q", want)

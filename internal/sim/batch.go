@@ -34,7 +34,10 @@ type BatchPayload struct {
 	Parts []Payload
 }
 
-var _ Payload = BatchPayload{}
+var (
+	_ Payload = BatchPayload{}
+	_ Payload = (*BatchPayload)(nil) // recycling emits pointer payloads
+)
 
 // Key returns the canonical identity of the multiplexed payload: the
 // instance-tagged keys of its non-nil parts.
@@ -87,6 +90,21 @@ type BatchNode struct {
 	// inside Step.
 	outs [][]Outgoing
 	subs [][]Delivery
+
+	// mergedBuf and tosBuf back the merged-transmission build. They are
+	// reused every Step unconditionally: the engine consumes the returned
+	// slice (routing copies the Outgoing values) before the node steps
+	// again, and nothing retains the slice itself.
+	mergedBuf []Outgoing
+	tosBuf    []graph.NodeID
+	// recycle additionally carves BatchPayload.Parts from slabs (one per
+	// round parity) instead of boxing a fresh slice per merged
+	// transmission, and emits *BatchPayload pointers into a struct slab of
+	// the same parity instead of boxing each payload value. See
+	// SetRecycling for the safety contract.
+	recycle bool
+	slabs   [2][]Payload
+	bpSlabs [2][]BatchPayload
 }
 
 // NewBatchNode wraps the per-instance nodes of vertex id. Every inner node
@@ -122,6 +140,36 @@ func (bn *BatchNode) Instances() int { return len(bn.inner) }
 
 // Instance returns instance i's inner node.
 func (bn *BatchNode) Instance(i int) Node { return bn.inner[i] }
+
+// SetInstance replaces instance i's inner node with nd, which must be
+// non-nil and report the vertex id. Run recycling uses this to plug each
+// run's caller-owned Byzantine overrides into a pooled multiplexer — the
+// honest state is recycled, adversary nodes never are.
+func (bn *BatchNode) SetInstance(i int, nd Node) error {
+	if nd == nil {
+		return fmt.Errorf("sim: batch node %d: nil instance %d", bn.id, i)
+	}
+	if nd.ID() != bn.id {
+		return fmt.Errorf("sim: batch node %d: instance %d reports id %d", bn.id, i, nd.ID())
+	}
+	bn.inner[i] = nd
+	return nil
+}
+
+// SetRecycling toggles Parts-slab recycling: merged BatchPayload.Parts
+// slices are carved from two slabs alternated by round parity, so the
+// steady state boxes no per-transmission slices at all. Parity reuse is
+// sound because a merged payload's lifetime is bounded by two rounds — it
+// is routed into the next round's inboxes and fully demultiplexed there —
+// so the slab written at round r is dead by round r+2. That bound assumes
+// nothing else retains payloads: recycling must stay off when the engine
+// has an Observer (observers hold payloads past the run and render their
+// keys afterwards).
+func (bn *BatchNode) SetRecycling(on bool) { bn.recycle = on }
+
+// ResetRetirements clears every instance's retirement, returning a
+// recycled BatchNode to its initial all-live state.
+func (bn *BatchNode) ResetRetirements() { clear(bn.retired) }
 
 // Retire stops instance i: it is no longer stepped and emits no further
 // transmissions. Retirement is driven by the batch runner, which retires
@@ -165,7 +213,11 @@ func (bn *BatchNode) Step(round int, inbox []Delivery) []Outgoing {
 	for _, d := range inbox {
 		mp, ok := d.Payload.(BatchPayload)
 		if !ok {
-			continue
+			bp, ptr := d.Payload.(*BatchPayload)
+			if !ptr {
+				continue
+			}
+			mp = *bp
 		}
 		for j, part := range mp.Parts {
 			i := mp.First + j
@@ -190,8 +242,14 @@ func (bn *BatchNode) Step(round int, inbox []Delivery) []Outgoing {
 	if maxLen == 0 {
 		return nil
 	}
-	var merged []Outgoing
-	var tos []graph.NodeID
+	merged := bn.mergedBuf[:0]
+	tos := bn.tosBuf[:0]
+	var slab []Payload
+	var bpSlab []BatchPayload
+	if bn.recycle {
+		slab = bn.slabs[round&1][:0]
+		bpSlab = bn.bpSlabs[round&1][:0]
+	}
 	for p := 0; p < maxLen; p++ {
 		tos = tos[:0]
 		for i := 0; i < b; i++ {
@@ -212,22 +270,68 @@ func (bn *BatchNode) Step(round int, inbox []Delivery) []Outgoing {
 		}
 		for _, to := range tos {
 			lo, hi := -1, -1
+			phantom := true
 			for i := 0; i < b; i++ {
 				if p < len(bn.outs[i]) && bn.outs[i][p].To == to {
 					if lo < 0 {
 						lo = i
 					}
 					hi = i
+					if bn.outs[i][p].Payload != Phantom {
+						phantom = false
+					}
 				}
 			}
-			parts := make([]Payload, hi-lo+1)
+			// A group whose every contribution is the Phantom sentinel
+			// stays phantom on the wire: it came entirely from replaying
+			// instances, whose receiving counterparts ignore their
+			// inboxes, so no demultiplexed content is ever read and the
+			// BatchPayload box would be dead weight. The merged
+			// transmission itself is still emitted — transmission and
+			// delivery counts are part of the byte-identity contract.
+			if phantom {
+				merged = append(merged, Outgoing{To: to, Payload: Phantom})
+				continue
+			}
+			n := hi - lo + 1
+			var parts []Payload
+			if bn.recycle {
+				if cap(slab)-len(slab) < n {
+					// Segments already carved this round keep the old
+					// backing array alive through their two-round
+					// lifetime; only the slab moves to a larger block.
+					slab = make([]Payload, 0, max(2*(cap(slab)+n), 64))
+				}
+				start := len(slab)
+				slab = slab[:start+n]
+				parts = slab[start:]
+				clear(parts)
+			} else {
+				parts = make([]Payload, n)
+			}
 			for i := lo; i <= hi; i++ {
 				if p < len(bn.outs[i]) && bn.outs[i][p].To == to {
 					parts[i-lo] = bn.outs[i][p].Payload
 				}
 			}
-			merged = append(merged, Outgoing{To: to, Payload: BatchPayload{First: lo, Parts: parts}})
+			if bn.recycle {
+				// Pointer payloads carved from the parity struct slab: the
+				// interface box holds the pointer directly, so no
+				// per-transmission allocation. A slab growth moves future
+				// elements to a new array; already-taken pointers keep the
+				// old one alive through the payload's two-round lifetime.
+				bpSlab = append(bpSlab, BatchPayload{First: lo, Parts: parts})
+				merged = append(merged, Outgoing{To: to, Payload: &bpSlab[len(bpSlab)-1]})
+			} else {
+				merged = append(merged, Outgoing{To: to, Payload: BatchPayload{First: lo, Parts: parts}})
+			}
 		}
+	}
+	bn.mergedBuf = merged
+	bn.tosBuf = tos
+	if bn.recycle {
+		bn.slabs[round&1] = slab
+		bn.bpSlabs[round&1] = bpSlab
 	}
 	return merged
 }

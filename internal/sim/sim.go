@@ -72,6 +72,26 @@ type Outgoing struct {
 	Payload Payload
 }
 
+// phantomPayload is the type of the Phantom sentinel.
+type phantomPayload struct{}
+
+// Key identifies the sentinel; it is never rendered in a run that is
+// allowed to emit phantoms (no observer), so it exists only for the
+// Payload contract and for debugging stray phantoms.
+func (phantomPayload) Key() string { return "phantom" }
+
+// Phantom is a shared opaque payload emitted in place of a real message
+// when the sender can prove no one will ever read the content: the run
+// has no Observer and every receiver of the transmission draws its
+// arrivals from a compiled propagation plan (InboxIgnorer). Transmission
+// and delivery COUNTS are unaffected — one phantom outgoing is routed,
+// counted, and (never) observed exactly like the real message it stands
+// for — but the payload materialization cost (boxing bodies, building
+// multiplexed part slices) is elided entirely. Emitters are responsible
+// for the proof; see core.ReplayShared.SetPhantom and
+// BatchNode.SetRecycling.
+var Phantom Payload = phantomPayload{}
+
 // Node is a per-node state machine. Step is called once per round with the
 // messages delivered at the start of that round (those sent in the previous
 // round) and returns this round's transmissions. Implementations must not
@@ -309,6 +329,35 @@ func (e *Engine) Close() {
 
 // Metrics returns a copy of the current counters.
 func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// Reset rewinds the engine for a fresh run over the same nodes and
+// topology: metrics and decision-edge state are zeroed, the observer is
+// replaced, and the double-buffered inbox arrays are cleared (payloads
+// from the previous run's final round must not outlive it) but their
+// backing capacity — and the persistent worker pool with its parked
+// goroutines — is kept. The nodes themselves are NOT reset; callers
+// recycling protocol state across runs (eval's run pool) reset them
+// separately. Must not be called on a closed engine.
+func (e *Engine) Reset(obs Observer) {
+	e.metrics = Metrics{}
+	clear(e.decided)
+	e.cfg.Observer = obs
+	for i := range e.inboxes {
+		e.inboxes[i] = clearDeliveries(e.inboxes[i])
+		e.nextInboxes[i] = clearDeliveries(e.nextInboxes[i])
+	}
+}
+
+// clearDeliveries empties a delivery slice in place, dropping payload
+// references up to its full capacity.
+func clearDeliveries(s []Delivery) []Delivery {
+	if cap(s) == 0 {
+		return s[:0]
+	}
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
+}
 
 // Run executes rounds synchronous rounds. The round number passed to the
 // nodes is global: successive Run calls continue where the previous one
