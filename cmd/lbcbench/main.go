@@ -87,22 +87,27 @@ type Measurement struct {
 	// batched-vs-independent ratio on the same instances is the batching
 	// speedup tracked by the acceptance criteria.
 	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
-	// PlanCompiles / PlanReplaySessions / PlanDynamicSessions are the
-	// propagation-plan cache counters accumulated over the whole
-	// measurement (all benchmark iterations): plan compilations, per-node
-	// flooding sessions served by replay, and sessions that ran the
-	// dynamic fallback. A large replay:compile ratio is the amortization
-	// the plan layer exists for.
+	// PlanCompiles / PlanMaskedCompiles / PlanReplaySessions /
+	// PlanDeltaReplays / PlanDynamicSessions are the propagation-plan
+	// cache counters accumulated over the whole measurement (all
+	// benchmark iterations): benign and masked (crash-world) plan
+	// compilations, per-node flooding sessions served by wholesale
+	// (benign or masked) replay, sessions served by delta replay around
+	// value-faulty slots, and sessions that ran fully dynamic. A large
+	// replay:compile ratio is the amortization the plan layer exists for.
 	PlanCompiles        int64 `json:"plan_compiles,omitempty"`
+	PlanMaskedCompiles  int64 `json:"plan_masked_compiles,omitempty"`
 	PlanReplaySessions  int64 `json:"plan_replay_sessions,omitempty"`
+	PlanDeltaReplays    int64 `json:"plan_delta_replays,omitempty"`
 	PlanDynamicSessions int64 `json:"plan_dynamic_sessions,omitempty"`
-	// ReplayHitRate is PlanReplaySessions / (PlanReplaySessions +
-	// PlanDynamicSessions) — the fraction of flooding sessions served by
-	// replay. Present (a pointer, so an explicit 0 survives JSON encoding)
-	// whenever the workload counted any phase-node flooding session:
-	// a recorded 0 means replay never engaged — the regression signal the
-	// CI smoke job asserts on — while workloads that never flood via
-	// phase nodes omit the field entirely.
+	// ReplayHitRate is (PlanReplaySessions + PlanDeltaReplays) /
+	// (PlanReplaySessions + PlanDeltaReplays + PlanDynamicSessions) — the
+	// fraction of flooding sessions served by any replay tier. Present (a
+	// pointer, so an explicit 0 survives JSON encoding) whenever the
+	// workload counted any phase-node flooding session: a recorded 0
+	// means replay never engaged — the regression signal the CI smoke job
+	// asserts on — while workloads that never flood via phase nodes omit
+	// the field entirely.
 	ReplayHitRate *float64 `json:"replay_hit_rate,omitempty"`
 }
 
@@ -116,12 +121,16 @@ const benchSchema = `output schema (BENCH_*.json):
     bytes_per_op      heap bytes per op
     instances         consensus instances completed per op (throughput workloads only)
     decisions_per_sec instances / seconds-per-op (throughput workloads only)
-    plan_compiles     propagation-plan compilations over the whole measurement
-    plan_replay_sessions  per-node flooding sessions served by compiled-plan replay
-    plan_dynamic_sessions per-node flooding sessions on the dynamic fallback path
-    replay_hit_rate   replay / (replay + dynamic) session fraction; present
-                      (possibly an explicit 0) whenever any phase-node
-                      flooding session was counted
+    plan_compiles     benign propagation-plan compilations over the whole measurement
+    plan_masked_compiles  crash-world masked plan compilations
+    plan_replay_sessions  per-node flooding sessions served by wholesale
+                      (benign or masked) compiled-plan replay
+    plan_delta_replays    per-node flooding sessions served by delta replay
+                      around value-faulty slots
+    plan_dynamic_sessions per-node flooding sessions on the fully dynamic path
+    replay_hit_rate   (replay + delta) / (replay + delta + dynamic) session
+                      fraction; present (possibly an explicit 0) whenever
+                      any phase-node flooding session was counted
   One op is one consensus execution (session/*), one full sweep
   (sweep/*, montecarlo/*), one batch of B instances (throughput/*), or
   one packed group of B served requests (serving/*).
@@ -343,6 +352,26 @@ func workloads() []workload {
 			for i := 0; i < b.N; i++ {
 				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
 					G: g, F: 2, Algorithm: eval.Algo1, Trials: 256, Seed: 5, FaultProb: 0.0625,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OK != res.Trials {
+					b.Fatalf("violations: %+v", res.Violations)
+				}
+			}
+		}},
+		{name: "montecarlo/figure1b/faultprob", fn: func(b *testing.B) {
+			// The fault-heavy stream: half the trials draw crash, tamper,
+			// equivocation, or forgery patterns, so most sessions ride the
+			// masked and delta replay tiers instead of the benign plan —
+			// the CI smoke job asserts this workload's replay_hit_rate
+			// stays >= 0.95.
+			g := gen.Figure1b()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
+					G: g, F: 2, Algorithm: eval.Algo1, Trials: 128, Seed: 11, FaultProb: 0.5,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -757,11 +786,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			AllocsPerOp:         r.AllocsPerOp(),
 			BytesPerOp:          r.AllocedBytesPerOp(),
 			PlanCompiles:        after.Compiles - before.Compiles,
+			PlanMaskedCompiles:  after.MaskedCompiles - before.MaskedCompiles,
 			PlanReplaySessions:  after.ReplaySessions - before.ReplaySessions,
+			PlanDeltaReplays:    after.DeltaReplaySessions - before.DeltaReplaySessions,
 			PlanDynamicSessions: after.DynamicSessions - before.DynamicSessions,
 		}
-		if total := m.PlanReplaySessions + m.PlanDynamicSessions; total > 0 {
-			rate := float64(m.PlanReplaySessions) / float64(total)
+		served := m.PlanReplaySessions + m.PlanDeltaReplays
+		if total := served + m.PlanDynamicSessions; total > 0 {
+			rate := float64(served) / float64(total)
 			m.ReplayHitRate = &rate
 		}
 		if wl.instances > 0 && m.NsPerOp > 0 {

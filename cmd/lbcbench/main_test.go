@@ -229,3 +229,58 @@ func TestPrintDeltas(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBenchFaultProbSmoke runs the fault-heavy Monte Carlo workload and
+// asserts the faulty-world replay tiers carry it: masked plans compiled
+// for crash patterns, delta replay sessions for value faults, and a
+// replay hit rate of at least 0.95 — the acceptance bar the CI smoke job
+// re-asserts on the rendered JSON.
+func TestRunBenchFaultProbSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-filter", "montecarlo/figure1b/faultprob"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(buf.Bytes(), &ms); err != nil {
+		t.Fatalf("json: %v\n%s", err, buf.String())
+	}
+	if len(ms) != 1 {
+		t.Fatalf("measurements = %+v", ms)
+	}
+	m := ms[0]
+	if m.PlanMaskedCompiles == 0 {
+		t.Errorf("no masked plans compiled on the fault-heavy stream: %+v", m)
+	}
+	if m.PlanDeltaReplays == 0 {
+		t.Errorf("no delta replay sessions on the fault-heavy stream: %+v", m)
+	}
+	if m.ReplayHitRate == nil || *m.ReplayHitRate < 0.95 {
+		t.Fatalf("replay hit rate below 0.95 on the fault-heavy stream: %+v", m)
+	}
+}
+
+// TestMeasurementSchemaPinned pins the exact JSON rendering of a fully
+// populated Measurement: downstream tooling greps these keys out of
+// BENCH_*.json, so a renamed or reordered field is a breaking change.
+func TestMeasurementSchemaPinned(t *testing.T) {
+	rate := 0.5
+	m := Measurement{
+		Name: "w", Iterations: 2, NsPerOp: 1.5, AllocsPerOp: 3, BytesPerOp: 4,
+		Instances: 5, DecisionsPerSec: 6.5,
+		PlanCompiles: 7, PlanMaskedCompiles: 8, PlanReplaySessions: 9,
+		PlanDeltaReplays: 10, PlanDynamicSessions: 11, ReplayHitRate: &rate,
+	}
+	got, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"w","iterations":2,"ns_per_op":1.5,"allocs_per_op":3,"bytes_per_op":4,` +
+		`"instances":5,"decisions_per_sec":6.5,"plan_compiles":7,"plan_masked_compiles":8,` +
+		`"plan_replay_sessions":9,"plan_delta_replays":10,"plan_dynamic_sessions":11,"replay_hit_rate":0.5}`
+	if string(got) != want {
+		t.Fatalf("schema drift:\ngot:  %s\nwant: %s", got, want)
+	}
+}

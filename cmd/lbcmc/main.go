@@ -31,6 +31,7 @@ import (
 
 	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
+	"lbcast/internal/flood"
 	"lbcast/internal/graph"
 	"lbcast/internal/graph/gen"
 )
@@ -61,6 +62,19 @@ type mcJSON struct {
 	FaultProb float64 `json:"fault_prob,omitempty"`
 	Batch     int     `json:"batch,omitempty"`
 	OK        int     `json:"ok"`
+	// The plan_* counters are the propagation-plan deltas accumulated
+	// over the sweep (this process's global counters sampled before and
+	// after): benign and masked compiles, sessions served by wholesale
+	// (benign or masked) replay, sessions served by delta replay around
+	// value-faulty slots, and fully dynamic sessions. ReplayHitRate is
+	// (replay + delta) / (replay + delta + dynamic); present whenever any
+	// phase-node flooding session was counted.
+	PlanCompiles        int64    `json:"plan_compiles,omitempty"`
+	PlanMaskedCompiles  int64    `json:"plan_masked_compiles,omitempty"`
+	PlanReplaySessions  int64    `json:"plan_replay_sessions,omitempty"`
+	PlanDeltaReplays    int64    `json:"plan_delta_replays,omitempty"`
+	PlanDynamicSessions int64    `json:"plan_dynamic_sessions,omitempty"`
+	ReplayHitRate       *float64 `json:"replay_hit_rate,omitempty"`
 	// Canceled marks a sweep interrupted by SIGINT/SIGTERM: OK and
 	// Violations cover only the trials that completed before the signal.
 	Canceled   bool              `json:"canceled,omitempty"`
@@ -102,6 +116,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %d", *algo)
 	}
+	planBefore := flood.ReadPlanStats()
 	res, err := eval.MonteCarloContext(ctx, eval.MonteCarloConfig{
 		G:         g,
 		F:         *f,
@@ -119,18 +134,29 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil && !canceled {
 		return err
 	}
+	planAfter := flood.ReadPlanStats()
 	if *jsonOut {
 		out := mcJSON{
-			Graph:     g.String(),
-			Algorithm: alg.String(),
-			F:         *f,
-			Trials:    res.Trials,
-			Seed:      *seed,
-			Faults:    *faults,
-			FaultProb: *faultProb,
-			Batch:     *batch,
-			OK:        res.OK,
-			Canceled:  canceled,
+			Graph:               g.String(),
+			Algorithm:           alg.String(),
+			F:                   *f,
+			Trials:              res.Trials,
+			Seed:                *seed,
+			Faults:              *faults,
+			FaultProb:           *faultProb,
+			Batch:               *batch,
+			OK:                  res.OK,
+			PlanCompiles:        planAfter.Compiles - planBefore.Compiles,
+			PlanMaskedCompiles:  planAfter.MaskedCompiles - planBefore.MaskedCompiles,
+			PlanReplaySessions:  planAfter.ReplaySessions - planBefore.ReplaySessions,
+			PlanDeltaReplays:    planAfter.DeltaReplaySessions - planBefore.DeltaReplaySessions,
+			PlanDynamicSessions: planAfter.DynamicSessions - planBefore.DynamicSessions,
+			Canceled:            canceled,
+		}
+		served := out.PlanReplaySessions + out.PlanDeltaReplays
+		if total := served + out.PlanDynamicSessions; total > 0 {
+			rate := float64(served) / float64(total)
+			out.ReplayHitRate = &rate
 		}
 		for _, v := range res.Violations {
 			out.Violations = append(out.Violations, mcViolationJSON{

@@ -79,3 +79,32 @@ func TestRunMCErrors(t *testing.T) {
 		t.Fatal("bad algorithm accepted")
 	}
 }
+
+// TestRunMCJSONPlanCounters pins the sweep summary's plan-counter schema:
+// a fault-heavy sweep must surface masked compiles, delta replays, and a
+// near-1 replay hit rate under the exact keys downstream tooling greps.
+func TestRunMCJSONPlanCounters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-graph", "figure1b", "-f", "2", "-trials", "24",
+		"-seed", "17", "-faultprob", "0.5", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("json: %v\n%s", err, buf.String())
+	}
+	// plan_dynamic_sessions is omitted here by design: with masked and
+	// delta replay covering every fault pattern, the sweep records zero
+	// dynamic sessions and omitempty drops the key.
+	for _, key := range []string{
+		"plan_compiles", "plan_masked_compiles", "plan_replay_sessions",
+		"plan_delta_replays", "replay_hit_rate",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("summary missing %q:\n%s", key, buf.String())
+		}
+	}
+	if rate, ok := decoded["replay_hit_rate"].(float64); !ok || rate < 0.95 {
+		t.Errorf("replay_hit_rate = %v, want >= 0.95", decoded["replay_hit_rate"])
+	}
+}

@@ -106,6 +106,22 @@ func goldenScenarios(t *testing.T) []goldenScenario {
 			return []Option{WithFaults(2), WithInputs(alternating(g.N())),
 				WithByzantine(map[NodeID]Node{1: NewTamperFault(g, 1, PhaseRounds(g), 9), 4: NewSilentFault(4)})}
 		}},
+		{"algo1-figure1b-f2-crash2", Figure1b, func(g *Graph) []Option {
+			// Pure crash world: both faults silent from round zero. This is
+			// the masked-plan replay shape — the golden bytes were recorded
+			// from the dynamic path before masked replay existed, so replay
+			// is compared against pre-change behavior, not against itself.
+			return []Option{WithFaults(2), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{2: NewSilentFault(2), 6: NewSilentFault(6)})}
+		}},
+		{"algo1-figure1b-f2-crash-tamper", Figure1b, func(g *Graph) []Option {
+			// Mixed crash + tamper: the delta-plan replay shape (a crashed
+			// node beside a value-corrupting one forces the taint frontier
+			// to cover both kinds). Recorded from the pre-change dynamic
+			// path, like crash2 above.
+			return []Option{WithFaults(2), WithInputs(alternating(g.N())),
+				WithByzantine(map[NodeID]Node{2: NewTamperFault(g, 2, PhaseRounds(g), 11), 6: NewSilentFault(6)})}
+		}},
 		{"algo2-figure1a-benign", Figure1a, func(g *Graph) []Option {
 			return []Option{WithFaults(1), WithAlgorithm(Algorithm2), WithInputs(alternating(g.N()))}
 		}},

@@ -19,13 +19,25 @@ type SilentNode struct {
 	Me graph.NodeID
 }
 
-var _ sim.Node = (*SilentNode)(nil)
+var (
+	_ sim.Node         = (*SilentNode)(nil)
+	_ sim.InboxIgnorer = (*SilentNode)(nil)
+)
 
 // ID returns the node id.
 func (n *SilentNode) ID() graph.NodeID { return n.Me }
 
 // Step transmits nothing.
 func (n *SilentNode) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
+
+// CrashedFromStart reports that this fault is silent from round zero:
+// its pattern is value-blind, so executions containing it can replay a
+// masked propagation plan (flood.MaskedPlanFor) instead of flooding
+// dynamically.
+func (n *SilentNode) CrashedFromStart() bool { return true }
+
+// IgnoresInbox implements sim.InboxIgnorer: a crashed node reads nothing.
+func (n *SilentNode) IgnoresInbox() bool { return true }
 
 // MuteAfter wraps an honest node and suppresses all its transmissions from
 // round `after` on — a mid-protocol crash fault.

@@ -43,6 +43,12 @@ type PhaseNode struct {
 	replay      *ReplayShared
 	replayStore *flood.ReceiptStore
 	replayBuf   []sim.Outgoing
+	// delta, when non-nil, keeps the node on the dynamic flooding path but
+	// routes each delivery through the delta plan's matched-arrival fast
+	// path (see UseDeltaReplay): untainted arrivals bulk-install from the
+	// benign plan's records, tainted ones take the full rules (i)–(iv).
+	// Mutually exclusive with replay.
+	delta *flood.DeltaPlan
 	// sharedStepB replaces the private stepB map for replaying nodes: all
 	// replaying nodes share the frozen plan arena, so step-(b) choices are
 	// analysis-global and cached once across runs and trials.
@@ -179,8 +185,25 @@ func (nd *PhaseNode) Gamma() sim.Value { return nd.gamma }
 func (nd *PhaseNode) UseReplay(rs *ReplayShared) {
 	nd.replay = rs
 	nd.arena = rs.plan.Arena()
-	nd.sharedStepB = replayStepBCache(nd.topo)
+	nd.sharedStepB = replayStepBCache(nd.topo, rs.plan)
 	nd.replayBuf = make([]sim.Outgoing, 0, rs.plan.MaxRoundReceipts(nd.me))
+}
+
+// UseDeltaReplay switches the node's step-(a) flooding sessions to delta
+// replay over the given plan fragment: the node still runs its full
+// dynamic flooder (tamper and equivocation are value-dependent, so every
+// arrival must be inspected), but deliveries matching the next untainted
+// compiled record are installed and forwarded straight from the benign
+// plan — see flood.DeliverDelta. The node adopts the benign plan's frozen
+// arena (it holds every simple path of the graph, so all interning hits)
+// and the plan's shared step-(b) cache, and seeds its store reservation
+// with the benign receipt count, an upper bound for any fault pattern.
+// Must be called before the first Step; mutually exclusive with UseReplay.
+func (nd *PhaseNode) UseDeltaReplay(dp *flood.DeltaPlan) {
+	nd.delta = dp
+	nd.arena = dp.Base().Arena()
+	nd.sharedStepB = replayStepBCache(nd.topo, dp.Base())
+	nd.expectHint = dp.Base().NodeReceipts(nd.me)
 }
 
 // Reset returns the node to its initial protocol state with a fresh input,
@@ -276,7 +299,11 @@ func (nd *PhaseNode) dynamicStep(inbox []sim.Delivery) []sim.Outgoing {
 		// leaves every append of the new phase landing in pre-grown
 		// storage. The first phase sizes from the hint, when one was
 		// provided (a compiled plan's exact per-node count).
-		flood.NoteDynamicSession()
+		if nd.delta != nil {
+			flood.NoteDeltaReplaySession()
+		} else {
+			flood.NoteDynamicSession()
+		}
 		if nd.arena == nil {
 			nd.arena = graph.NewPathArena(nd.g)
 		}
@@ -295,14 +322,25 @@ func (nd *PhaseNode) dynamicStep(inbox []sim.Delivery) []sim.Outgoing {
 	case 1:
 		// Initiations arrive now; after processing, substitute the
 		// default message for silent neighbors.
-		out = nd.flooder.Deliver(inbox)
+		out = nd.deliver(inbox)
 		out = nd.flooder.AppendMissing(out, func(graph.NodeID) flood.Body {
 			return flood.CanonValueBody(sim.DefaultValue)
 		})
 	default:
-		out = nd.flooder.Deliver(inbox)
+		out = nd.deliver(inbox)
 	}
 	return out
+}
+
+// deliver routes one round's inbox through the flooder: the delta
+// matched-arrival path when delta replay is wired, the plain dynamic rules
+// otherwise. Both produce byte-identical outcomes; delta only changes how
+// much per-message work the untainted majority costs.
+func (nd *PhaseNode) deliver(inbox []sim.Delivery) []sim.Outgoing {
+	if nd.delta != nil {
+		return nd.flooder.DeliverDelta(nd.delta, nd.roundInPhase, inbox)
+	}
+	return nd.flooder.Deliver(inbox)
 }
 
 // replayStep runs one round of the plan-replay path: at phase start it

@@ -5,6 +5,7 @@ import (
 
 	"lbcast/internal/flood"
 	"lbcast/internal/graph"
+	"lbcast/internal/sim"
 )
 
 // This file holds the shared state of a replayed execution. A compiled
@@ -41,9 +42,19 @@ type ReplayShared struct {
 }
 
 // NewReplayShared returns the shared replay state for one run over the
-// given plan.
+// given plan. For a masked plan the silent origins' blackboard slots are
+// prefilled with the canonical default body: a crashed node never
+// publishes a phase body, but the default-message rule makes every honest
+// node act as if it had flooded the default value, and the compiled
+// schedule carries those synthesized receipts under the silent origin.
+// The slots are never overwritten (only honest nodes write, each to its
+// own slot), so the prefill survives pooled reuse.
 func NewReplayShared(plan *flood.Plan) *ReplayShared {
-	return &ReplayShared{plan: plan, bodies: make([]flood.Body, plan.Graph().N())}
+	rs := &ReplayShared{plan: plan, bodies: make([]flood.Body, plan.Graph().N())}
+	for u := range plan.Mask() {
+		rs.bodies[u] = flood.CanonValueBody(sim.DefaultValue)
+	}
+	return rs
 }
 
 // Plan returns the compiled plan the run replays.
@@ -61,9 +72,11 @@ func (rs *ReplayShared) Plan() *flood.Plan { return rs.plan }
 // own parts without reading the replayed lanes'.
 func (rs *ReplayShared) SetPhantom(on bool) { rs.phantom = on }
 
-// stepBCacheKey keys the run-crossing replay step-(b) cache in
-// Analysis.Memo.
-type stepBCacheKey struct{}
+// stepBCacheKey keys the run-crossing replay step-(b) caches in
+// Analysis.Memo, one per plan: PathIDs are arena-local, and every plan
+// (benign or masked) has its own arena, so a choice interned against one
+// plan's arena must never be served to nodes replaying another's.
+type stepBCacheKey struct{ plan *flood.Plan }
 
 // sharedStepBKey identifies one step-(b) choice across all nodes: origin,
 // choosing node, and the exclusion set (mask when exact, canonical string
@@ -86,9 +99,10 @@ type stepBCache struct {
 	m  map[sharedStepBKey]graph.PathID
 }
 
-// replayStepBCache returns the analysis's shared replay step-(b) cache.
-func replayStepBCache(topo *graph.Analysis) *stepBCache {
-	return topo.Memo(stepBCacheKey{}, func() any {
+// replayStepBCache returns the analysis's shared replay step-(b) cache for
+// the given plan's arena.
+func replayStepBCache(topo *graph.Analysis, plan *flood.Plan) *stepBCache {
+	return topo.Memo(stepBCacheKey{plan: plan}, func() any {
 		return &stepBCache{m: make(map[sharedStepBKey]graph.PathID)}
 	}).(*stepBCache)
 }
@@ -112,8 +126,12 @@ func (c *stepBCache) chosen(topo *graph.Analysis, arena *graph.PathArena, u, me 
 	}
 	pid = graph.NoPath
 	if puv := topo.ShortestPathExcluding(u, me, excl); puv != nil {
-		// The frozen plan arena holds every simple path of the graph (the
-		// compile flood traverses them all), so this is a pure lookup.
+		// The benign plan's frozen arena holds every simple path of the
+		// graph (the compile flood traverses them all), so this is a pure
+		// lookup. A masked plan's arena holds only the paths its crash
+		// world carries: a choice routed through a silent interior interns
+		// to NoPath, which reads as "nothing received" — exactly what the
+		// dynamic crash execution observes along that path.
 		pid = arena.Intern(puv)
 	}
 	c.mu.Lock()

@@ -219,7 +219,7 @@ func (nd *VectorPhaseNode) Reset(inputs []sim.Value) {
 func (nd *VectorPhaseNode) UseReplay(rs *ReplayShared) {
 	nd.replay = rs
 	nd.arena = rs.plan.Arena()
-	nd.sharedStepB = replayStepBCache(nd.topo)
+	nd.sharedStepB = replayStepBCache(nd.topo, rs.plan)
 	nd.replayBuf = make([]sim.Outgoing, 0, rs.plan.MaxRoundReceipts(nd.me))
 }
 

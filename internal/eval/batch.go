@@ -3,8 +3,6 @@ package eval
 import (
 	"context"
 	"fmt"
-	"slices"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -192,33 +190,22 @@ func newBatchSessionShared(spec BatchSpec, topo *graph.Analysis) (*BatchSession,
 }
 
 // byzPattern renders the batch's Byzantine placement — which vertices each
-// instance overrides — as a canonical string. Two batches with equal
-// patterns (and equal shared parameters) build structurally identical run
-// state: the same lane grouping, the same replay wiring, the same
-// adversary slots; only inputs, adversary node values, and the observer
-// differ, all of which a recycled run's reset pass re-applies. The pattern
-// is therefore the batch-specific part of the run-pool key.
+// instance overrides, and each fault's replay kind ('c' crash-from-start,
+// 'd' value-faulty; see appendByzKindPattern) — as a canonical string. Two
+// batches with equal patterns (and equal shared parameters) build
+// structurally identical run state: the same lane grouping, the same
+// replay wiring (the kind decides masked vs delta wiring for a faulty
+// instance's honest nodes), the same adversary slots; only inputs,
+// adversary node values, and the observer differ, all of which a recycled
+// run's reset pass re-applies. The pattern is therefore the
+// batch-specific part of the run-pool key.
 func byzPattern(instances []BatchInstance) string {
 	var sb strings.Builder
-	buf := make([]int, 0, 8)
 	for i, inst := range instances {
 		if i > 0 {
 			sb.WriteByte(';')
 		}
-		if len(inst.Byzantine) == 0 {
-			continue
-		}
-		buf = buf[:0]
-		for u := range inst.Byzantine {
-			buf = append(buf, int(u))
-		}
-		slices.Sort(buf)
-		for j, v := range buf {
-			if j > 0 {
-				sb.WriteByte(',')
-			}
-			sb.WriteString(strconv.Itoa(v))
-		}
+		appendByzKindPattern(&sb, inst.Byzantine)
 	}
 	return sb.String()
 }
@@ -345,6 +332,7 @@ type batchLoopState struct {
 	groups          int
 	vecRS           *core.ReplayShared
 	scalarRS        []*core.ReplayShared
+	scalarDP        []*flood.DeltaPlan
 	honest          []graph.Set
 	honestInputs    []map[graph.NodeID]sim.Value
 	batchNodes      []*sim.BatchNode
@@ -372,9 +360,19 @@ func (st *batchLoopState) reset(s *BatchSession) error {
 	if st.vecRS != nil {
 		st.vecRS.SetPhantom(phantom)
 	}
-	for _, rs := range st.scalarRS {
-		if rs != nil {
-			rs.SetPhantom(phantom)
+	for i, inst := range s.spec.Instances {
+		if st.inVector[i] {
+			continue
+		}
+		if rs := st.scalarRS[st.groupOf[i]]; rs != nil {
+			ph := phantom
+			if len(inst.Byzantine) > 0 {
+				// A masked group may only phantom while every fault in it
+				// still promises to ignore its inbox — the pool key pins
+				// the crash-from-start kind, not the ignore promise.
+				ph = ph && allInboxIgnorers(inst.Byzantine)
+			}
+			rs.SetPhantom(ph)
 		}
 	}
 	clear(st.rounds)
@@ -459,39 +457,47 @@ func newBatchLoopState(s *BatchSession) (*batchLoopState, error) {
 	}
 
 	// Compiled-plan replay, per group: the vector group and every benign
-	// scalar instance flood fault-free (a benign instance has no Byzantine
-	// override at any vertex, and other groups' traffic is demultiplexed
-	// away), so they replay the shared plan; instances with faults stay
-	// dynamic, and their honest nodes at least seed their receipt stores
-	// from the plan's exact per-node counts. Each replaying group gets its
-	// own body blackboard, shared across the vertices of the group.
+	// scalar instance replay the shared benign plan; crash-from-start
+	// placements replay a masked plan compiled for their silent set; every
+	// other faulty placement replays the benign plan's untainted delta
+	// fragment and floods only the tainted remainder dynamically. Each
+	// wholesale-replaying group gets its own body blackboard, shared
+	// across the vertices of the group.
 	var plan *flood.Plan
 	var vecRS *core.ReplayShared
 	scalarRS := make([]*core.ReplayShared, groups)
+	scalarDP := make([]*flood.DeltaPlan, groups)
 	if vectorizable && !s.spec.DisableReplay {
-		needPlan := vectorLanes != nil
-		for i, inst := range s.spec.Instances {
-			if !inVector[i] && len(inst.Byzantine) == 0 {
-				needPlan = true
-			}
-		}
-		if needPlan {
-			// Observer-free runs flood phantom payloads: every consumer of
-			// a replaying group's transmissions is in that group and
-			// replays too (demultiplexing isolates groups by instance
-			// index), so nothing ever reads the materialized messages.
-			phantom := s.spec.Observer == nil
+		// Observer-free runs flood phantom payloads where sound: every
+		// consumer of the group's transmissions either replays too
+		// (demultiplexing isolates groups by instance index) or promises
+		// to ignore its inbox. Delta groups never phantom — their honest
+		// nodes genuinely read inboxes.
+		phantom := s.spec.Observer == nil
+		if vectorLanes != nil {
 			plan = flood.PlanFor(s.topo)
-			if vectorLanes != nil {
-				vecRS = core.NewReplayShared(plan)
-				vecRS.SetPhantom(phantom)
+			vecRS = core.NewReplayShared(plan)
+			vecRS.SetPhantom(phantom)
+		}
+		for i, inst := range s.spec.Instances {
+			if inVector[i] {
+				continue
 			}
-			for i, inst := range s.spec.Instances {
-				if !inVector[i] && len(inst.Byzantine) == 0 {
-					rs := core.NewReplayShared(plan)
-					rs.SetPhantom(phantom)
-					scalarRS[groupOf[i]] = rs
+			grp := groupOf[i]
+			switch {
+			case len(inst.Byzantine) == 0:
+				if plan == nil {
+					plan = flood.PlanFor(s.topo)
 				}
+				rs := core.NewReplayShared(plan)
+				rs.SetPhantom(phantom)
+				scalarRS[grp] = rs
+			case allCrashedFromStart(inst.Byzantine):
+				rs := core.NewReplayShared(flood.MaskedPlanFor(s.topo, byzSet(inst.Byzantine)))
+				rs.SetPhantom(phantom && allInboxIgnorers(inst.Byzantine))
+				scalarRS[grp] = rs
+			default:
+				scalarDP[grp] = flood.DeltaPlanFor(s.topo, byzSet(inst.Byzantine))
 			}
 		}
 	}
@@ -504,6 +510,7 @@ func newBatchLoopState(s *BatchSession) (*batchLoopState, error) {
 		groups:       groups,
 		vecRS:        vecRS,
 		scalarRS:     scalarRS,
+		scalarDP:     scalarDP,
 		honest:       make([]graph.Set, b),
 		honestInputs: make([]map[graph.NodeID]sim.Value, b),
 		batchNodes:   make([]*sim.BatchNode, n),
@@ -566,6 +573,8 @@ func newBatchLoopState(s *BatchSession) (*batchLoopState, error) {
 			if pn, ok := nd.(*core.PhaseNode); ok {
 				if rs := scalarRS[groupOf[i]]; rs != nil {
 					pn.UseReplay(rs)
+				} else if dp := scalarDP[groupOf[i]]; dp != nil {
+					pn.UseDeltaReplay(dp)
 				} else if plan != nil {
 					pn.SetReceiptHint(plan.NodeReceipts(u))
 				}

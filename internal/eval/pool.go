@@ -2,6 +2,9 @@ package eval
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -27,13 +30,16 @@ import (
 // contract of every pooled component restores exactly the state a fresh
 // construction would have (enforced byte-for-byte by the golden and
 // replay-parity twice-through-pool suites). Sessions pool when they
-// qualify for compiled-plan replay; batches pool for the phase-based
-// algorithms with any Byzantine placement, each placement keying its own
-// pool — the honest state is closed under reset, and the caller-owned
+// qualify for any replay mode (benign, masked, or delta — see replayMode);
+// batches pool for the phase-based algorithms with any Byzantine
+// placement. Each placement keys its own pool by canonical pattern WITH
+// its replay kind: recycled run state must never cross fault shapes, since
+// distinct crash masks replay distinct plans (distinct arenas, blackboard
+// prefills, and step-(b) caches) and a crash pattern wired for masked
+// replay has different honest wiring than the same vertices wired for
+// delta. The honest state is closed under reset, and the caller-owned
 // adversary nodes are never pooled: every recycled run re-plugs the
-// current spec's overrides into their slots. Byzantine single sessions
-// build fresh (their honest node set varies with the placement and the
-// session path has no slot bookkeeping).
+// current spec's overrides into their slots.
 
 // runShape keys a pool: every spec field that influences the constructed
 // run state. Two specs with equal shapes differ only in inputs, observer,
@@ -48,9 +54,11 @@ type runShape struct {
 	rounds     int
 	fullBudget bool
 	sequential bool
-	// pattern is the canonical Byzantine placement of a batch (see
-	// byzPattern); empty for sessions. Distinct placements build distinct
-	// lane groupings and adversary slots, so each keys its own pool.
+	// pattern is the canonical kind-marked Byzantine placement — per
+	// instance for a batch (see byzPattern), for the single execution of a
+	// session (see byzKindPattern); empty for all-benign sessions.
+	// Distinct placements build distinct lane groupings, adversary slots,
+	// and replay wiring, so each keys its own pool.
 	pattern string
 }
 
@@ -97,7 +105,10 @@ func ReadPoolStats() (hits, misses uint64) {
 	return poolHits.Load(), poolMisses.Load()
 }
 
-// sessionShape derives the pool key of a replayable session spec.
+// sessionShape derives the pool key of a replay-qualified session spec.
+// The pattern field carries the kind-marked fault placement, so a crash
+// mask, the same vertices value-faulty, and the benign world can never
+// share recycled state.
 func sessionShape(spec Spec) runShape {
 	return runShape{
 		kind:       's',
@@ -109,42 +120,126 @@ func sessionShape(spec Spec) runShape {
 		rounds:     spec.Rounds,
 		fullBudget: spec.FullBudget,
 		sequential: spec.Sequential,
+		pattern:    byzKindPattern(spec.Byzantine),
 	}
 }
 
-// sessionRun is the pooled state of one replayable session execution: the
-// nodes, engine, and replay blackboard of a complete run, reusable after
-// reset. The engine is never Closed while pooled — its worker pool stays
-// warm; if the sync.Pool drops the run under GC pressure, the engine's
-// cleanup closes the pool.
+// appendByzKindPattern renders one execution's Byzantine placement
+// canonically into sb, with a replay-kind marker per vertex: 'c' for
+// crash-from-start faults (the shape masked plans compile) and 'd' for
+// everything value-faulty (the shape delta replay covers). The marker is
+// part of every pool key: two placements on the same vertices but of
+// different kinds wire honest nodes differently and must never share
+// recycled run state.
+func appendByzKindPattern(sb *strings.Builder, byz map[graph.NodeID]sim.Node) {
+	vs := make([]int, 0, len(byz))
+	for u := range byz {
+		vs = append(vs, int(u))
+	}
+	sort.Ints(vs)
+	for i, u := range vs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		kind := byte('d')
+		if c, ok := byz[graph.NodeID(u)].(crashedFromStart); ok && c.CrashedFromStart() {
+			kind = 'c'
+		}
+		sb.WriteByte(kind)
+		sb.WriteString(strconv.Itoa(u))
+	}
+}
+
+// byzKindPattern is appendByzKindPattern for a single execution ("" when
+// benign).
+func byzKindPattern(byz map[graph.NodeID]sim.Node) string {
+	if len(byz) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	appendByzKindPattern(&sb, byz)
+	return sb.String()
+}
+
+// sessionRun is the pooled state of one replay-qualified session
+// execution: the nodes, engine, and replay wiring of a complete run,
+// reusable after reset. Byzantine slots hold the caller's adversary nodes
+// and are re-plugged from the current spec on every reset (the pool key
+// pins their vertices and kinds, never their values). The engine is never
+// Closed while pooled — its worker pool stays warm; if the sync.Pool drops
+// the run under GC pressure, the engine's cleanup closes the pool.
 type sessionRun struct {
-	nodes        []sim.Node
-	pnodes       []*core.PhaseNode
-	eng          *sim.Engine
+	mode  replayMode
+	nodes []sim.Node
+	// pnodes[u] is the honest phase node at vertex u, nil at Byzantine
+	// slots.
+	pnodes []*core.PhaseNode
+	// byz lists the Byzantine vertices, re-plugged per run.
+	byz []graph.NodeID
+	eng *sim.Engine
+	// rs is the shared replay blackboard of full and masked runs; nil for
+	// delta runs, whose honest nodes flood dynamically.
 	rs           *core.ReplayShared
 	honest       graph.Set
 	honestInputs map[graph.NodeID]sim.Value
 }
 
-// newSessionRun builds the run state the way Session.Run always has; the
-// spec must be replayable.
-func newSessionRun(topo *graph.Analysis, spec Spec) (*sessionRun, error) {
+// sessionPhantomOK decides the phantom-transmission toggle of a pooled
+// session run: never with an observer attached (observers retain and
+// render payloads), and in a masked run only when every fault promises to
+// ignore its inbox — the faults are the only non-replaying consumers of a
+// masked run's transmissions. Delta runs never phantom (their honest
+// nodes genuinely read inboxes).
+func sessionPhantomOK(mode replayMode, spec Spec) bool {
+	if spec.Observer != nil {
+		return false
+	}
+	if mode == replayMasked {
+		return allInboxIgnorers(spec.Byzantine)
+	}
+	return mode == replayFull
+}
+
+// newSessionRun builds the run state the way Session.Run always has,
+// wiring the mode's replay strategy into the honest nodes: the benign or
+// masked plan's blackboard for wholesale replay, the delta fragment for
+// partial replay.
+func newSessionRun(topo *graph.Analysis, spec Spec, mode replayMode) (*sessionRun, error) {
 	g := spec.G
-	rs := core.NewReplayShared(flood.PlanFor(topo))
-	rs.SetPhantom(spec.Observer == nil)
 	run := &sessionRun{
+		mode:         mode,
 		nodes:        make([]sim.Node, g.N()),
 		pnodes:       make([]*core.PhaseNode, g.N()),
-		rs:           rs,
 		honest:       graph.NewSet(),
 		honestInputs: make(map[graph.NodeID]sim.Value, g.N()),
 	}
+	var dp *flood.DeltaPlan
+	switch mode {
+	case replayMasked:
+		run.rs = core.NewReplayShared(flood.MaskedPlanFor(topo, byzSet(spec.Byzantine)))
+	case replayDelta:
+		dp = flood.DeltaPlanFor(topo, byzSet(spec.Byzantine))
+	default:
+		run.rs = core.NewReplayShared(flood.PlanFor(topo))
+	}
+	if run.rs != nil {
+		run.rs.SetPhantom(sessionPhantomOK(mode, spec))
+	}
 	for _, u := range g.Nodes() {
+		if b, ok := spec.Byzantine[u]; ok {
+			run.nodes[u] = b
+			run.byz = append(run.byz, u)
+			continue
+		}
 		in := spec.Inputs[u]
-		// Replayable specs are Algo1/Algo3 with no Byzantine overrides, so
-		// every node is an honest PhaseNode.
+		// Replay-qualified specs are Algo1/Algo3, so every honest node is
+		// a PhaseNode.
 		pn := spec.NewHonestNode(topo, nil, u, in).(*core.PhaseNode)
-		pn.UseReplay(rs)
+		if run.rs != nil {
+			pn.UseReplay(run.rs)
+		} else {
+			pn.UseDeltaReplay(dp)
+		}
 		run.nodes[u] = pn
 		run.pnodes[u] = pn
 		run.honest.Add(u)
@@ -165,18 +260,32 @@ func newSessionRun(topo *graph.Analysis, spec Spec) (*sessionRun, error) {
 }
 
 // reset re-arms a recycled run for spec: engine counters, inboxes, and
-// observer; the phantom toggle; every node's protocol state and input.
+// observer; the phantom toggle; every honest node's protocol state and
+// input; and the current spec's adversaries into the Byzantine slots.
 // Only the fields outside the shape may differ from the run the state was
-// built for.
-func (r *sessionRun) reset(spec Spec) {
+// built for — the kind-marked pattern in the key guarantees the Byzantine
+// vertices and replay wiring match.
+func (r *sessionRun) reset(spec Spec) error {
 	r.eng.Reset(spec.Observer)
-	r.rs.SetPhantom(spec.Observer == nil)
+	if r.rs != nil {
+		r.rs.SetPhantom(sessionPhantomOK(r.mode, spec))
+	}
 	clear(r.honestInputs)
 	for u, pn := range r.pnodes {
+		if pn == nil {
+			continue
+		}
 		in := spec.Inputs[graph.NodeID(u)]
 		pn.Reset(in)
 		r.honestInputs[graph.NodeID(u)] = in
 	}
+	for _, u := range r.byz {
+		if err := r.eng.SetNode(u, spec.Byzantine[u]); err != nil {
+			return fmt.Errorf("eval: pooled run re-plug: %w", err)
+		}
+		r.nodes[u] = spec.Byzantine[u]
+	}
+	return nil
 }
 
 // batchShape derives the pool key of a poolable batch spec from its shared

@@ -273,19 +273,91 @@ func newSessionShared(spec Spec, topo *graph.Analysis) (*Session, error) {
 	return &Session{spec: spec, topo: topo}, nil
 }
 
-// replayable reports whether the spec's executions qualify for
-// compiled-plan replay: a phase-based algorithm with no Byzantine
-// overrides anywhere, so every step-(a) flood is fault-free — every node
-// initiates and every relay forwards correctly — and the compiled
-// all-benign schedule reproduces the dynamic execution exactly. Any
-// Byzantine override (silent, tamper, equivocate, forge) falls the whole
-// run back to the dynamic path: a faulty node touches every slot's
-// propagation, since flooding traverses all simple paths.
-func (s Spec) replayable() bool {
-	if s.DisableReplay || len(s.Byzantine) != 0 {
-		return false
+// replayMode classifies how an execution engages the compiled propagation
+// plans (see internal/flood plan.go and faultplan.go).
+type replayMode int
+
+const (
+	// replayOff runs the dynamic message-by-message path, unpooled:
+	// replay was disabled explicitly, or the algorithm has no compiled
+	// plans (Algo2's report flooding is value-dependent).
+	replayOff replayMode = iota
+	// replayFull replays the benign all-relays-correct plan wholesale —
+	// no Byzantine overrides anywhere.
+	replayFull
+	// replayMasked replays a per-mask crash plan wholesale: every
+	// Byzantine override is crash-from-start, so the fault pattern is
+	// value-blind and the whole faulty execution is compiled.
+	replayMasked
+	// replayDelta keeps honest nodes dynamic but bulk-installs the slots
+	// no faulty relay can reach from the benign plan's delta fragment:
+	// tamper/equivocation worlds, and crash mixes that are not silent from
+	// round zero.
+	replayDelta
+)
+
+// crashedFromStart is the optional adversary capability that admits an
+// execution to masked-plan replay: a node reporting true promises to
+// transmit nothing for the whole run, starting at round zero — exactly the
+// fault shape CompileMaskedPlan compiles. adversary.SilentNode implements
+// it.
+type crashedFromStart interface{ CrashedFromStart() bool }
+
+// allCrashedFromStart reports whether every override promises crash-from-
+// start behavior. False for an empty map only by convention of the caller
+// (replayMode checks the benign case first).
+func allCrashedFromStart(byz map[graph.NodeID]sim.Node) bool {
+	for _, nd := range byz {
+		c, ok := nd.(crashedFromStart)
+		if !ok || !c.CrashedFromStart() {
+			return false
+		}
 	}
-	return s.Algorithm == Algo1 || s.Algorithm == Algo3
+	return true
+}
+
+// allInboxIgnorers reports whether every override promises to never read
+// its inbox (sim.InboxIgnorer) — the condition for phantom transmissions
+// in a masked run, where the only non-replaying consumers are the faults
+// themselves.
+func allInboxIgnorers(byz map[graph.NodeID]sim.Node) bool {
+	for _, nd := range byz {
+		ig, ok := nd.(sim.InboxIgnorer)
+		if !ok || !ig.IgnoresInbox() {
+			return false
+		}
+	}
+	return true
+}
+
+// byzSet returns the Byzantine vertex set of a spec.
+func byzSet(byz map[graph.NodeID]sim.Node) graph.Set {
+	s := graph.NewSet()
+	for u := range byz {
+		s.Add(u)
+	}
+	return s
+}
+
+// replayMode classifies the spec's executions: a phase-based algorithm
+// with no overrides replays the benign plan wholesale; all-crash fault
+// patterns replay a masked plan (the pattern is value-blind, so the whole
+// faulty execution compiles); any value-faulty override (tamper,
+// equivocate, forge, mid-run crash) switches honest nodes to delta replay
+// — dynamic rules for tainted slots, bulk plan install for the rest. All
+// three replaying modes are byte-identical to the forced-dynamic path and
+// run on pooled recycled state.
+func (s Spec) replayMode() replayMode {
+	if s.DisableReplay || (s.Algorithm != Algo1 && s.Algorithm != Algo3) {
+		return replayOff
+	}
+	if len(s.Byzantine) == 0 {
+		return replayFull
+	}
+	if allCrashedFromStart(s.Byzantine) {
+		return replayMasked
+	}
+	return replayDelta
 }
 
 // Spec returns the session's normalized spec.
@@ -299,10 +371,11 @@ func (s *Session) Spec() Spec { return s.spec }
 // couple of phases. The context is checked between rounds; cancellation
 // aborts the run mid-execution and returns ctx's error.
 func (s *Session) Run(ctx context.Context) (Outcome, error) {
-	// Fault-free phase-based executions run on pooled recycled state (and
-	// replay the compiled propagation plan); see pool.go.
-	if s.spec.replayable() {
-		return s.runPooled(ctx)
+	// Phase-based executions run on pooled recycled state and replay a
+	// compiled propagation plan — wholesale (benign or masked) or as a
+	// delta around the faulty slots; see pool.go and replayMode.
+	if mode := s.spec.replayMode(); mode != replayOff {
+		return s.runPooled(ctx, mode)
 	}
 	spec := s.spec
 	g := spec.G
@@ -352,24 +425,28 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 	return out, nil
 }
 
-// runPooled executes a replayable spec on recycled run state drawn from
-// the analysis's run pool (see pool.go): a hit resets a previously-built
-// run in place, a miss builds one exactly as the unpooled path would. The
-// run is returned to the pool only after completing normally — a
-// cancellation mid-execution abandons the state rather than recycling a
-// half-stepped run.
-func (s *Session) runPooled(ctx context.Context) (Outcome, error) {
+// runPooled executes a replay-qualified spec on recycled run state drawn
+// from the analysis's run pool (see pool.go): a hit resets a
+// previously-built run in place, a miss builds one exactly as the unpooled
+// path would. The pool key includes the fault pattern with its replay
+// kind, so recycled state never crosses fault shapes. The run is returned
+// to the pool only after completing normally — a cancellation
+// mid-execution abandons the state rather than recycling a half-stepped
+// run.
+func (s *Session) runPooled(ctx context.Context, mode replayMode) (Outcome, error) {
 	spec := s.spec
 	pl := poolsFor(s.topo).pool(sessionShape(spec))
 	var run *sessionRun
 	if v := pl.Get(); v != nil {
 		poolHits.Add(1)
 		run = v.(*sessionRun)
-		run.reset(spec)
+		if err := run.reset(spec); err != nil {
+			return Outcome{}, err
+		}
 	} else {
 		poolMisses.Add(1)
 		var err error
-		run, err = newSessionRun(s.topo, spec)
+		run, err = newSessionRun(s.topo, spec, mode)
 		if err != nil {
 			return Outcome{}, err
 		}

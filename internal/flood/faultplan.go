@@ -1,0 +1,345 @@
+package flood
+
+import (
+	"container/list"
+	"sync"
+
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// This file extends compile-once propagation plans (plan.go, DESIGN.md §10)
+// to faulty worlds, in two shapes:
+//
+//   - Masked plans: crash/silent fault patterns are value-blind, exactly
+//     like the benign flood — which receipts exist and when they arrive
+//     depends only on WHICH nodes relay, never on the values carried. A
+//     masked plan is therefore a full Plan compiled with the silent nodes
+//     absent: they never initiate, never relay, and their neighbors
+//     synthesize the default body for them in round 1, exactly as the
+//     dynamic step-(a) rule does. Honest nodes replay it wholesale.
+//
+//   - Delta plans: tamper/equivocation faults ARE value-dependent, so a
+//     full replay is impossible — but only the slots a faulty relay can
+//     reach are. A delta plan partitions the benign schedule by taint
+//     (does the receipt's provenance path touch a faulty node?) and keeps
+//     the untainted majority on the bulk fast path: matched arrivals are
+//     installed and forwarded straight from the benign plan's compiled
+//     records, while anything tainted falls through, message by message,
+//     to the unmodified dynamic rules (i)–(iv).
+//
+// Byte identity survives both: masked compilation IS the dynamic crash
+// execution run symbolically (same flooder, same canonical delivery order,
+// same synthesize-after-deliver ordering), and the delta fast path fires
+// only when a delivery provably matches the next untainted compiled record
+// (same sender, same canonical body, same interned path), installing
+// exactly the state and emitting exactly the forward the dynamic rules
+// would. See DESIGN.md §13 for the full argument.
+
+// maskedPlanKey anchors the per-analysis LRU of masked plans in the
+// Analysis memo.
+type maskedPlanKey struct{}
+
+// deltaPlanKey anchors the per-analysis LRU of delta plans in the
+// Analysis memo.
+type deltaPlanKey struct{}
+
+// planCacheCap bounds each per-analysis fault-plan LRU. Fault patterns in
+// Monte Carlo streams are heavy-tailed — a few masks recur constantly —
+// so a small LRU captures nearly all replay value with bounded memory.
+const planCacheCap = 64
+
+// planLRU is a mutex-guarded bounded LRU keyed by the canonical fault-set
+// string. Compilation happens under the lock: compiles are rare (once per
+// observed fault shape) and racing duplicate compiles would double-count
+// the compile counters that CI asserts on.
+type planLRU struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type planLRUEntry struct {
+	key string
+	val any
+}
+
+func newPlanLRU(capacity int) *planLRU {
+	return &planLRU{cap: capacity, items: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the cached value for key, building and inserting it (and
+// evicting the least recently used entry beyond capacity) on a miss.
+func (c *planLRU) get(key string, build func() any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*planLRUEntry).val
+	}
+	v := build()
+	c.items[key] = c.order.PushFront(&planLRUEntry{key: key, val: v})
+	if c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.items, el.Value.(*planLRUEntry).key)
+	}
+	return v
+}
+
+// Mask returns the set of silent nodes this plan was compiled against, or
+// nil for the benign all-relays-correct plan.
+func (p *Plan) Mask() graph.Set { return p.mask }
+
+// CompileMaskedPlan builds the propagation plan of graph g under a
+// crash/silent fault mask: the nodes in silent never start, never deliver,
+// and never forward, and every honest node applies the round-1
+// default-message rule for its non-initiating neighbors — the masked
+// compilation is the dynamic crash-world execution run symbolically, so
+// the schedule records exactly the acceptance set, order, and forwards of
+// a dynamic session with those nodes crashed from the start. Use
+// MaskedPlanFor to memoize per analysis and mask.
+func CompileMaskedPlan(g *graph.Graph, silent graph.Set) *Plan {
+	n := g.N()
+	arena := graph.NewPathArena(g)
+	ident := NewIdent()
+	p := &Plan{g: g, arena: arena, rounds: Rounds(n), sched: make([]planSchedule, n), mask: silent.Clone()}
+	for v := range p.sched {
+		p.sched[v].roundOff = make([]int32, p.rounds+1)
+	}
+
+	flooders := make([]*Flooder, n)
+	for u := 0; u < n; u++ {
+		if !silent.Contains(graph.NodeID(u)) {
+			flooders[u] = NewWithState(g, graph.NodeID(u), arena, ident)
+		}
+	}
+	record := func(v, r int) {
+		s := &p.sched[v]
+		all := flooders[v].Store().All()
+		for _, rec := range all[len(s.pids):] {
+			s.pids = append(s.pids, rec.PathID)
+			s.parents = append(s.parents, arena.Parent(rec.PathID))
+			s.origins = append(s.origins, rec.Origin)
+		}
+		s.roundOff[r+1] = int32(len(s.pids))
+	}
+
+	body := ValueBody{Value: sim.DefaultValue}
+	defaultBody := func(graph.NodeID) Body { return CanonValueBody(sim.DefaultValue) }
+	outs := make([][]sim.Outgoing, n)
+	for u := 0; u < n; u++ {
+		if flooders[u] == nil {
+			continue
+		}
+		outs[u] = flooders[u].Start(body)
+		record(u, 0)
+	}
+	inboxes := make([][]sim.Delivery, n)
+	for r := 1; r < p.rounds; r++ {
+		for v := range inboxes {
+			inboxes[v] = inboxes[v][:0]
+		}
+		for u := 0; u < n; u++ {
+			for _, out := range outs[u] {
+				for _, w := range g.AdjList(graph.NodeID(u)) {
+					inboxes[w] = append(inboxes[w], sim.Delivery{From: graph.NodeID(u), Payload: out.Payload})
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if flooders[v] == nil {
+				continue
+			}
+			outs[v] = flooders[v].Deliver(inboxes[v])
+			if r == 1 {
+				// The default-message rule, after the first Deliver round
+				// and in the same order the dynamic step applies it:
+				// synthesized acceptances for silent neighbors record
+				// after the round's delivered ones.
+				outs[v] = flooders[v].AppendMissing(outs[v], defaultBody)
+			}
+			record(v, r)
+		}
+	}
+	arena.Freeze()
+	p.tmpl = make([]*ReceiptStore, n)
+	for v := 0; v < n; v++ {
+		if flooders[v] != nil {
+			p.tmpl[v] = flooders[v].Store()
+		}
+	}
+	for v := range p.sched {
+		s := &p.sched[v]
+		for val := 0; val < 2; val++ {
+			s.payload[val] = make([]sim.Payload, len(s.parents))
+			b := CanonValueBody(sim.Value(val))
+			for i, parent := range s.parents {
+				s.payload[val][i] = Msg{Body: b, Pi: arena.Path(parent)}
+			}
+		}
+	}
+	planMaskedCompiles.Add(1)
+	return p
+}
+
+// MaskedPlanFor returns the graph's compiled propagation plan under the
+// given crash/silent mask, memoized per analysis in a bounded LRU over
+// canonical mask renderings (benign plans stay on PlanFor's unbounded
+// single-slot memo).
+func MaskedPlanFor(a *graph.Analysis, silent graph.Set) *Plan {
+	cache := a.Memo(maskedPlanKey{}, func() any { return newPlanLRU(planCacheCap) }).(*planLRU)
+	return cache.get(silent.String(), func() any { return CompileMaskedPlan(a.Graph(), silent) }).(*Plan)
+}
+
+// DeltaPlan is the untainted fragment of a benign Plan under a set of
+// value-faulty nodes: the subsequence of every node's compiled receipt
+// schedule whose provenance paths avoid the faulty set entirely. Honest
+// nodes in a tamper/equivocation world run their full dynamic flooder but
+// route each arriving delivery through a matched-arrival cursor over this
+// fragment — a delivery that provably matches the next untainted compiled
+// record is installed and forwarded straight from the benign plan
+// (bulk-install semantics, pre-boxed outbox), while everything else falls
+// through to the unmodified dynamic rules. A DeltaPlan is immutable and
+// safe for concurrent use.
+type DeltaPlan struct {
+	base   *Plan
+	faulty graph.Set
+	sched  []deltaSchedule // per receiving node
+}
+
+// deltaSchedule is one node's untainted receipt subsequence. All slices
+// are indexed by delta entry; idx maps back into the base plan's schedule.
+type deltaSchedule struct {
+	// idx[i] is the base-schedule index of untainted entry i.
+	idx []int32
+	// from[i] is the direct sender that delivers entry i (the last node of
+	// the base parent path).
+	from []graph.NodeID
+	// pi[i] is the interned wire path Π of entry i — the base parent path
+	// without its last node (graph.NoPath for initiations).
+	pi []graph.PathID
+	// roundOff[r] .. roundOff[r+1] bound the entries expected in session
+	// round r; round 0 (the node's own Start) is always empty — delta
+	// nodes run Start dynamically.
+	roundOff []int32
+}
+
+// CompileDelta builds the untainted fragment of base under the given
+// faulty set. Taint is decided by the arena's node-membership mask, which
+// aliases node ids mod 64: on graphs beyond 64 nodes a false positive can
+// spuriously demote an untainted entry to the dynamic path (hit-rate cost
+// only), but a false negative — a tainted entry kept on the fast path —
+// is impossible, since the faulty node's bit is set in both masks. Use
+// DeltaPlanFor to memoize per analysis and faulty set.
+func CompileDelta(base *Plan, faulty graph.Set) *DeltaPlan {
+	fm := graph.SetMask(faulty)
+	dp := &DeltaPlan{base: base, faulty: faulty.Clone(), sched: make([]deltaSchedule, len(base.sched))}
+	arena := base.arena
+	for v := range base.sched {
+		bs := &base.sched[v]
+		ds := &dp.sched[v]
+		ds.roundOff = make([]int32, len(bs.roundOff))
+		for r := 1; r+1 < len(bs.roundOff); r++ {
+			for i := bs.roundOff[r]; i < bs.roundOff[r+1]; i++ {
+				if arena.Mask(bs.pids[i])&fm != 0 {
+					continue
+				}
+				ds.idx = append(ds.idx, i)
+				ds.from = append(ds.from, arena.Last(bs.parents[i]))
+				ds.pi = append(ds.pi, arena.Parent(bs.parents[i]))
+			}
+			ds.roundOff[r+1] = int32(len(ds.idx))
+		}
+	}
+	return dp
+}
+
+// DeltaPlanFor returns the untainted delta of the graph's benign plan
+// under the given faulty set, memoized per analysis in a bounded LRU.
+// Deltas are always compiled against the analysis's benign plan, so the
+// faulty set alone keys the cache.
+func DeltaPlanFor(a *graph.Analysis, faulty graph.Set) *DeltaPlan {
+	base := PlanFor(a)
+	cache := a.Memo(deltaPlanKey{}, func() any { return newPlanLRU(planCacheCap) }).(*planLRU)
+	return cache.get(faulty.String(), func() any { return CompileDelta(base, faulty) }).(*DeltaPlan)
+}
+
+// Base returns the benign plan the delta was compiled against.
+func (dp *DeltaPlan) Base() *Plan { return dp.base }
+
+// Faulty returns the set of value-faulty nodes the delta excludes.
+func (dp *DeltaPlan) Faulty() graph.Set { return dp.faulty }
+
+// NodeEntries returns the number of untainted entries in node v's delta
+// schedule (diagnostic; the base plan's NodeReceipts bounds the store).
+func (dp *DeltaPlan) NodeEntries(v graph.NodeID) int { return len(dp.sched[v].idx) }
+
+// DeliverDelta is Deliver with the delta fast path: each delivery is first
+// checked against the cursor over this round's untainted compiled entries
+// — same direct sender, canonical value body, and the exact interned wire
+// path the compiler recorded — and on a match is installed and forwarded
+// straight from the base plan's records (rule-(ii) key insertion included,
+// so the flooder's state stays bit-identical to the dynamic machine's).
+// Everything else, and everything after a cursor desync, takes deliverOne
+// verbatim. The fast path can only fire on deliveries the dynamic rules
+// would accept: the compiled entry pins sender, body, and path, faulty
+// influence always taints the engine-trusted provenance (so a forgery can
+// never match an untainted entry), and honest senders emit each compiled
+// message exactly once in compiled order.
+func (f *Flooder) DeliverDelta(dp *DeltaPlan, r int, inbox []sim.Delivery) []sim.Outgoing {
+	bs := &dp.base.sched[f.me]
+	ds := &dp.sched[f.me]
+	var cur, end int32
+	if r >= 0 && r < len(ds.roundOff)-1 {
+		cur, end = ds.roundOff[r], ds.roundOff[r+1]
+	}
+	out := f.fwdBuf[:0]
+	for _, d := range inbox {
+		m, ok := d.Payload.(Msg)
+		if !ok {
+			continue
+		}
+		if cur < end && f.deltaMatch(ds, cur, d.From, m) {
+			idx := ds.idx[cur]
+			cur++
+			f.accepted[acceptKey(int32(f.ident.BodySlotID(m.Body)), bs.parents[idx])] = struct{}{}
+			if len(m.Pi) == 0 {
+				f.initiatedBy[d.From] = true
+			}
+			f.store.Add(Receipt{Origin: bs.origins[idx], PathID: bs.pids[idx], Body: m.Body})
+			vb := m.Body.(ValueBody)
+			out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: bs.payload[vb.Value][idx]})
+			continue
+		}
+		if fwd, accepted := f.deliverOne(d.From, m); accepted {
+			out = append(out, fwd)
+		}
+	}
+	f.fwdBuf = out
+	return out
+}
+
+// deltaMatch reports whether delivery (from, m) is exactly the next
+// untainted compiled entry: the engine-trusted sender, one of the two
+// canonical value-body boxes (anything else — including a forged
+// equal-valued body — takes the dynamic path), and the identical interned
+// wire path. A non-canonical path spelling falls through to deliverOne,
+// which accepts it dynamically; only exact matches may ride the bulk
+// install.
+func (f *Flooder) deltaMatch(ds *deltaSchedule, cur int32, from graph.NodeID, m Msg) bool {
+	if from != ds.from[cur] {
+		return false
+	}
+	if m.Body != canonValueBodies[0] && m.Body != canonValueBodies[1] {
+		return false
+	}
+	if len(m.Pi) == 0 {
+		return ds.pi[cur] == graph.NoPath
+	}
+	if ds.pi[cur] == graph.NoPath {
+		return false
+	}
+	return f.arena.InternCached(m.Pi) == ds.pi[cur]
+}

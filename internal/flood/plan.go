@@ -43,8 +43,13 @@ type Plan struct {
 	// tmpl[v] is node v's completed compile-time store: its byOrigin and
 	// byPath indexes describe every replayed phase's store verbatim
 	// (replay installs the same receipts in the same order, bodies aside),
-	// so per-phase stores are PlannedViews sharing them.
+	// so per-phase stores are PlannedViews sharing them. nil at masked
+	// (silent) vertices — no store is ever planned for a crashed node.
 	tmpl []*ReceiptStore
+	// mask is the set of silent nodes the plan was compiled against: nil
+	// for the benign all-relays-correct plan, non-empty for masked plans
+	// (see CompileMaskedPlan in faultplan.go).
+	mask graph.Set
 }
 
 // planSchedule is one node's receipt schedule in acceptance order.
@@ -154,8 +159,8 @@ func CompilePlan(g *graph.Graph) *Plan {
 
 // planKey keys compiled plans in the Analysis memo by relay mask: the
 // canonical rendering of the set of nodes assumed to relay correctly
-// ("" = every node, the only mask compiled today; per-mask plans for
-// recurring fault patterns slot in beside it).
+// ("" = every node; crash-fault masks live in the bounded LRU behind
+// MaskedPlanFor, see faultplan.go).
 type planKey struct{ relays string }
 
 // PlanFor returns the graph's compiled all-relays-correct propagation
@@ -257,34 +262,50 @@ func (p *Plan) ReplayRoundPhantom(v graph.NodeID, r int, bodies []Body, store *R
 // dynamic (fallback) flooding sessions, process-wide. lbcbench reports
 // per-workload deltas of these so a regression to 0% replay is visible.
 var (
-	planCompiles atomic.Int64
-	planReplay   atomic.Int64
-	planDynamic  atomic.Int64
+	planCompiles       atomic.Int64
+	planMaskedCompiles atomic.Int64
+	planReplay         atomic.Int64
+	planDeltaReplay    atomic.Int64
+	planDynamic        atomic.Int64
 )
 
 // PlanStats is a snapshot of the process-wide plan counters.
 type PlanStats struct {
-	// Compiles counts plan compilations (one per graph per analysis in
-	// the steady state).
+	// Compiles counts benign (all-relays-correct) plan compilations — one
+	// per graph per analysis in the steady state.
 	Compiles int64 `json:"compiles"`
-	// ReplaySessions counts per-node flooding sessions served by replay.
+	// MaskedCompiles counts crash-mask plan compilations — one per
+	// observed silent-fault shape per analysis, bounded by the LRU.
+	MaskedCompiles int64 `json:"masked_compiles"`
+	// ReplaySessions counts per-node flooding sessions served wholesale
+	// by replay (benign or masked plans).
 	ReplaySessions int64 `json:"replay_sessions"`
+	// DeltaReplaySessions counts per-node flooding sessions served by the
+	// delta fast path: untainted slots bulk-installed from the benign
+	// plan, tainted slots on the dynamic rules.
+	DeltaReplaySessions int64 `json:"delta_replay_sessions"`
 	// DynamicSessions counts per-node flooding sessions that ran the
-	// dynamic message-by-message path.
+	// dynamic message-by-message path end to end.
 	DynamicSessions int64 `json:"dynamic_sessions"`
 }
 
 // ReadPlanStats returns the current counter values.
 func ReadPlanStats() PlanStats {
 	return PlanStats{
-		Compiles:        planCompiles.Load(),
-		ReplaySessions:  planReplay.Load(),
-		DynamicSessions: planDynamic.Load(),
+		Compiles:            planCompiles.Load(),
+		MaskedCompiles:      planMaskedCompiles.Load(),
+		ReplaySessions:      planReplay.Load(),
+		DeltaReplaySessions: planDeltaReplay.Load(),
+		DynamicSessions:     planDynamic.Load(),
 	}
 }
 
 // NoteReplaySession records one replayed flooding session (a node-phase).
 func NoteReplaySession() { planReplay.Add(1) }
+
+// NoteDeltaReplaySession records one delta-replayed flooding session (a
+// node-phase whose untainted slots rode the fast path).
+func NoteDeltaReplaySession() { planDeltaReplay.Add(1) }
 
 // NoteDynamicSession records one dynamic flooding session (a node-phase).
 func NoteDynamicSession() { planDynamic.Add(1) }

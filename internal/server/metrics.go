@@ -206,22 +206,31 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, graphs int) {
 	}
 
 	// Process-wide propagation-plan statistics: the replay hit rate is
-	// the fraction of per-node flooding sessions served by compiled-plan
-	// replay — ~1 under benign steady-state traffic.
+	// the fraction of per-node flooding sessions served by any replay
+	// tier — wholesale (benign or masked crash-world plans) or delta
+	// (untainted fragments around value-faulty slots) — ~1 under steady
+	// traffic of any fault mix.
 	ps := flood.ReadPlanStats()
-	p("# HELP lbcastd_plan_compiles_total Propagation-plan compilations (process-wide).\n")
+	p("# HELP lbcastd_plan_compiles_total Benign propagation-plan compilations (process-wide).\n")
 	p("# TYPE lbcastd_plan_compiles_total counter\n")
 	p("lbcastd_plan_compiles_total %d\n", ps.Compiles)
-	p("# HELP lbcastd_plan_replay_sessions_total Per-node flooding sessions served by plan replay.\n")
+	p("# HELP lbcastd_plan_masked_compiles_total Masked crash-world plan compilations (process-wide).\n")
+	p("# TYPE lbcastd_plan_masked_compiles_total counter\n")
+	p("lbcastd_plan_masked_compiles_total %d\n", ps.MaskedCompiles)
+	p("# HELP lbcastd_plan_replay_sessions_total Per-node flooding sessions served by wholesale plan replay.\n")
 	p("# TYPE lbcastd_plan_replay_sessions_total counter\n")
 	p("lbcastd_plan_replay_sessions_total %d\n", ps.ReplaySessions)
-	p("# HELP lbcastd_plan_dynamic_sessions_total Per-node flooding sessions on the dynamic fallback.\n")
+	p("# HELP lbcastd_plan_delta_replay_sessions_total Per-node flooding sessions served by delta replay.\n")
+	p("# TYPE lbcastd_plan_delta_replay_sessions_total counter\n")
+	p("lbcastd_plan_delta_replay_sessions_total %d\n", ps.DeltaReplaySessions)
+	p("# HELP lbcastd_plan_dynamic_sessions_total Per-node flooding sessions on the fully dynamic path.\n")
 	p("# TYPE lbcastd_plan_dynamic_sessions_total counter\n")
 	p("lbcastd_plan_dynamic_sessions_total %d\n", ps.DynamicSessions)
-	if total := ps.ReplaySessions + ps.DynamicSessions; total > 0 {
-		p("# HELP lbcastd_replay_hit_rate Fraction of flooding sessions served by plan replay.\n")
+	served := ps.ReplaySessions + ps.DeltaReplaySessions
+	if total := served + ps.DynamicSessions; total > 0 {
+		p("# HELP lbcastd_replay_hit_rate Fraction of flooding sessions served by any replay tier.\n")
 		p("# TYPE lbcastd_replay_hit_rate gauge\n")
-		p("lbcastd_replay_hit_rate %.6f\n", float64(ps.ReplaySessions)/float64(total))
+		p("lbcastd_replay_hit_rate %.6f\n", float64(served)/float64(total))
 	}
 
 	// Run-pool statistics: a hit means a decision ran entirely on recycled

@@ -113,7 +113,7 @@ func outcomeBytes(t *testing.T, respBody []byte) []byte {
 
 // parityRequest builds the i-th request of the e2e mix: two topologies,
 // rotating fault strategies (every fourth request benign, so the group mixes
-// compiled-plan replay with the dynamic Byzantine fallback), varied inputs.
+// wholesale plan replay with masked and delta replay), varied inputs.
 func parityRequest(i int) DecideRequest {
 	req := DecideRequest{Graph: "figure1a", F: 1}
 	if i%2 == 1 {
@@ -186,14 +186,19 @@ func TestDecideParityConcurrentClients(t *testing.T) {
 		t.Fatalf("got %d replies, want %d", got, clients*perClient)
 	}
 
-	// The mix must have exercised both flooding paths: benign requests
-	// replay compiled plans, faulty ones fall back to dynamic flooding.
+	// The mix must have exercised every replay tier: benign requests
+	// replay the shared plan wholesale, crash faults replay masked plans
+	// (counted as replay sessions), and value faults replay the benign
+	// plan's untainted delta fragment.
 	after := flood.ReadPlanStats()
 	if after.ReplaySessions <= before.ReplaySessions {
 		t.Error("no compiled-plan replay sessions recorded for benign traffic")
 	}
-	if after.DynamicSessions <= before.DynamicSessions {
-		t.Error("no dynamic flooding sessions recorded for Byzantine traffic")
+	if after.MaskedCompiles <= before.MaskedCompiles {
+		t.Error("no masked plans compiled for crash-faulty traffic")
+	}
+	if after.DeltaReplaySessions <= before.DeltaReplaySessions {
+		t.Error("no delta replay sessions recorded for value-faulty traffic")
 	}
 
 	// The exposition must reconcile with the traffic just served.
@@ -214,6 +219,8 @@ func TestDecideParityConcurrentClients(t *testing.T) {
 		"lbcastd_graphs_cached 2",
 		`lbcastd_requests_total{client="client-00",result="accepted"} 2`,
 		`lbcastd_client_decisions_total{client="client-31"} 2`,
+		"lbcastd_plan_masked_compiles_total",
+		"lbcastd_plan_delta_replay_sessions_total",
 		"lbcastd_replay_hit_rate",
 		"lbcastd_run_pool_hits_total",
 		"lbcastd_run_pool_misses_total",

@@ -239,6 +239,8 @@ type Engine struct {
 	nextInboxes [][]Delivery
 	// outboxes is the reused per-round collection of node outputs.
 	outboxes [][]Outgoing
+	// ignoreBuf is the reused per-round InboxIgnorer flags (see step).
+	ignoreBuf []bool
 
 	pool *workerPool
 }
@@ -348,6 +350,24 @@ func (e *Engine) Reset(obs Observer) {
 	}
 }
 
+// SetNode replaces the node at vertex u for subsequent rounds. It is the
+// re-plug hook of pooled runs whose Byzantine placements vary by instance:
+// the pooled engine keeps its recycled honest nodes and swaps only the
+// adversary slots between runs. The replacement must report ID u.
+func (e *Engine) SetNode(u graph.NodeID, nd Node) error {
+	if int(u) < 0 || int(u) >= len(e.nodes) {
+		return fmt.Errorf("sim: SetNode vertex %d out of range", u)
+	}
+	if nd == nil {
+		return fmt.Errorf("sim: nil node at %d", u)
+	}
+	if nd.ID() != u {
+		return fmt.Errorf("sim: node for vertex %d reports id %d", u, nd.ID())
+	}
+	e.nodes[u] = nd
+	return nil
+}
+
 // clearDeliveries empties a delivery slice in place, dropping payload
 // references up to its full capacity.
 func clearDeliveries(s []Delivery) []Delivery {
@@ -431,11 +451,14 @@ func (e *Engine) step(round int) {
 	for i := range next {
 		next[i] = next[i][:0]
 	}
-	// When every node promises to ignore its inbox (InboxIgnorer — all
-	// arrivals come from a compiled plan), skip building Delivery records:
+	// Nodes that promise to ignore their inboxes (InboxIgnorer — all
+	// arrivals come from a compiled plan) get no Delivery records built:
 	// transmissions are still routed, counted, and observed identically,
-	// only the per-delivery fan-out below is elided.
-	skipDeliveries := e.allIgnoreInboxes()
+	// only the per-delivery fan-out below is elided — for every node when
+	// the whole run replays, per receiver when replaying and dynamic nodes
+	// share a round (a masked-plan run whose silent faults ignore their
+	// inboxes beside a delta run's dynamic flooders).
+	skipAll, ignore := e.inboxIgnorers()
 	// Ascending sender order + outbox order gives deterministic FIFO
 	// delivery.
 	for i := 0; i < n; i++ {
@@ -454,13 +477,16 @@ func (e *Engine) step(round int) {
 					Receivers: receivers,
 				})
 			}
-			if skipDeliveries {
+			if skipAll {
 				e.metrics.Deliveries += len(receivers)
 				continue
 			}
 			for _, rcv := range receivers {
-				next[rcv] = append(next[rcv], Delivery{From: sender, Payload: out.Payload})
 				e.metrics.Deliveries++
+				if ignore != nil && ignore[rcv] {
+					continue
+				}
+				next[rcv] = append(next[rcv], Delivery{From: sender, Payload: out.Payload})
 			}
 		}
 		outboxes[i] = nil
@@ -469,18 +495,33 @@ func (e *Engine) step(round int) {
 	e.metrics.Rounds++
 }
 
-// allIgnoreInboxes reports whether every node has promised to ignore its
-// future inboxes (see InboxIgnorer). Checked per round: the promise can
-// turn on mid-run (a batch retiring its last dynamic instance) but never
-// off.
-func (e *Engine) allIgnoreInboxes() bool {
-	for _, nd := range e.nodes {
-		ig, ok := nd.(InboxIgnorer)
-		if !ok || !ig.IgnoresInbox() {
-			return false
-		}
+// inboxIgnorers collects which nodes have promised to ignore their future
+// inboxes (see InboxIgnorer). It returns (true, nil) when every node has —
+// the fan-out loop then skips delivery building wholesale — and otherwise
+// (false, flags) where flags[u] marks the individual ignorers (nil when
+// there are none). Checked per round: the promise can turn on mid-run (a
+// batch retiring its last dynamic instance) but never off. The flag slice
+// is reused round over round.
+func (e *Engine) inboxIgnorers() (all bool, flags []bool) {
+	if e.ignoreBuf == nil {
+		e.ignoreBuf = make([]bool, len(e.nodes))
 	}
-	return true
+	all = true
+	any := false
+	for i, nd := range e.nodes {
+		ig, ok := nd.(InboxIgnorer)
+		ignores := ok && ig.IgnoresInbox()
+		e.ignoreBuf[i] = ignores
+		all = all && ignores
+		any = any || ignores
+	}
+	if all {
+		return true, nil
+	}
+	if !any {
+		return false, nil
+	}
+	return false, e.ignoreBuf
 }
 
 // route resolves a transmission to its receiver set under the configured
