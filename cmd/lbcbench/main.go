@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"lbcast"
+	"lbcast/internal/adversary"
 	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
 	"lbcast/internal/flood"
@@ -109,6 +110,15 @@ type Measurement struct {
 	// asserts on — while workloads that never flood via phase nodes omit
 	// the field entirely.
 	ReplayHitRate *float64 `json:"replay_hit_rate,omitempty"`
+	// TrialPoolHits / AdversaryReuses are the Monte Carlo scaffolding
+	// counters accumulated over the whole measurement: trial-scratch pool
+	// hits (a recycled RNG + input slab + fault-list bundle) and adversary
+	// instances re-armed through the strategy pools instead of
+	// constructed. Zero (omitted) on workloads that never run Monte Carlo
+	// trials; the CI smoke job asserts they engage on the faultprob
+	// workload.
+	TrialPoolHits   int64 `json:"trial_pool_hits,omitempty"`
+	AdversaryReuses int64 `json:"adversary_reuses,omitempty"`
 }
 
 // benchSchema is the -help description of the BENCH_*.json output format.
@@ -131,9 +141,17 @@ const benchSchema = `output schema (BENCH_*.json):
     replay_hit_rate   (replay + delta) / (replay + delta + dynamic) session
                       fraction; present (possibly an explicit 0) whenever
                       any phase-node flooding session was counted
+    trial_pool_hits   Monte Carlo trial-scaffolding pool hits (recycled
+                      RNG/input-slab/fault-list bundles) over the whole
+                      measurement
+    adversary_reuses  adversary instances recycled through the strategy
+                      pools instead of constructed, over the whole
+                      measurement
   One op is one consensus execution (session/*), one full sweep
   (sweep/*, montecarlo/*), one batch of B instances (throughput/*), or
-  one packed group of B served requests (serving/*).
+  one packed group of B served requests (serving/*). The montecarlo/*
+  sweeps also record instances/decisions_per_sec (one decision per trial),
+  so they rank on the leaderboard alongside the throughput families.
   The throughput/batch vs throughput/independent pairs run identical
   instance sets; their decisions_per_sec ratio is the batching speedup.
   The serving/*-single vs serving/*-sharded pairs serve identical request
@@ -343,7 +361,7 @@ func workloads() []workload {
 				}
 			}
 		}},
-		{name: "montecarlo/figure1b/256-trials", fn: func(b *testing.B) {
+		{name: "montecarlo/figure1b/256-trials", instances: 256, fn: func(b *testing.B) {
 			// The amortization-heavy rare-fault stream: one compiled plan
 			// and one topology analysis serve all 256 trials, ~94% of which
 			// are benign and replay the plan end to end.
@@ -361,7 +379,7 @@ func workloads() []workload {
 				}
 			}
 		}},
-		{name: "montecarlo/figure1b/faultprob", fn: func(b *testing.B) {
+		{name: "montecarlo/figure1b/faultprob", instances: 128, fn: func(b *testing.B) {
 			// The fault-heavy stream: half the trials draw crash, tamper,
 			// equivocation, or forgery patterns, so most sessions ride the
 			// masked and delta replay tiers instead of the benign plan —
@@ -381,7 +399,7 @@ func workloads() []workload {
 				}
 			}
 		}},
-		{name: "montecarlo/figure1a/16-trials", fn: func(b *testing.B) {
+		{name: "montecarlo/figure1a/16-trials", instances: 16, fn: func(b *testing.B) {
 			g := gen.Figure1a()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -580,9 +598,14 @@ func checkAllocs(w io.Writer, ms []Measurement, budgets allocBudgets) error {
 
 // graphFamily extracts the graph segment of a workload descriptor
 // ("<family>/<algorithm-or-subject>/<graph>/<variant>") for leaderboard
-// grouping; workloads with fewer segments group under "-".
+// grouping. The three-segment montecarlo/<graph>/<variant> sweeps carry
+// their graph in the second segment; workloads with fewer segments group
+// under "-".
 func graphFamily(name string) string {
 	parts := strings.Split(name, "/")
+	if parts[0] == "montecarlo" && len(parts) >= 2 {
+		return parts[1]
+	}
 	if len(parts) >= 3 {
 		return parts[2]
 	}
@@ -591,7 +614,8 @@ func graphFamily(name string) string {
 
 // printLeaderboard renders a decisions/sec table from one or more
 // BENCH_*.json files: one row per workload that recorded a
-// decisions_per_sec (the throughput/* and serving/* families), one
+// decisions_per_sec (the throughput/*, serving/*, and montecarlo/*
+// families — tie-broken deterministically by name within a group), one
 // column per file, rows grouped by graph family and ranked within each
 // group by the last (newest) file's throughput. This is the
 // trajectory-at-a-glance view: feed it the whole BENCH_* sequence and
@@ -777,8 +801,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		runtime.GC()
 		runtime.GC()
 		before := flood.ReadPlanStats()
+		trialHitsBefore, _ := eval.ReadTrialPoolStats()
+		reusesBefore := adversary.ReadRecycleStats()
 		r := testing.Benchmark(wl.fn)
 		after := flood.ReadPlanStats()
+		trialHitsAfter, _ := eval.ReadTrialPoolStats()
+		reusesAfter := adversary.ReadRecycleStats()
 		m := Measurement{
 			Name:                wl.name,
 			Iterations:          r.N,
@@ -790,6 +818,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			PlanReplaySessions:  after.ReplaySessions - before.ReplaySessions,
 			PlanDeltaReplays:    after.DeltaReplaySessions - before.DeltaReplaySessions,
 			PlanDynamicSessions: after.DynamicSessions - before.DynamicSessions,
+			TrialPoolHits:       int64(trialHitsAfter - trialHitsBefore),
+			AdversaryReuses:     int64(reusesAfter - reusesBefore),
 		}
 		served := m.PlanReplaySessions + m.PlanDeltaReplays
 		if total := served + m.PlanDynamicSessions; total > 0 {

@@ -29,6 +29,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"lbcast/internal/adversary"
 	"lbcast/internal/cliutil"
 	"lbcast/internal/eval"
 	"lbcast/internal/flood"
@@ -75,6 +76,12 @@ type mcJSON struct {
 	PlanDeltaReplays    int64    `json:"plan_delta_replays,omitempty"`
 	PlanDynamicSessions int64    `json:"plan_dynamic_sessions,omitempty"`
 	ReplayHitRate       *float64 `json:"replay_hit_rate,omitempty"`
+	// TrialPoolHits / AdversaryReuses are the trial-scaffolding deltas
+	// over the sweep: scratch-pool hits (recycled RNG + input slab +
+	// fault-list bundles) and adversary instances re-armed through the
+	// strategy pools instead of constructed.
+	TrialPoolHits   int64 `json:"trial_pool_hits,omitempty"`
+	AdversaryReuses int64 `json:"adversary_reuses,omitempty"`
 	// Canceled marks a sweep interrupted by SIGINT/SIGTERM: OK and
 	// Violations cover only the trials that completed before the signal.
 	Canceled   bool              `json:"canceled,omitempty"`
@@ -117,6 +124,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return fmt.Errorf("unknown algorithm %d", *algo)
 	}
 	planBefore := flood.ReadPlanStats()
+	trialHitsBefore, _ := eval.ReadTrialPoolStats()
+	reusesBefore := adversary.ReadRecycleStats()
 	res, err := eval.MonteCarloContext(ctx, eval.MonteCarloConfig{
 		G:         g,
 		F:         *f,
@@ -135,6 +144,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	planAfter := flood.ReadPlanStats()
+	trialHitsAfter, _ := eval.ReadTrialPoolStats()
+	reusesAfter := adversary.ReadRecycleStats()
 	if *jsonOut {
 		out := mcJSON{
 			Graph:               g.String(),
@@ -151,6 +162,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			PlanReplaySessions:  planAfter.ReplaySessions - planBefore.ReplaySessions,
 			PlanDeltaReplays:    planAfter.DeltaReplaySessions - planBefore.DeltaReplaySessions,
 			PlanDynamicSessions: planAfter.DynamicSessions - planBefore.DynamicSessions,
+			TrialPoolHits:       int64(trialHitsAfter - trialHitsBefore),
+			AdversaryReuses:     int64(reusesAfter - reusesBefore),
 			Canceled:            canceled,
 		}
 		served := out.PlanReplaySessions + out.PlanDeltaReplays

@@ -1,0 +1,119 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/graph/gen"
+	"lbcast/internal/sim"
+)
+
+// resetEmissions drives a node for rounds steps against a synthetic inbox
+// (one relayable flood message per round from the node's first neighbor)
+// and snapshots every transmission. The per-round slices are copied
+// because pooled nodes reuse their output buffers across steps.
+func resetEmissions(n sim.Node, g *graph.Graph, rounds int) [][]sim.Outgoing {
+	nbr := g.AdjList(n.ID())[0]
+	got := make([][]sim.Outgoing, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		inbox := []sim.Delivery{{From: nbr, Payload: flood.Msg{
+			Body: flood.ValueBody{Value: sim.Value(r % 2)},
+		}}}
+		out := n.Step(r, inbox)
+		cp := make([]sim.Outgoing, len(out))
+		copy(cp, out)
+		got = append(got, cp)
+	}
+	return got
+}
+
+// TestResetRestoresConstructorStream is the adversary reset property: for
+// every poolable strategy, Reset(seed) must restore exactly the behavior a
+// fresh constructor call with the same seed produces — same emissions,
+// round for round, message for message.
+func TestResetRestoresConstructorStream(t *testing.T) {
+	g := gen.Figure1a()
+	const me, phaseLen, seed, rounds = 2, 4, 99, 12
+	for _, tc := range []struct {
+		name string
+		make func() sim.Node
+	}{
+		{"silent", func() sim.Node { return &SilentNode{Me: me} }},
+		{"tamper", func() sim.Node { return NewTamper(g, me, phaseLen, seed) }},
+		{"tamper-fast", func() sim.Node { return NewFastTamper(g, me, phaseLen, seed) }},
+		{"equivocate", func() sim.Node { return &EquivocatorNode{G: g, Me: me, PhaseLen: phaseLen} }},
+		{"forge", func() sim.Node { return NewForger(g, me, phaseLen, seed) }},
+		{"forge-fast", func() sim.Node { return NewFastForger(g, me, phaseLen, seed) }},
+	} {
+		n := tc.make()
+		first := resetEmissions(n, g, rounds)
+		n.(Resettable).Reset(seed)
+		again := resetEmissions(n, g, rounds)
+		if !reflect.DeepEqual(first, again) {
+			t.Errorf("%s: Reset(seed) does not restore the constructor stream", tc.name)
+		}
+		ref := resetEmissions(tc.make(), g, rounds)
+		if !reflect.DeepEqual(first, ref) {
+			t.Errorf("%s: two fresh constructions diverge", tc.name)
+		}
+	}
+}
+
+// TestAcquireReleaseParity checks the recycling cycle end to end: a node
+// released to its strategy pool and re-acquired for a different vertex and
+// seed behaves exactly like a fresh construction with those parameters,
+// and the reuse counter records the recycle.
+func TestAcquireReleaseParity(t *testing.T) {
+	g := gen.Figure1a()
+	const phaseLen, rounds = 4, 12
+	for _, tc := range []struct {
+		name    string
+		fresh   func(me graph.NodeID, seed int64) sim.Node
+		acquire func(me graph.NodeID, seed int64) sim.Node
+	}{
+		{"silent",
+			func(me graph.NodeID, _ int64) sim.Node { return &SilentNode{Me: me} },
+			func(me graph.NodeID, _ int64) sim.Node { return AcquireSilent(me) }},
+		{"tamper",
+			func(me graph.NodeID, seed int64) sim.Node { return NewFastTamper(g, me, phaseLen, seed) },
+			func(me graph.NodeID, seed int64) sim.Node { return AcquireTamper(g, me, phaseLen, seed) }},
+		{"equivocate",
+			func(me graph.NodeID, _ int64) sim.Node { return &EquivocatorNode{G: g, Me: me, PhaseLen: phaseLen} },
+			func(me graph.NodeID, _ int64) sim.Node { return AcquireEquivocator(g, me, phaseLen) }},
+		{"forge",
+			func(me graph.NodeID, seed int64) sim.Node { return NewFastForger(g, me, phaseLen, seed) },
+			func(me graph.NodeID, seed int64) sim.Node { return AcquireForger(g, me, phaseLen, seed) }},
+	} {
+		// Seed the pool with a node used at one identity, then re-acquire
+		// at another and compare against a fresh construction there.
+		warm := tc.acquire(1, 7)
+		resetEmissions(warm, g, rounds)
+		Release(warm)
+		before := ReadRecycleStats()
+		recycled := tc.acquire(3, 41)
+		if ReadRecycleStats() == before {
+			t.Errorf("%s: re-acquire after release did not count a reuse", tc.name)
+		}
+		got := resetEmissions(recycled, g, rounds)
+		want := resetEmissions(tc.fresh(3, 41), g, rounds)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: recycled node diverges from fresh construction", tc.name)
+		}
+		Release(recycled)
+	}
+}
+
+// TestMuteAfterResetDelegates checks that MuteAfter forwards Reset to a
+// Resettable inner node.
+func TestMuteAfterResetDelegates(t *testing.T) {
+	g := gen.Figure1a()
+	inner := NewTamper(g, 2, 4, 31)
+	n := &MuteAfter{Inner: inner, After: 6}
+	first := resetEmissions(n, g, 10)
+	n.Reset(31)
+	if again := resetEmissions(n, g, 10); !reflect.DeepEqual(first, again) {
+		t.Error("MuteAfter.Reset did not restore the inner node's stream")
+	}
+}

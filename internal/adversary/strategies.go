@@ -30,6 +30,9 @@ func (n *SilentNode) ID() graph.NodeID { return n.Me }
 // Step transmits nothing.
 func (n *SilentNode) Step(int, []sim.Delivery) []sim.Outgoing { return nil }
 
+// Reset implements Resettable; a silent node carries no trial state.
+func (n *SilentNode) Reset(int64) {}
+
 // CrashedFromStart reports that this fault is silent from round zero:
 // its pattern is value-blind, so executions containing it can replay a
 // masked propagation plan (flood.MaskedPlanFor) instead of flooding
@@ -60,6 +63,13 @@ func (n *MuteAfter) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 	return out
 }
 
+// Reset delegates to the inner node when it is itself Resettable.
+func (n *MuteAfter) Reset(seed int64) {
+	if r, ok := n.Inner.(Resettable); ok {
+		r.Reset(seed)
+	}
+}
+
 // TamperNode is a protocol-aware Byzantine node for the flooding-based
 // algorithms: at the start of every phase (every PhaseLen rounds) it
 // initiates flooding with a value chosen by its seeded RNG, and it relays
@@ -76,9 +86,16 @@ type TamperNode struct {
 	DropProb float64
 
 	rng *rand.Rand
+	// out is the reusable transmission buffer. The engine consumes the
+	// returned slice within the round and never retains it, so each Step
+	// rebuilds into the same backing array at its high-water capacity.
+	out []sim.Outgoing
 }
 
-var _ sim.Node = (*TamperNode)(nil)
+var (
+	_ sim.Node   = (*TamperNode)(nil)
+	_ Resettable = (*TamperNode)(nil)
+)
 
 // NewTamper builds a tampering node with deterministic behavior derived
 // from seed.
@@ -96,10 +113,21 @@ func NewTamper(g *graph.Graph, me graph.NodeID, phaseLen int, seed int64) *Tampe
 // ID returns the node id.
 func (n *TamperNode) ID() graph.NodeID { return n.Me }
 
+// Reset re-arms the node for a new trial seeded with seed, restoring
+// exactly the random stream NewTamper(g, me, phaseLen, seed) would start
+// with. Scratch buffers keep their capacity.
+func (n *TamperNode) Reset(seed int64) {
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(seed ^ int64(n.Me)<<13))
+		return
+	}
+	n.rng.Seed(seed ^ int64(n.Me)<<13)
+}
+
 // Step initiates a chosen value at phase starts and relays corrupted
 // messages otherwise.
 func (n *TamperNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := n.out[:0]
 	if n.PhaseLen > 0 && round%n.PhaseLen == 0 {
 		v := sim.Value(n.rng.Intn(2))
 		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{
@@ -121,6 +149,7 @@ func (n *TamperNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 		body := n.corrupt(m.Body)
 		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{Body: body, Pi: full}})
 	}
+	n.out = out
 	return out
 }
 
@@ -147,19 +176,28 @@ type EquivocatorNode struct {
 	G        *graph.Graph
 	Me       graph.NodeID
 	PhaseLen int
+
+	// out is the reusable transmission buffer (see TamperNode.out).
+	out []sim.Outgoing
 }
 
-var _ sim.Node = (*EquivocatorNode)(nil)
+var (
+	_ sim.Node   = (*EquivocatorNode)(nil)
+	_ Resettable = (*EquivocatorNode)(nil)
+)
 
 // ID returns the node id.
 func (n *EquivocatorNode) ID() graph.NodeID { return n.Me }
 
+// Reset implements Resettable; the equivocator draws no randomness.
+func (n *EquivocatorNode) Reset(int64) {}
+
 // Step sends the split initiations at phase starts and relays faithfully in
 // other rounds.
 func (n *EquivocatorNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := n.out[:0]
 	if n.PhaseLen > 0 && round%n.PhaseLen == 0 {
-		nbrs := n.G.Neighbors(n.Me)
+		nbrs := n.G.AdjList(n.Me) // read-only iteration: no copy needed
 		for i, nb := range nbrs {
 			v := sim.Zero
 			if i >= len(nbrs)/2 {
@@ -169,6 +207,7 @@ func (n *EquivocatorNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 				Body: flood.ValueBody{Value: v},
 			}})
 		}
+		n.out = out
 		return out
 	}
 	for _, d := range inbox {
@@ -182,6 +221,7 @@ func (n *EquivocatorNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 		}
 		out = append(out, sim.Outgoing{To: sim.Broadcast, Payload: flood.Msg{Body: m.Body, Pi: full}})
 	}
+	n.out = out
 	return out
 }
 
@@ -199,9 +239,22 @@ type ForgerNode struct {
 	PerRound int
 
 	rng *rand.Rand
+	// Walk scratch, reused across rounds and (via Reset) across trials:
+	// out is the transmission buffer (see TamperNode.out), walk holds the
+	// in-progress random walk, used marks its vertices, and nbrs is the
+	// shuffle copy of the current vertex's adjacency row. Only the emitted
+	// path is freshly allocated — it outlives the Step via the message
+	// payload (and the flood layer's path interning).
+	out  []sim.Outgoing
+	walk []graph.NodeID
+	used []bool
+	nbrs []graph.NodeID
 }
 
-var _ sim.Node = (*ForgerNode)(nil)
+var (
+	_ sim.Node   = (*ForgerNode)(nil)
+	_ Resettable = (*ForgerNode)(nil)
+)
 
 // NewForger builds a forging node with behavior derived from seed.
 func NewForger(g *graph.Graph, me graph.NodeID, phaseLen int, seed int64) *ForgerNode {
@@ -217,9 +270,20 @@ func NewForger(g *graph.Graph, me graph.NodeID, phaseLen int, seed int64) *Forge
 // ID returns the node id.
 func (n *ForgerNode) ID() graph.NodeID { return n.Me }
 
+// Reset re-arms the node for a new trial seeded with seed, restoring
+// exactly the random stream NewForger(g, me, phaseLen, seed) would start
+// with. Scratch buffers keep their capacity.
+func (n *ForgerNode) Reset(seed int64) {
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(seed ^ int64(n.Me)*2654435761))
+		return
+	}
+	n.rng.Seed(seed ^ int64(n.Me)*2654435761)
+}
+
 // Step emits the forged traffic for this round.
 func (n *ForgerNode) Step(round int, _ []sim.Delivery) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := n.out[:0]
 	if n.PhaseLen > 0 && round%n.PhaseLen == 0 {
 		// Two conflicting initiations: rule (ii) keeps the first.
 		out = append(out,
@@ -239,19 +303,27 @@ func (n *ForgerNode) Step(round int, _ []sim.Delivery) []sim.Outgoing {
 			}})
 		}
 	}
+	n.out = out
 	return out
 }
 
 // randomPathToSelf builds a random simple path whose final transmission
-// (Π·me) is valid: a random walk into me along unvisited vertices.
+// (Π·me) is valid: a random walk into me along unvisited vertices. The
+// walk runs in the node's scratch buffers; the returned path is a fresh
+// allocation because it escapes into the emitted message.
 func (n *ForgerNode) randomPathToSelf() graph.Path {
 	// Walk backwards from me.
 	length := 1 + n.rng.Intn(n.G.N()-1)
-	path := graph.Path{n.Me}
-	used := map[graph.NodeID]bool{n.Me: true}
+	if cap(n.used) < n.G.N() {
+		n.used = make([]bool, n.G.N())
+	}
+	used := n.used[:n.G.N()]
+	path := append(n.walk[:0], n.Me)
+	used[n.Me] = true
 	cur := n.Me
 	for len(path) <= length {
-		nbrs := n.G.Neighbors(cur)
+		nbrs := append(n.nbrs[:0], n.G.AdjList(cur)...)
+		n.nbrs = nbrs
 		n.rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
 		advanced := false
 		for _, nb := range nbrs {
@@ -266,6 +338,12 @@ func (n *ForgerNode) randomPathToSelf() graph.Path {
 		if !advanced {
 			break
 		}
+	}
+	n.walk = path
+	// Un-mark exactly the walked vertices — cheaper than clearing the whole
+	// mask and exact because every marked vertex is on the walk.
+	for _, u := range path {
+		used[u] = false
 	}
 	if len(path) < 2 {
 		return nil

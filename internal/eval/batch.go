@@ -27,6 +27,12 @@ import (
 type BatchInstance struct {
 	// Inputs maps every node to its input (faulty nodes may be omitted).
 	Inputs map[graph.NodeID]sim.Value
+	// InputSlab, when non-nil, supplies the instance's inputs as a dense
+	// vector indexed by NodeID (length exactly G.N()) and takes precedence
+	// over Inputs — the same contract as Spec.InputSlab. Map inputs are
+	// converted once at session construction; the Monte Carlo trial pool
+	// passes recycled slabs directly and may reuse them after the run.
+	InputSlab []sim.Value
 	// Byzantine overrides the listed nodes with adversarial
 	// implementations. Instances do not share Byzantine node instances
 	// unless the caller passes the same value twice; a stateful adversary
@@ -70,6 +76,15 @@ type BatchSpec struct {
 	// TestShardedBatchMatchesSingleLoop). Sharded runs reject an Observer:
 	// its events would interleave arbitrarily across shards.
 	Workers int
+	// OmitOKDecisions, when set, skips materializing the per-instance
+	// Decisions map for every instance whose outcome satisfies all three
+	// consensus properties: its Outcome carries the property booleans and
+	// round counts but a nil Decisions. Violating instances are judged
+	// exactly as always, byte-identically. The Monte Carlo verdict path
+	// sets this — it discards OK outcomes wholesale, so building B
+	// decision maps per group only to throw them away was the judging
+	// path's dominant allocation.
+	OmitOKDecisions bool
 	// Observer, when set, receives the batch engine's events. Payloads are
 	// sim.BatchPayload multiplexes, and no Decision events fire (instance
 	// decisions are per instance; read them from the BatchOutcome).
@@ -115,6 +130,11 @@ type BatchSession struct {
 	spec BatchSpec
 	base Spec
 	topo *graph.Analysis
+	// slabs holds every instance's dense input vector (see
+	// BatchInstance.InputSlab): the caller's slab when provided, a one-time
+	// map conversion otherwise. All per-node input reads below go through
+	// slabs, never the instance maps.
+	slabs [][]sim.Value
 	// pattern is the batch's Byzantine placement rendered canonically; it
 	// completes the run-pool key (see byzPattern).
 	pattern string
@@ -175,18 +195,21 @@ func newBatchSessionShared(spec BatchSpec, topo *graph.Analysis) (*BatchSession,
 	if err := base.normalize(); err != nil {
 		return nil, err
 	}
+	slabs := make([][]sim.Value, len(spec.Instances))
 	for i, inst := range spec.Instances {
 		per := base
 		per.Inputs = inst.Inputs
+		per.InputSlab = inst.InputSlab
 		per.Byzantine = inst.Byzantine
 		if err := per.normalize(); err != nil {
 			return nil, fmt.Errorf("eval: batch instance %d: %w", i, err)
 		}
+		slabs[i] = inputSlab(base.G.N(), inst.InputSlab, inst.Inputs)
 	}
 	if topo == nil {
-		topo = graph.NewAnalysis(base.G)
+		topo = base.G.SharedAnalysis()
 	}
-	return &BatchSession{spec: spec, base: base, topo: topo, pattern: byzPattern(spec.Instances)}, nil
+	return &BatchSession{spec: spec, base: base, topo: topo, slabs: slabs, pattern: byzPattern(spec.Instances)}, nil
 }
 
 // byzPattern renders the batch's Byzantine placement — which vertices each
@@ -389,13 +412,13 @@ func (st *batchLoopState) reset(s *BatchSession) error {
 		inputs := st.inputsBuf
 		for u, vn := range st.vnodes {
 			for l, i := range st.vectorLanes {
-				inputs[l] = s.spec.Instances[i].Inputs[graph.NodeID(u)]
+				inputs[l] = s.slabs[i][u]
 			}
 			vn.Reset(inputs)
 		}
 	}
 	for _, sc := range st.scalars {
-		sc.pn.Reset(s.spec.Instances[sc.inst].Inputs[sc.u])
+		sc.pn.Reset(s.slabs[sc.inst][sc.u])
 	}
 	for _, bz := range st.byz {
 		if err := st.batchNodes[bz.u].SetInstance(bz.grp, s.spec.Instances[bz.inst].Byzantine[bz.u]); err != nil {
@@ -405,7 +428,7 @@ func (st *batchLoopState) reset(s *BatchSession) error {
 	for i := range st.honestInputs {
 		clear(st.honestInputs[i])
 		for u := range st.honest[i] {
-			st.honestInputs[i][u] = s.spec.Instances[i].Inputs[u]
+			st.honestInputs[i][u] = s.slabs[i][u]
 		}
 	}
 	return nil
@@ -540,7 +563,7 @@ func newBatchLoopState(s *BatchSession) (*batchLoopState, error) {
 		if vectorLanes != nil {
 			inputs := make([]sim.Value, len(vectorLanes))
 			for l, i := range vectorLanes {
-				inputs[l] = s.spec.Instances[i].Inputs[u]
+				inputs[l] = s.slabs[i][u]
 			}
 			var vn *core.VectorPhaseNode
 			if s.base.Algorithm == Algo3 {
@@ -560,7 +583,7 @@ func newBatchLoopState(s *BatchSession) (*batchLoopState, error) {
 		for i, inst := range s.spec.Instances {
 			if inVector[i] {
 				honest[i].Add(u)
-				honestInputs[i][u] = inst.Inputs[u]
+				honestInputs[i][u] = s.slabs[i][u]
 				continue
 			}
 			if byz, ok := inst.Byzantine[u]; ok {
@@ -568,7 +591,7 @@ func newBatchLoopState(s *BatchSession) (*batchLoopState, error) {
 				st.byz = append(st.byz, byzSlot{inst: i, u: u, grp: groupOf[i]})
 				continue
 			}
-			in := inst.Inputs[u]
+			in := s.slabs[i][u]
 			nd := s.base.NewHonestNode(s.topo, arena, u, in)
 			if pn, ok := nd.(*core.PhaseNode); ok {
 				if rs := scalarRS[groupOf[i]]; rs != nil {
@@ -684,7 +707,11 @@ func (s *BatchSession) runLoop(ctx context.Context) (BatchOutcome, error) {
 		if !st.retired[i] {
 			st.rounds[i] = eng.Metrics().Rounds
 		}
-		out.Outcomes[i] = judgeInstance(st.batchNodes, st.honest[i], st.honestInputs[i], st.groupOf[i], st.laneOf[i], st.rounds[i], budget)
+		if s.spec.OmitOKDecisions {
+			out.Outcomes[i] = judgeInstanceLean(st.batchNodes, st.honest[i], st.honestInputs[i], st.groupOf[i], st.laneOf[i], st.rounds[i], budget)
+		} else {
+			out.Outcomes[i] = judgeInstance(st.batchNodes, st.honest[i], st.honestInputs[i], st.groupOf[i], st.laneOf[i], st.rounds[i], budget)
+		}
 	}
 	if s.spec.Observer != nil {
 		s.spec.Observer.Done(eng.Metrics())
@@ -734,6 +761,52 @@ func judgeInstance(batchNodes []*sim.BatchNode, honest graph.Set, honestInputs m
 		decisions[u] = v
 	}
 	return judgeOutcome(decisions, honestInputs, term, budget, sim.Metrics{Rounds: rounds})
+}
+
+// judgeInstanceLean is judgeInstance for the OmitOKDecisions path: it
+// computes the three consensus properties without materializing the honest
+// decisions map, and only when some property fails falls back to the full
+// judge — so violating instances carry exactly the Outcome the default
+// path would have produced, while the (overwhelmingly common) OK outcome
+// is built allocation-free with a nil Decisions. The property booleans are
+// order-independent reductions, so skipping the map changes nothing.
+func judgeInstanceLean(batchNodes []*sim.BatchNode, honest graph.Set, honestInputs map[graph.NodeID]sim.Value, grp, lane, rounds, budget int) Outcome {
+	term, agreement, validity := true, true, true
+	var ref sim.Value
+	first := true
+	// valid is a 256-bit presence mask over the honest input values —
+	// sim.Value is a uint8, so four words cover every possible value
+	// without allocating the validInputs map.
+	var valid [4]uint64
+	for _, v := range honestInputs {
+		valid[v>>6] |= 1 << (v & 63)
+	}
+	for u := range honest {
+		v, ok := laneDecision(batchNodes[u], grp, lane)
+		if !ok {
+			term = false
+			continue
+		}
+		if first {
+			ref, first = v, false
+		} else if v != ref {
+			agreement = false
+		}
+		if valid[v>>6]&(1<<(v&63)) == 0 {
+			validity = false
+		}
+	}
+	if !term || !agreement || !validity {
+		return judgeInstance(batchNodes, honest, honestInputs, grp, lane, rounds, budget)
+	}
+	return Outcome{
+		Agreement:   true,
+		Validity:    true,
+		Termination: true,
+		Rounds:      rounds,
+		Budget:      budget,
+		Metrics:     sim.Metrics{Rounds: rounds},
+	}
 }
 
 // RunBatch executes the batch spec once. It is the one-shot form of

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"lbcast/internal/adversary"
 	"lbcast/internal/core"
@@ -25,8 +27,8 @@ type MonteCarloConfig struct {
 	// FaultProb, when in (0, 1), makes each trial adversarial only with
 	// this probability and fault-free otherwise — the production-traffic
 	// profile where faults are the exception. 0 (the default) and 1 both
-	// mean every trial plants Faults faults, exactly the historical
-	// behavior (and the historical per-trial random streams).
+	// mean every trial plants Faults faults, with per-trial random
+	// streams identical to a sweep that never set the knob.
 	FaultProb float64
 	// Trials is the number of executions (default 20).
 	Trials int
@@ -44,6 +46,13 @@ type MonteCarloConfig struct {
 	// derived exactly as in unbatched mode, so the verdicts are identical
 	// — batching changes throughput, never outcomes.
 	Batch int
+	// FreshScaffolding disables trial-scaffolding recycling: every trial
+	// constructs its RNG, input vector, fault placement, and adversary
+	// instances from scratch instead of re-arming pooled ones. The two
+	// modes produce byte-identical results for every seed (enforced by the
+	// pooled-parity suite); fresh mode exists as the reference
+	// implementation for that suite and for allocation A/B measurements.
+	FreshScaffolding bool
 }
 
 // MonteCarloResult tallies a sweep.
@@ -103,13 +112,14 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 	if cfg.FaultProb < 0 || cfg.FaultProb > 1 {
 		return MonteCarloResult{}, fmt.Errorf("eval: fault probability %v outside [0, 1]", cfg.FaultProb)
 	}
-	// One shared topology analysis for the whole sweep: every trial (and
-	// every batched trial group) draws its memoized BFS choices,
-	// disjoint-path layouts, and the compiled propagation plan from it, so
-	// the per-graph work is paid once across all trials instead of per
-	// trial. The analysis is concurrency-safe; a compiled plan's frozen
+	// One shared topology analysis for the whole sweep — and across sweeps:
+	// every trial (and every batched trial group) draws its memoized BFS
+	// choices, disjoint-path layouts, the compiled propagation plan, AND the
+	// run-state pools from the graph's canonical analysis, so the per-graph
+	// work is paid once for the graph's lifetime, not once per MonteCarlo
+	// call. The analysis is concurrency-safe; a compiled plan's frozen
 	// arena is read-only and shared by every replaying trial.
-	topo := graph.NewAnalysis(cfg.G)
+	topo := cfg.G.SharedAnalysis()
 	results := make([]mcTrialResult, cfg.Trials)
 	if cfg.Batch > 1 {
 		groups := (cfg.Trials + cfg.Batch - 1) / cfg.Batch
@@ -145,20 +155,177 @@ type mcTrialResult struct {
 	err       error
 }
 
+// mcScratch is the pooled per-worker trial scaffolding: the RNG, the
+// permutation buffer, and per-slot input slabs, fault lists, Byzantine
+// maps, and batch-instance records, all grown to high-water capacity and
+// recycled across trials, groups, sweeps, and graphs. Adversaries acquired
+// for the scratch's trials are tracked in acquired and returned to their
+// strategy pools on release — after the run has completed and the verdict
+// (which copies everything it keeps) has been extracted.
+type mcScratch struct {
+	rng  *rand.Rand
+	perm []int
+	// Per-slot scaffolding; unbatched trials use slot 0, a batched group
+	// of b trials uses slots [0, b).
+	slabs     [][]sim.Value
+	byzs      []map[graph.NodeID]sim.Node
+	faulties  [][]graph.NodeID
+	strats    []string
+	instances []BatchInstance
+	acquired  []sim.Node
+}
+
+var mcScratchPool sync.Pool
+
+// Trial-scaffolding pool counters (exported via ReadTrialPoolStats).
+var (
+	trialPoolHits   atomic.Uint64
+	trialPoolMisses atomic.Uint64
+)
+
+// ReadTrialPoolStats returns the cumulative Monte Carlo trial-scaffolding
+// pool hit and miss counts: a hit recycled a worker's scratch (RNG,
+// permutation buffer, input slabs, fault lists), a miss built it fresh.
+func ReadTrialPoolStats() (hits, misses uint64) {
+	return trialPoolHits.Load(), trialPoolMisses.Load()
+}
+
+// acquireMCScratch returns scratch sized for n-vertex trials across slots
+// concurrent slots.
+func acquireMCScratch(n, slots int) *mcScratch {
+	var sc *mcScratch
+	if v := mcScratchPool.Get(); v != nil {
+		trialPoolHits.Add(1)
+		sc = v.(*mcScratch)
+	} else {
+		trialPoolMisses.Add(1)
+		sc = &mcScratch{}
+	}
+	if cap(sc.perm) < n {
+		sc.perm = make([]int, n)
+	}
+	sc.perm = sc.perm[:n]
+	for len(sc.slabs) < slots {
+		sc.slabs = append(sc.slabs, nil)
+		sc.byzs = append(sc.byzs, nil)
+		sc.faulties = append(sc.faulties, nil)
+		sc.strats = append(sc.strats, "")
+	}
+	for i := 0; i < slots; i++ {
+		if cap(sc.slabs[i]) < n {
+			sc.slabs[i] = make([]sim.Value, n)
+		}
+		sc.slabs[i] = sc.slabs[i][:n]
+	}
+	return sc
+}
+
+// release returns every acquired adversary to its strategy pool and the
+// scratch itself to the scaffolding pool. Callers must be done with the
+// run AND with every reference into the scratch (verdicts copy what they
+// keep) before releasing.
+func (sc *mcScratch) release() {
+	for i, nd := range sc.acquired {
+		adversary.Release(nd)
+		sc.acquired[i] = nil
+	}
+	sc.acquired = sc.acquired[:0]
+	mcScratchPool.Put(sc)
+}
+
+// permInto is rand.Rand.Perm into a caller-owned buffer: it consumes the
+// identical random stream (including the redundant Intn(1) draw at i = 0
+// that Perm keeps for Go 1 stream compatibility), which the pooled-parity
+// suite depends on.
+func permInto(r *rand.Rand, m []int) {
+	for i := range m {
+		j := r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+}
+
+// setup is mcTrialSetup against recycled scaffolding: identical random
+// stream, identical placements and strategies, but the inputs land in the
+// slot's dense slab, the fault list and Byzantine map recycle the slot's
+// buffers, and the adversaries come from the strategy pools (their Reset
+// restores exactly the constructor's seeded stream). Any divergence from
+// mcTrialSetup is a bug the pooled-parity suite exists to catch.
+func (sc *mcScratch) setup(cfg MonteCarloConfig, trial, slot int) (slab []sim.Value, faulty []graph.NodeID, strat string, byz map[graph.NodeID]sim.Node) {
+	seed := cellSeed(cfg.Seed, trial)
+	if sc.rng == nil {
+		sc.rng = rand.New(adversary.NewFastSource(seed))
+	} else {
+		// Rand.Seed delegates to the fast source's O(1) reseed and rewinds
+		// the Rand's own read position — the recycled stream is exactly a
+		// fresh rand.New(NewFastSource(seed)).
+		sc.rng.Seed(seed)
+	}
+	rng := sc.rng
+	n := cfg.G.N()
+	slab = sc.slabs[slot]
+	for i := 0; i < n; i++ {
+		slab[i] = sim.Value(rng.Intn(2))
+	}
+	if cfg.FaultProb > 0 && cfg.FaultProb < 1 && rng.Float64() >= cfg.FaultProb {
+		// Truncate (don't keep) any previous trial's fault list in this
+		// slot — a benign trial has none. mcVerdict's copy normalizes the
+		// empty slice to nil, matching mcTrialSetup exactly.
+		sc.faulties[slot] = sc.faulties[slot][:0]
+		return slab, nil, "none", nil
+	}
+	permInto(rng, sc.perm)
+	faulty = sc.faulties[slot][:0]
+	for _, p := range sc.perm[:cfg.Faults] {
+		faulty = append(faulty, graph.NodeID(p))
+	}
+	sc.faulties[slot] = faulty
+	strat = cfg.Strategies[rng.Intn(len(cfg.Strategies))]
+	byz = sc.byzs[slot]
+	if byz == nil {
+		byz = make(map[graph.NodeID]sim.Node, len(faulty))
+		sc.byzs[slot] = byz
+	} else {
+		clear(byz)
+	}
+	phaseLen := core.PhaseRounds(n)
+	for _, u := range faulty {
+		var nd sim.Node
+		switch strat {
+		case "silent":
+			nd = adversary.AcquireSilent(u)
+		case "tamper":
+			nd = adversary.AcquireTamper(cfg.G, u, phaseLen, rng.Int63())
+		case "equivocate":
+			nd = adversary.AcquireEquivocator(cfg.G, u, phaseLen)
+		case "forge":
+			nd = adversary.AcquireForger(cfg.G, u, phaseLen, rng.Int63())
+		}
+		byz[u] = nd
+		sc.acquired = append(sc.acquired, nd)
+	}
+	return slab, faulty, strat, byz
+}
+
 // mcTrialSetup derives one trial's inputs, fault placement, strategy, and
 // adversary instances from the trial's own seed. Batched and unbatched
 // execution share this derivation, which is what makes their verdicts
 // identical.
 func mcTrialSetup(cfg MonteCarloConfig, trial int) (inputs map[graph.NodeID]sim.Value, faulty []graph.NodeID, strat string, byz map[graph.NodeID]sim.Node) {
-	rng := rand.New(rand.NewSource(cellSeed(cfg.Seed, trial)))
+	// The O(1)-seed trial source: math/rand's default source pays ~1800
+	// LCG steps per Seed to fill its 607-word state, which dominated sweep
+	// profiles when every trial (and every tamper/forge fault) seeds its
+	// own stream for a few dozen draws. The pooled scaffolding reseeds the
+	// same source kind, keeping the two derivations byte-identical.
+	rng := rand.New(adversary.NewFastSource(cellSeed(cfg.Seed, trial)))
 	n := cfg.G.N()
 	inputs = make(map[graph.NodeID]sim.Value, n)
 	for i := 0; i < n; i++ {
 		inputs[graph.NodeID(i)] = sim.Value(rng.Intn(2))
 	}
-	// The FaultProb draw happens only when the knob is active, so the
-	// historical per-trial streams (and therefore all recorded sweep
-	// results) are unchanged at the default.
+	// The FaultProb draw happens only when the knob is active, so a
+	// sweep's per-trial streams are identical whether or not the knob
+	// exists at the default.
 	if cfg.FaultProb > 0 && cfg.FaultProb < 1 && rng.Float64() >= cfg.FaultProb {
 		return inputs, nil, "none", nil
 	}
@@ -175,24 +342,26 @@ func mcTrialSetup(cfg MonteCarloConfig, trial int) (inputs map[graph.NodeID]sim.
 		case "silent":
 			byz[u] = &adversary.SilentNode{Me: u}
 		case "tamper":
-			byz[u] = adversary.NewTamper(cfg.G, u, phaseLen, rng.Int63())
+			byz[u] = adversary.NewFastTamper(cfg.G, u, phaseLen, rng.Int63())
 		case "equivocate":
 			byz[u] = &adversary.EquivocatorNode{G: cfg.G, Me: u, PhaseLen: phaseLen}
 		case "forge":
-			byz[u] = adversary.NewForger(cfg.G, u, phaseLen, rng.Int63())
+			byz[u] = adversary.NewFastForger(cfg.G, u, phaseLen, rng.Int63())
 		}
 	}
 	return inputs, faulty, strat, byz
 }
 
-// mcVerdict converts one judged outcome into the trial's result slot.
+// mcVerdict converts one judged outcome into the trial's result slot. A
+// violation outlives the (possibly recycled) trial scaffolding, so the
+// faulty slice is copied out of it; OK trials keep nothing.
 func mcVerdict(trial int, faulty []graph.NodeID, strat string, run Outcome) mcTrialResult {
 	if run.OK() {
 		return mcTrialResult{}
 	}
 	return mcTrialResult{violation: &MonteCarloViolation{
 		Trial:    trial,
-		Faulty:   faulty,
+		Faulty:   append([]graph.NodeID(nil), faulty...),
 		Strategy: strat,
 		Outcome:  run,
 	}}
@@ -200,20 +369,30 @@ func mcVerdict(trial int, faulty []graph.NodeID, strat string, run Outcome) mcTr
 
 // runMonteCarloTrial executes one trial; all randomness derives from the
 // trial's own seed, while topology state (and compiled plans) come from
-// the sweep-wide shared analysis.
+// the sweep-wide shared analysis. By default the trial's scaffolding —
+// RNG, input slab, fault list, adversaries — is recycled through the
+// scratch and strategy pools; FreshScaffolding reverts to per-trial
+// construction (same verdicts, reference implementation).
 func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, topo *graph.Analysis, trial int) mcTrialResult {
-	inputs, faulty, strat, byz := mcTrialSetup(cfg, trial)
-	s, err := newSessionShared(Spec{
+	spec := Spec{
 		G:         cfg.G,
 		F:         cfg.F,
 		Algorithm: cfg.Algorithm,
-		Inputs:    inputs,
-		Byzantine: byz,
 		// When trials run in parallel, stepping each trial's nodes
 		// sequentially avoids oversubscription; a single-worker sweep
 		// keeps node-level parallelism. Never affects results.
 		Sequential: effectiveWorkers(cfg.Workers, cfg.Trials) > 1,
-	}, topo)
+	}
+	var faulty []graph.NodeID
+	var strat string
+	if cfg.FreshScaffolding {
+		spec.Inputs, faulty, strat, spec.Byzantine = mcTrialSetup(cfg, trial)
+	} else {
+		sc := acquireMCScratch(cfg.G.N(), 1)
+		defer sc.release()
+		spec.InputSlab, faulty, strat, spec.Byzantine = sc.setup(cfg, trial, 0)
+	}
+	s, err := newSessionShared(spec, topo)
 	if err != nil {
 		return mcTrialResult{err: err}
 	}
@@ -226,24 +405,46 @@ func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, topo *graph.A
 
 // runMonteCarloBatch executes trials [lo, hi) as one multi-instance batch
 // and writes each trial's verdict into its slot of results. The shared
-// analysis serves every group of the sweep.
+// analysis serves every group of the sweep; the group's scaffolding —
+// instance records, input slabs, fault lists, adversaries — recycles
+// through the scratch and strategy pools unless FreshScaffolding is set.
+// OmitOKDecisions is safe in both modes: Monte Carlo discards OK outcomes,
+// and violating instances are judged by the full path either way.
 func runMonteCarloBatch(ctx context.Context, cfg MonteCarloConfig, topo *graph.Analysis, lo, hi int, sequential bool, results []mcTrialResult) {
 	b := hi - lo
-	instances := make([]BatchInstance, b)
-	faulties := make([][]graph.NodeID, b)
-	strats := make([]string, b)
-	for i := 0; i < b; i++ {
-		inputs, faulty, strat, byz := mcTrialSetup(cfg, lo+i)
-		instances[i] = BatchInstance{Inputs: inputs, Byzantine: byz}
-		faulties[i] = faulty
-		strats[i] = strat
+	var instances []BatchInstance
+	var faulties [][]graph.NodeID
+	var strats []string
+	if cfg.FreshScaffolding {
+		instances = make([]BatchInstance, b)
+		faulties = make([][]graph.NodeID, b)
+		strats = make([]string, b)
+		for i := 0; i < b; i++ {
+			inputs, faulty, strat, byz := mcTrialSetup(cfg, lo+i)
+			instances[i] = BatchInstance{Inputs: inputs, Byzantine: byz}
+			faulties[i] = faulty
+			strats[i] = strat
+		}
+	} else {
+		sc := acquireMCScratch(cfg.G.N(), b)
+		defer sc.release()
+		instances = sc.instances[:0]
+		for i := 0; i < b; i++ {
+			slab, _, strat, byz := sc.setup(cfg, lo+i, i) // fault list lands in sc.faulties[i]
+			instances = append(instances, BatchInstance{InputSlab: slab, Byzantine: byz})
+			sc.strats[i] = strat
+		}
+		sc.instances = instances
+		faulties = sc.faulties[:b]
+		strats = sc.strats[:b]
 	}
 	out, err := runBatchShared(ctx, BatchSpec{
-		G:          cfg.G,
-		F:          cfg.F,
-		Algorithm:  cfg.Algorithm,
-		Sequential: sequential,
-		Instances:  instances,
+		G:               cfg.G,
+		F:               cfg.F,
+		Algorithm:       cfg.Algorithm,
+		Sequential:      sequential,
+		OmitOKDecisions: true,
+		Instances:       instances,
 	}, topo)
 	if err != nil {
 		for i := range results {

@@ -231,7 +231,7 @@ func newSessionRun(topo *graph.Analysis, spec Spec, mode replayMode) (*sessionRu
 			run.byz = append(run.byz, u)
 			continue
 		}
-		in := spec.Inputs[u]
+		in := spec.InputSlab[u]
 		// Replay-qualified specs are Algo1/Algo3, so every honest node is
 		// a PhaseNode.
 		pn := spec.NewHonestNode(topo, nil, u, in).(*core.PhaseNode)
@@ -275,7 +275,7 @@ func (r *sessionRun) reset(spec Spec) error {
 		if pn == nil {
 			continue
 		}
-		in := spec.Inputs[graph.NodeID(u)]
+		in := spec.InputSlab[u]
 		pn.Reset(in)
 		r.honestInputs[graph.NodeID(u)] = in
 	}

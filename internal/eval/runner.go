@@ -59,6 +59,17 @@ type Spec struct {
 	Algorithm Algorithm
 	// Inputs maps every node to its input (faulty nodes may be omitted).
 	Inputs map[graph.NodeID]sim.Value
+	// InputSlab, when non-nil, supplies the inputs as a dense vector
+	// indexed by NodeID (length exactly G.N()) and takes precedence over
+	// Inputs. This is the allocation-free wire format of the hot paths:
+	// maps remain accepted at the API boundary and are converted once at
+	// session construction, while Monte Carlo trial scaffolding writes
+	// slabs directly. An omitted map entry and a zero slab entry mean the
+	// same input, so the two encodings are interchangeable. The slab is
+	// read during construction, reset, and judging only — callers that
+	// recycle slab buffers (the trial pool) may reuse them as soon as the
+	// run completes.
+	InputSlab []sim.Value
 	// Byzantine overrides the listed nodes with adversarial
 	// implementations.
 	Byzantine map[graph.NodeID]sim.Node
@@ -139,6 +150,9 @@ func (s *Spec) normalize() error {
 			return fmt.Errorf("eval: input for out-of-range node %d (n=%d)", u, n)
 		}
 	}
+	if s.InputSlab != nil && len(s.InputSlab) != n {
+		return fmt.Errorf("eval: input slab has %d entries, graph has %d nodes", len(s.InputSlab), n)
+	}
 	for u, nd := range s.Byzantine {
 		if int(u) < 0 || int(u) >= n {
 			return fmt.Errorf("eval: Byzantine override for out-of-range node %d (n=%d)", u, n)
@@ -182,7 +196,7 @@ func (o Outcome) OK() bool { return o.Agreement && o.Validity && o.Termination }
 // factory builds. Unless the spec demands the full budget, phase-based
 // nodes are built with early decision enabled.
 func (s Spec) HonestFactory() adversary.HonestFactory {
-	return s.honestFactory(graph.NewAnalysis(s.G))
+	return s.honestFactory(s.G.SharedAnalysis())
 }
 
 // honestFactory is HonestFactory over a caller-supplied shared analysis.
@@ -259,18 +273,39 @@ func NewSession(spec Spec) (*Session, error) {
 
 // newSessionShared is NewSession drawing topology state — memoized BFS
 // choices, disjoint-path layouts, and compiled propagation plans — from a
-// caller-provided shared analysis of spec.G (nil builds a private one).
-// Monte Carlo trials and sweep cells over one graph pass the same analysis
-// so the per-graph work (including plan compilation) is paid once across
-// all of them.
+// caller-provided shared analysis of spec.G (nil selects the graph's
+// canonical shared analysis, so independent sessions over one graph reuse
+// each other's compiled plans and run pools). Monte Carlo trials and sweep
+// cells over one graph pass the same analysis explicitly.
 func newSessionShared(spec Spec, topo *graph.Analysis) (*Session, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
+	// The one map→slab conversion point: from here on every internal
+	// reader (run construction, pooled reset, judging) indexes the dense
+	// slab instead of hashing map lookups per node.
+	if spec.InputSlab == nil {
+		spec.InputSlab = inputSlab(spec.G.N(), nil, spec.Inputs)
+	}
 	if topo == nil {
-		topo = graph.NewAnalysis(spec.G)
+		topo = spec.G.SharedAnalysis()
 	}
 	return &Session{spec: spec, topo: topo}, nil
+}
+
+// inputSlab returns the dense input vector of one instance: the caller's
+// slab when provided, otherwise a fresh conversion of the map. Omitted map
+// entries become the zero value, exactly what the historical per-node map
+// lookups defaulted to, so the two encodings are interchangeable.
+func inputSlab(n int, slab []sim.Value, m map[graph.NodeID]sim.Value) []sim.Value {
+	if slab != nil {
+		return slab
+	}
+	out := make([]sim.Value, n)
+	for u, v := range m {
+		out[u] = v
+	}
+	return out
 }
 
 // replayMode classifies how an execution engages the compiled propagation
@@ -387,7 +422,7 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 			nodes[u] = b
 			continue
 		}
-		in := spec.Inputs[u]
+		in := spec.InputSlab[u]
 		nd := spec.NewHonestNode(s.topo, nil, u, in)
 		nodes[u] = nd
 		honest.Add(u)

@@ -323,14 +323,15 @@ func RunSweep(ctx context.Context, grid Grid, workers int) (SweepResult, error) 
 	if err != nil {
 		return SweepResult{}, err
 	}
-	// One shared analysis per distinct graph: all cells over a graph reuse
-	// its memoized topology state and compiled propagation plan instead of
-	// re-deriving them per cell. Analyses (and frozen plan arenas) are
+	// One shared analysis per distinct graph — the graph's canonical one,
+	// so repeated sweeps over the same graph also share memoized topology
+	// state, compiled propagation plans, and run pools instead of
+	// re-deriving them per call. Analyses (and frozen plan arenas) are
 	// concurrency-safe, so parallel cells share freely.
 	analyses := make(map[*graph.Graph]*graph.Analysis)
 	for _, c := range cells {
 		if _, ok := analyses[c.g]; !ok {
-			analyses[c.g] = graph.NewAnalysis(c.g)
+			analyses[c.g] = c.g.SharedAnalysis()
 		}
 	}
 	outcomes := make([]CellOutcome, len(cells))

@@ -65,6 +65,27 @@ func NewAnalysis(g *Graph) *Analysis {
 	}
 }
 
+// SharedAnalysis returns the graph's canonical Analysis, building it on
+// first use; every call for the same graph returns the same instance. This
+// is the anchor that makes analysis-memoized state — compiled propagation
+// plans, run-state pools — persist across independent API calls over one
+// graph: a Monte Carlo sweep, a session, and a batch that each pass no
+// explicit analysis all land on this one instead of rebuilding (and then
+// discarding) private copies. Like NewAnalysis, the graph must not be
+// mutated after the first call; callers needing deliberately cold state
+// (parity tests, A/B benchmarks) construct private analyses via
+// NewAnalysis instead.
+func (g *Graph) SharedAnalysis() *Analysis {
+	if a := g.analysis.Load(); a != nil {
+		return a
+	}
+	a := NewAnalysis(g)
+	if g.analysis.CompareAndSwap(nil, a) {
+		return a
+	}
+	return g.analysis.Load()
+}
+
 // Graph returns the analyzed graph. Callers must not mutate it.
 func (a *Analysis) Graph() *Graph { return a.g }
 

@@ -15,6 +15,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a vertex of a graph. Nodes of a graph with n vertices
@@ -56,6 +57,9 @@ type Graph struct {
 	adj [][]NodeID // sorted neighbor lists
 	// nodes is the lazily-built shared Nodes() slice (see Nodes).
 	nodes []NodeID
+	// analysis is the graph's canonical shared Analysis, built on first
+	// SharedAnalysis call (see analysis.go).
+	analysis atomic.Pointer[Analysis]
 }
 
 // New returns an empty graph on n nodes (0..n-1).
