@@ -119,6 +119,14 @@ type Measurement struct {
 	// workload.
 	TrialPoolHits   int64 `json:"trial_pool_hits,omitempty"`
 	AdversaryReuses int64 `json:"adversary_reuses,omitempty"`
+	// ChurnEvents / PlanInvalidations are the fault-injection counters
+	// accumulated over the whole measurement: topology events applied at
+	// round boundaries and replay-qualified runs whose compiled-plan
+	// replay a schedule cut back to the taint frontier. Zero (omitted) on
+	// workloads without injection; the CI smoke job asserts they engage on
+	// the churn workload.
+	ChurnEvents       int64 `json:"churn_events,omitempty"`
+	PlanInvalidations int64 `json:"plan_invalidations,omitempty"`
 }
 
 // benchSchema is the -help description of the BENCH_*.json output format.
@@ -147,6 +155,10 @@ const benchSchema = `output schema (BENCH_*.json):
     adversary_reuses  adversary instances recycled through the strategy
                       pools instead of constructed, over the whole
                       measurement
+    churn_events      fault-injection topology events applied at round
+                      boundaries over the whole measurement
+    plan_invalidations  runs whose compiled-plan replay a fault-injection
+                      schedule cut back to the taint frontier (or abandoned)
   One op is one consensus execution (session/*), one full sweep
   (sweep/*, montecarlo/*), one batch of B instances (throughput/*), or
   one packed group of B served requests (serving/*). The montecarlo/*
@@ -395,6 +407,30 @@ func workloads() []workload {
 					b.Fatal(err)
 				}
 				if res.OK != res.Trials {
+					b.Fatalf("violations: %+v", res.Violations)
+				}
+			}
+		}},
+		{name: "montecarlo/figure1b/churn", instances: 64, fn: func(b *testing.B) {
+			// The fault-injection stream: half the trials receive a seeded
+			// link-churn schedule landing after the first phase, so their
+			// clean prefix still replays the compiled plan up to the taint
+			// frontier while the injected tail runs dynamically over the
+			// masked topology. Worlds pushed below the thresholds classify
+			// as degraded, never as violations — the CI smoke job asserts
+			// plan_invalidations engages and replay_hit_rate keeps a floor.
+			g := gen.Figure1b()
+			churnStart := lbcast.PhaseRounds(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.MonteCarlo(eval.MonteCarloConfig{
+					G: g, F: 2, Algorithm: eval.Algo1, Trials: 64, Seed: 9,
+					ChurnProfile: eval.ChurnProfile{Kind: "churn", Prob: 0.5, Start: churnStart},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) > 0 {
 					b.Fatalf("violations: %+v", res.Violations)
 				}
 			}
@@ -803,10 +839,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		before := flood.ReadPlanStats()
 		trialHitsBefore, _ := eval.ReadTrialPoolStats()
 		reusesBefore := adversary.ReadRecycleStats()
+		churnEvtBefore, invalBefore := eval.ReadChurnStats()
 		r := testing.Benchmark(wl.fn)
 		after := flood.ReadPlanStats()
 		trialHitsAfter, _ := eval.ReadTrialPoolStats()
 		reusesAfter := adversary.ReadRecycleStats()
+		churnEvtAfter, invalAfter := eval.ReadChurnStats()
 		m := Measurement{
 			Name:                wl.name,
 			Iterations:          r.N,
@@ -820,6 +858,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			PlanDynamicSessions: after.DynamicSessions - before.DynamicSessions,
 			TrialPoolHits:       int64(trialHitsAfter - trialHitsBefore),
 			AdversaryReuses:     int64(reusesAfter - reusesBefore),
+			ChurnEvents:         int64(churnEvtAfter - churnEvtBefore),
+			PlanInvalidations:   int64(invalAfter - invalBefore),
 		}
 		served := m.PlanReplaySessions + m.PlanDeltaReplays
 		if total := served + m.PlanDynamicSessions; total > 0 {

@@ -272,6 +272,7 @@ func TestMeasurementSchemaPinned(t *testing.T) {
 		Instances: 5, DecisionsPerSec: 6.5,
 		PlanCompiles: 7, PlanMaskedCompiles: 8, PlanReplaySessions: 9,
 		PlanDeltaReplays: 10, PlanDynamicSessions: 11, ReplayHitRate: &rate,
+		TrialPoolHits: 12, AdversaryReuses: 13, ChurnEvents: 14, PlanInvalidations: 15,
 	}
 	got, err := json.Marshal(m)
 	if err != nil {
@@ -279,8 +280,42 @@ func TestMeasurementSchemaPinned(t *testing.T) {
 	}
 	want := `{"name":"w","iterations":2,"ns_per_op":1.5,"allocs_per_op":3,"bytes_per_op":4,` +
 		`"instances":5,"decisions_per_sec":6.5,"plan_compiles":7,"plan_masked_compiles":8,` +
-		`"plan_replay_sessions":9,"plan_delta_replays":10,"plan_dynamic_sessions":11,"replay_hit_rate":0.5}`
+		`"plan_replay_sessions":9,"plan_delta_replays":10,"plan_dynamic_sessions":11,"replay_hit_rate":0.5,` +
+		`"trial_pool_hits":12,"adversary_reuses":13,"churn_events":14,"plan_invalidations":15}`
 	if string(got) != want {
 		t.Fatalf("schema drift:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestRunBenchChurnSmoke runs the fault-injection Monte Carlo workload and
+// asserts the churn layer carries it: topology events applied, compiled
+// plans invalidated back to the taint frontier, and — because half the
+// trials stay static and injected trials still replay their clean prefix —
+// a replay hit rate of at least 0.5. The CI smoke job re-asserts these
+// floors on the rendered JSON.
+func TestRunBenchChurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run is slow")
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-filter", "montecarlo/figure1b/churn"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(buf.Bytes(), &ms); err != nil {
+		t.Fatalf("json: %v\n%s", err, buf.String())
+	}
+	if len(ms) != 1 {
+		t.Fatalf("measurements = %+v", ms)
+	}
+	m := ms[0]
+	if m.ChurnEvents == 0 {
+		t.Errorf("no topology events applied on the churn stream: %+v", m)
+	}
+	if m.PlanInvalidations == 0 {
+		t.Errorf("no plan invalidations recorded on the churn stream: %+v", m)
+	}
+	if m.ReplayHitRate == nil || *m.ReplayHitRate < 0.5 {
+		t.Fatalf("replay hit rate below 0.5 on the churn stream: %+v", m)
 	}
 }

@@ -11,12 +11,20 @@
 // analysis per group) — the high-throughput path. Verdicts are identical
 // to independent trials; only wall-clock time changes.
 //
+// With -churn {churn,partition,burst}, every trial additionally receives a
+// seeded fault-injection schedule (random link flaps, a random partition,
+// or a correlated crash burst) applied at round boundaries. Trials whose
+// injected world drops below the paper's connectivity thresholds count as
+// degraded — the expected failure of an infeasible world — never as
+// violations.
+//
 // Usage:
 //
 //	lbcmc -graph figure1a -f 1 -trials 50 -seed 7
 //	lbcmc -graph circulant:8:1,2 -f 2 -faults 1 -algorithm 2 -trials 25
 //	lbcmc -graph figure1a -trials 100 -workers 4 -json
 //	lbcmc -graph figure1b -f 2 -trials 256 -batch 16
+//	lbcmc -graph figure1b -f 2 -trials 64 -churn partition -churnstart 4 -json
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"lbcast/internal/adversary"
@@ -62,7 +71,19 @@ type mcJSON struct {
 	Faults    int     `json:"faults,omitempty"`
 	FaultProb float64 `json:"fault_prob,omitempty"`
 	Batch     int     `json:"batch,omitempty"`
-	OK        int     `json:"ok"`
+	// Churn* record the fault-injection profile (reproduction record) —
+	// present only when a profile was active.
+	ChurnKind   string  `json:"churn_kind,omitempty"`
+	ChurnProb   float64 `json:"churn_prob,omitempty"`
+	ChurnEvtCnt int     `json:"churn_profile_events,omitempty"`
+	ChurnStart  int     `json:"churn_start,omitempty"`
+	ChurnSpan   int     `json:"churn_span,omitempty"`
+	// Per-verdict-class counts: OK + Degraded + ViolationCount = Trials.
+	// Degraded counts failed trials excused because injection pushed the
+	// world below the paper's thresholds.
+	OK             int `json:"ok"`
+	Degraded       int `json:"degraded,omitempty"`
+	ViolationCount int `json:"violation_count,omitempty"`
 	// The plan_* counters are the propagation-plan deltas accumulated
 	// over the sweep (this process's global counters sampled before and
 	// after): benign and masked compiles, sessions served by wholesale
@@ -76,6 +97,12 @@ type mcJSON struct {
 	PlanDeltaReplays    int64    `json:"plan_delta_replays,omitempty"`
 	PlanDynamicSessions int64    `json:"plan_dynamic_sessions,omitempty"`
 	ReplayHitRate       *float64 `json:"replay_hit_rate,omitempty"`
+	// ChurnEvents / PlanInvalidations are the fault-injection deltas over
+	// the sweep: topology events applied at round boundaries, and
+	// replay-qualified runs whose compiled-plan replay a schedule cut back
+	// to the taint frontier (or abandoned).
+	ChurnEvents       int64 `json:"churn_events,omitempty"`
+	PlanInvalidations int64 `json:"plan_invalidations,omitempty"`
 	// TrialPoolHits / AdversaryReuses are the trial-scaffolding deltas
 	// over the sweep: scratch-pool hits (recycled RNG + input slab +
 	// fault-list bundles) and adversary instances re-armed through the
@@ -106,6 +133,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
 	batch := fs.Int("batch", 0, "batch size: run trials in multiplexed groups of this size through the multi-instance engine (0/1 = independent trials); never affects results")
 	faultProb := fs.Float64("faultprob", 0, "probability a trial is adversarial (0 or 1 = every trial plants -faults faults)")
+	churnKind := fs.String("churn", "", "fault-injection profile: churn, partition, or burst (empty = static worlds)")
+	churnProb := fs.Float64("churnprob", 0, "probability a trial receives an injection schedule (0 or 1 = every trial)")
+	churnEvents := fs.Int("churnevents", 0, "injected link flaps (churn) or crash victims (burst); default max(1, f)")
+	churnStart := fs.Int("churnstart", 0, "first round injection events may land on")
+	churnSpan := fs.Int("churnspan", 0, "injection window length in rounds (default one phase; burst: 0 = no recovery)")
+	strategies := fs.String("strategies", "", "comma-separated adversary strategies to draw from (default silent,tamper,equivocate,forge; adaptive is opt-in)")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,19 +156,32 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %d", *algo)
 	}
+	var strategyList []string
+	if *strategies != "" {
+		strategyList = strings.Split(*strategies, ",")
+	}
 	planBefore := flood.ReadPlanStats()
 	trialHitsBefore, _ := eval.ReadTrialPoolStats()
 	reusesBefore := adversary.ReadRecycleStats()
+	churnEvtBefore, invalBefore := eval.ReadChurnStats()
 	res, err := eval.MonteCarloContext(ctx, eval.MonteCarloConfig{
-		G:         g,
-		F:         *f,
-		Faults:    *faults,
-		Algorithm: alg,
-		Trials:    *trials,
-		Seed:      *seed,
-		Workers:   *workers,
-		Batch:     *batch,
-		FaultProb: *faultProb,
+		G:          g,
+		F:          *f,
+		Faults:     *faults,
+		Algorithm:  alg,
+		Trials:     *trials,
+		Seed:       *seed,
+		Workers:    *workers,
+		Batch:      *batch,
+		FaultProb:  *faultProb,
+		Strategies: strategyList,
+		ChurnProfile: eval.ChurnProfile{
+			Kind:   *churnKind,
+			Prob:   *churnProb,
+			Events: *churnEvents,
+			Start:  *churnStart,
+			Span:   *churnSpan,
+		},
 	})
 	// An interrupt is not a protocol failure: flush what completed, marked
 	// canceled, and report the interruption through the exit status.
@@ -146,6 +192,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	planAfter := flood.ReadPlanStats()
 	trialHitsAfter, _ := eval.ReadTrialPoolStats()
 	reusesAfter := adversary.ReadRecycleStats()
+	churnEvtAfter, invalAfter := eval.ReadChurnStats()
 	if *jsonOut {
 		out := mcJSON{
 			Graph:               g.String(),
@@ -156,12 +203,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			Faults:              *faults,
 			FaultProb:           *faultProb,
 			Batch:               *batch,
+			ChurnKind:           *churnKind,
+			ChurnProb:           *churnProb,
+			ChurnEvtCnt:         *churnEvents,
+			ChurnStart:          *churnStart,
+			ChurnSpan:           *churnSpan,
 			OK:                  res.OK,
+			Degraded:            res.Degraded,
+			ViolationCount:      len(res.Violations),
 			PlanCompiles:        planAfter.Compiles - planBefore.Compiles,
 			PlanMaskedCompiles:  planAfter.MaskedCompiles - planBefore.MaskedCompiles,
 			PlanReplaySessions:  planAfter.ReplaySessions - planBefore.ReplaySessions,
 			PlanDeltaReplays:    planAfter.DeltaReplaySessions - planBefore.DeltaReplaySessions,
 			PlanDynamicSessions: planAfter.DynamicSessions - planBefore.DynamicSessions,
+			ChurnEvents:         int64(churnEvtAfter - churnEvtBefore),
+			PlanInvalidations:   int64(invalAfter - invalBefore),
 			TrialPoolHits:       int64(trialHitsAfter - trialHitsBefore),
 			AdversaryReuses:     int64(reusesAfter - reusesBefore),
 			Canceled:            canceled,
@@ -185,6 +241,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			fmt.Fprintf(w, "interrupted: consensus held in %d trials completed before the signal\n", res.OK)
 		} else {
 			fmt.Fprintf(w, "consensus held in %d/%d trials\n", res.OK, res.Trials)
+		}
+		if res.Degraded > 0 {
+			fmt.Fprintf(w, "degraded connectivity excused %d trials (injection below thresholds)\n", res.Degraded)
 		}
 		for _, v := range res.Violations {
 			fmt.Fprintf(w, "VIOLATION trial=%d faulty=%v strategy=%s agreement=%v validity=%v decisions=%v\n",

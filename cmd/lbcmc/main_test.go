@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -106,5 +107,89 @@ func TestRunMCJSONPlanCounters(t *testing.T) {
 	}
 	if rate, ok := decoded["replay_hit_rate"].(float64); !ok || rate < 0.95 {
 		t.Errorf("replay_hit_rate = %v, want >= 0.95", decoded["replay_hit_rate"])
+	}
+}
+
+// TestRunMCJSONChurnSchema pins the fault-injection sweep schema: the
+// profile echo (reproduction record), the per-verdict-class counts, and
+// the counter deltas must surface under the exact keys downstream tooling
+// greps, and the verdict classes must sum to the trial count.
+func TestRunMCJSONChurnSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-graph", "figure1b", "-f", "2", "-trials", "32",
+		"-seed", "1", "-churn", "burst", "-churnevents", "4", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("json: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"churn_kind", "churn_profile_events", "degraded", "churn_events", "plan_invalidations"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("summary missing %q:\n%s", key, buf.String())
+		}
+	}
+	if decoded["churn_kind"] != "burst" {
+		t.Errorf("churn_kind = %v, want burst", decoded["churn_kind"])
+	}
+	ok, _ := decoded["ok"].(float64)
+	degraded, _ := decoded["degraded"].(float64)
+	violations, _ := decoded["violation_count"].(float64)
+	trials, _ := decoded["trials"].(float64)
+	if ok+degraded+violations != trials {
+		t.Errorf("verdict classes do not sum to trials: ok=%v degraded=%v violations=%v trials=%v",
+			ok, degraded, violations, trials)
+	}
+	if degraded == 0 {
+		t.Error("engineered sub-threshold sweep recorded no degraded trials")
+	}
+	if ev, _ := decoded["churn_events"].(float64); ev == 0 {
+		t.Error("churn_events delta not recorded")
+	}
+	if inv, _ := decoded["plan_invalidations"].(float64); inv == 0 {
+		t.Error("plan_invalidations delta not recorded")
+	}
+}
+
+// TestRunMCChurnDeterministicAcrossWorkers: the injected sweep's verdict
+// stream — and every churn field derived from it — must be identical for
+// every worker count. The pool-warmth counters (trial_pool_hits,
+// adversary_reuses) are process-global and run-order dependent by design,
+// so they are excluded from the comparison.
+func TestRunMCChurnDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]map[string]interface{}, 0, 2)
+	for _, workers := range []string{"1", "4"} {
+		var buf bytes.Buffer
+		if err := run(context.Background(), []string{"-graph", "figure1b", "-f", "2", "-trials", "16",
+			"-seed", "9", "-churn", "churn", "-churnprob", "0.5", "-churnstart", "4",
+			"-workers", workers, "-json"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		var decoded map[string]interface{}
+		if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+			t.Fatalf("json: %v\n%s", err, buf.String())
+		}
+		delete(decoded, "trial_pool_hits")
+		delete(decoded, "adversary_reuses")
+		outputs = append(outputs, decoded)
+	}
+	if !reflect.DeepEqual(outputs[0], outputs[1]) {
+		t.Fatalf("worker count changed the injected sweep:\n%v\nvs\n%v", outputs[0], outputs[1])
+	}
+}
+
+func TestRunMCChurnErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-graph", "figure1a", "-f", "1", "-trials", "2",
+		"-churn", "meteor"}, &buf); err == nil {
+		t.Fatal("bad churn kind accepted")
+	}
+	if err := run(context.Background(), []string{"-graph", "figure1a", "-f", "1", "-trials", "2",
+		"-churn", "churn", "-churnprob", "1.5"}, &buf); err == nil {
+		t.Fatal("out-of-range churn probability accepted")
+	}
+	if err := run(context.Background(), []string{"-graph", "figure1a", "-f", "1", "-trials", "4",
+		"-churn", "churn", "-batch", "4"}, &buf); err == nil {
+		t.Fatal("churn with batched trials accepted")
 	}
 }

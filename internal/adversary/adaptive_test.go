@@ -1,0 +1,118 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"lbcast/internal/flood"
+	"lbcast/internal/graph"
+	"lbcast/internal/sim"
+)
+
+// adaptiveTestGraph is C8(1,2): every i adjacent to i±1, i±2 (mod 8).
+func adaptiveTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		for _, d := range []int{1, 2} {
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+d)%8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// deliver wraps a single-hop flood message from origin relayed by from.
+func deliver(origin, from graph.NodeID, v sim.Value) sim.Delivery {
+	return sim.Delivery{From: from, Payload: flood.Msg{
+		Body: flood.ValueBody{Value: v},
+		Pi:   graph.Path{origin},
+	}}
+}
+
+// TestAdaptiveVictimAndCounterValue drives one observation window and
+// checks the adaptation: the most-heard origin becomes the victim (its
+// relays flipped, everyone else's faithful) and the initiation at the next
+// phase start is the observed minority value.
+func TestAdaptiveVictimAndCounterValue(t *testing.T) {
+	g := adaptiveTestGraph(t)
+	const phaseLen = 4
+	n := NewAdaptive(g, 4, phaseLen, 11)
+	if out := n.Step(0, nil); len(out) != 1 {
+		t.Fatalf("phase start emitted %d messages, want 1 initiation", len(out))
+	}
+	// Window: origin 0 heard three times with value 1, origin 1 once with
+	// value 0. Origin 0 floods arrive via neighbor 2 (path 0-2), origin 1
+	// via neighbor 3 (path 1-3).
+	for r := 1; r <= 3; r++ {
+		inbox := []sim.Delivery{deliver(0, 2, sim.One)}
+		if r == 1 {
+			inbox = append(inbox, deliver(1, 3, sim.Zero))
+		}
+		out := n.Step(r, inbox)
+		// Mid-phase the node only relays; all faithful (victim not yet 0).
+		if len(out) != len(inbox) {
+			t.Fatalf("round %d relayed %d messages, want %d", r, len(out), len(inbox))
+		}
+	}
+	// Phase boundary: victim becomes origin 0, initiation counters the
+	// majority value 1.
+	out := n.Step(4, []sim.Delivery{deliver(0, 2, sim.One), deliver(1, 3, sim.Zero)})
+	if len(out) != 3 {
+		t.Fatalf("phase-start round emitted %d messages, want initiation + 2 relays", len(out))
+	}
+	init, ok := out[0].Payload.(flood.Msg).Body.(flood.ValueBody)
+	if !ok || init.Value != sim.Zero {
+		t.Errorf("initiation = %+v, want the minority value 0", out[0].Payload)
+	}
+	flipped := out[1].Payload.(flood.Msg)
+	if vb := flipped.Body.(flood.ValueBody); vb.Value != sim.Zero {
+		t.Errorf("victim origin 0 relayed with value %d, want flipped to 0", vb.Value)
+	}
+	faithful := out[2].Payload.(flood.Msg)
+	if vb := faithful.Body.(flood.ValueBody); vb.Value != sim.Zero {
+		t.Errorf("non-victim origin 1 relayed with value %d, want faithful 0", vb.Value)
+	}
+	if got, want := flipped.Pi, (graph.Path{0, 2}); !reflect.DeepEqual(got, want) {
+		t.Errorf("relay provenance %v, want %v", got, want)
+	}
+}
+
+// TestAdaptiveRejectsInvalidProvenance: floods whose extended path is not a
+// valid simple path avoiding the node itself are dropped, not relayed —
+// rule (i) would reject the relay anyway and dropping keeps it credible.
+func TestAdaptiveRejectsInvalidProvenance(t *testing.T) {
+	g := adaptiveTestGraph(t)
+	n := NewAdaptive(g, 4, 4, 5)
+	n.Step(0, nil)
+	bad := []sim.Delivery{
+		// Path 0-5 is not an edge of C8(1,2).
+		{From: 5, Payload: flood.Msg{Body: flood.ValueBody{Value: sim.One}, Pi: graph.Path{0}}},
+		// Non-simple path.
+		{From: 2, Payload: flood.Msg{Body: flood.ValueBody{Value: sim.One}, Pi: graph.Path{2, 0}}},
+		// Path through the adversary itself.
+		{From: 6, Payload: flood.Msg{Body: flood.ValueBody{Value: sim.One}, Pi: graph.Path{4}}},
+		// Not a flood message at all.
+		{From: 2, Payload: sim.BatchPayload{}},
+	}
+	if out := n.Step(1, bad); len(out) != 0 {
+		t.Errorf("invalid deliveries relayed: %+v", out)
+	}
+}
+
+// TestAdaptiveSilentWindowHasNoVictim: after a window with no observed
+// traffic, no origin is flipped.
+func TestAdaptiveSilentWindowHasNoVictim(t *testing.T) {
+	g := adaptiveTestGraph(t)
+	n := NewAdaptive(g, 4, 4, 5)
+	n.Step(0, nil)
+	n.Step(4, nil) // boundary after a silent window
+	out := n.Step(5, []sim.Delivery{deliver(0, 2, sim.One)})
+	if len(out) != 1 {
+		t.Fatalf("relayed %d messages, want 1", len(out))
+	}
+	if vb := out[0].Payload.(flood.Msg).Body.(flood.ValueBody); vb.Value != sim.One {
+		t.Error("victimless window still flipped a relay")
+	}
+}

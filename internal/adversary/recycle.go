@@ -31,6 +31,7 @@ var (
 	tamperPool      sync.Pool
 	equivocatorPool sync.Pool
 	forgerPool      sync.Pool
+	adaptivePool    sync.Pool
 
 	// adversaryReuses counts pool hits: adversaries re-armed by Reset
 	// instead of constructed. Exported via ReadRecycleStats for the
@@ -99,6 +100,20 @@ func AcquireForger(g *graph.Graph, me graph.NodeID, phaseLen int, seed int64) *F
 	return NewFastForger(g, me, phaseLen, seed)
 }
 
+// AcquireAdaptive returns an adaptive node equivalent to
+// NewAdaptive(g, me, phaseLen, seed), recycled when the pool has one (see
+// AcquireTamper for the fast-source rationale).
+func AcquireAdaptive(g *graph.Graph, me graph.NodeID, phaseLen int, seed int64) *AdaptiveNode {
+	if v := adaptivePool.Get(); v != nil {
+		adversaryReuses.Add(1)
+		n := v.(*AdaptiveNode)
+		n.G, n.Me, n.PhaseLen = g, me, phaseLen
+		n.Reset(seed)
+		return n
+	}
+	return NewAdaptive(g, me, phaseLen, seed)
+}
+
 // Release returns an adversary obtained from an Acquire function to its
 // pool. Only Acquire-obtained nodes may be released: the pools hand out
 // fast-source streams, and releasing a default-source NewTamper/NewForger
@@ -117,5 +132,7 @@ func Release(nd sim.Node) {
 		equivocatorPool.Put(n)
 	case *ForgerNode:
 		forgerPool.Put(n)
+	case *AdaptiveNode:
+		adaptivePool.Put(n)
 	}
 }

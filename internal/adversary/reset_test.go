@@ -46,6 +46,7 @@ func TestResetRestoresConstructorStream(t *testing.T) {
 		{"equivocate", func() sim.Node { return &EquivocatorNode{G: g, Me: me, PhaseLen: phaseLen} }},
 		{"forge", func() sim.Node { return NewForger(g, me, phaseLen, seed) }},
 		{"forge-fast", func() sim.Node { return NewFastForger(g, me, phaseLen, seed) }},
+		{"adaptive", func() sim.Node { return NewAdaptive(g, me, phaseLen, seed) }},
 	} {
 		n := tc.make()
 		first := resetEmissions(n, g, rounds)
@@ -85,6 +86,9 @@ func TestAcquireReleaseParity(t *testing.T) {
 		{"forge",
 			func(me graph.NodeID, seed int64) sim.Node { return NewFastForger(g, me, phaseLen, seed) },
 			func(me graph.NodeID, seed int64) sim.Node { return AcquireForger(g, me, phaseLen, seed) }},
+		{"adaptive",
+			func(me graph.NodeID, seed int64) sim.Node { return NewAdaptive(g, me, phaseLen, seed) },
+			func(me graph.NodeID, seed int64) sim.Node { return AcquireAdaptive(g, me, phaseLen, seed) }},
 	} {
 		// Seed the pool with a node used at one identity, then re-acquire
 		// at another and compare against a fresh construction there.

@@ -43,6 +43,11 @@ type PhaseNode struct {
 	replay      *ReplayShared
 	replayStore *flood.ReceiptStore
 	replayBuf   []sim.Outgoing
+	// replayFrontier is the taint frontier of an injected-world run: phases
+	// strictly before it replay the compiled plan, phases from it onward run
+	// the dynamic path (see SetReplayFrontier). UseReplay sets it past every
+	// phase — an un-churned replay run never crosses it.
+	replayFrontier int
 	// delta, when non-nil, keeps the node on the dynamic flooding path but
 	// routes each delivery through the delta plan's matched-arrival fast
 	// path (see UseDeltaReplay): untainted arrivals bulk-install from the
@@ -184,9 +189,36 @@ func (nd *PhaseNode) Gamma() sim.Value { return nd.gamma }
 // honest node of the run must share the same ReplayShared.
 func (nd *PhaseNode) UseReplay(rs *ReplayShared) {
 	nd.replay = rs
+	nd.replayFrontier = len(nd.phases)
 	nd.arena = rs.plan.Arena()
 	nd.sharedStepB = replayStepBCache(nd.topo, rs.plan)
 	nd.replayBuf = make([]sim.Outgoing, 0, rs.plan.MaxRoundReceipts(nd.me))
+}
+
+// SetReplayFrontier caps plan replay at phase index frontier: phases
+// [0, frontier) replay the compiled plan, phases [frontier, ...) run the
+// dynamic message-by-message path. This is the per-run taint frontier of
+// fault injection — a topology event at engine round R invalidates the plan
+// from the phase containing R onward (the plan's schedule assumes the static
+// adjacency), while every earlier phase's transmissions were routed unmasked
+// and replay byte-identically. The switch at a phase boundary is clean: the
+// dynamic path's phase-start round reads no inbox, the frozen plan arena
+// already holds every simple path the masked flood can traverse, and the
+// step-(b) choices are drawn from the static topology on both paths.
+//
+// A node with a finite frontier no longer promises sim.InboxIgnorer (its
+// dynamic phases genuinely read deliveries), so the engine materializes its
+// inbox throughout — including the replayed prefix, where the deliveries are
+// simply never read. Must be called after UseReplay and before the first
+// Step; pooled runs re-arm it on every reset (schedules differ per run).
+func (nd *PhaseNode) SetReplayFrontier(frontier int) {
+	if frontier < 0 {
+		frontier = 0
+	}
+	if frontier > len(nd.phases) {
+		frontier = len(nd.phases)
+	}
+	nd.replayFrontier = frontier
 }
 
 // UseDeltaReplay switches the node's step-(a) flooding sessions to delta
@@ -232,8 +264,14 @@ func (nd *PhaseNode) Reset(input sim.Value) {
 func (nd *PhaseNode) SetReceiptHint(n int) { nd.expectHint = n }
 
 // IgnoresInbox implements sim.InboxIgnorer: a replaying node draws every
-// arrival from the compiled plan and never reads its inbox.
-func (nd *PhaseNode) IgnoresInbox() bool { return nd.replay != nil }
+// arrival from the compiled plan and never reads its inbox. A node whose
+// replay is capped by a taint frontier (SetReplayFrontier) reads deliveries
+// in its dynamic phases, so it does not qualify — and the contract is
+// monotone (false may become true, never the reverse), which the frontier
+// respects because it is set before the first Step and only lowered.
+func (nd *PhaseNode) IgnoresInbox() bool {
+	return nd.replay != nil && nd.replayFrontier >= len(nd.phases)
+}
 
 // EnableEarlyDecision lets the node decide before the final phase via the
 // observed-unanimity rule: at the end of a phase, if the node received the
@@ -271,7 +309,7 @@ func (nd *PhaseNode) Step(round int, inbox []sim.Delivery) []sim.Outgoing {
 		return nil
 	}
 	var out []sim.Outgoing
-	if nd.replay != nil {
+	if nd.replay != nil && nd.phaseIdx < nd.replayFrontier {
 		out = nd.replayStep()
 	} else {
 		out = nd.dynamicStep(inbox)
@@ -313,10 +351,14 @@ func (nd *PhaseNode) dynamicStep(inbox []sim.Delivery) []sim.Outgoing {
 		if nd.flooder == nil {
 			nd.flooder = flood.NewWithState(nd.g, nd.me, nd.arena, nd.ident)
 			nd.flooder.Expect(nd.expectHint)
-			nd.store = nd.flooder.Store()
 		} else {
 			nd.flooder.Recycle()
 		}
+		// Re-point the receipt store every phase: a taint-frontier node
+		// arrives here with nd.store still on its replay store from the
+		// replayed prefix, and must read this phase's receipts from the
+		// flooder instead.
+		nd.store = nd.flooder.Store()
 		nd.phaseStartGamma = nd.gamma
 		out = nd.flooder.Start(flood.CanonValueBody(nd.gamma))
 	case 1:

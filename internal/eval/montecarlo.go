@@ -9,6 +9,7 @@ import (
 
 	"lbcast/internal/adversary"
 	"lbcast/internal/core"
+	"lbcast/internal/faultinject"
 	"lbcast/internal/graph"
 	"lbcast/internal/sim"
 )
@@ -53,12 +54,54 @@ type MonteCarloConfig struct {
 	// pooled-parity suite); fresh mode exists as the reference
 	// implementation for that suite and for allocation A/B measurements.
 	FreshScaffolding bool
+	// ChurnProfile, when its Kind is set, injects a per-trial topology
+	// fault schedule (see faultinject): random link churn, a random
+	// partition, or a correlated crash burst, derived from a seed stream
+	// separate from the trial's own — the zero profile leaves every
+	// existing sweep's randomness byte-identical. Incompatible with
+	// Batch > 1 (batched instances share one round loop and one static
+	// topology). Trials whose world drops below the paper's thresholds
+	// count as Degraded, never as violations.
+	ChurnProfile ChurnProfile
 }
 
-// MonteCarloResult tallies a sweep.
+// ChurnProfile parameterizes the per-trial fault-injection schedules of a
+// Monte Carlo sweep.
+type ChurnProfile struct {
+	// Kind selects the schedule generator: "churn" (random link flaps
+	// with paired heals), "partition" (a random split that may heal), or
+	// "burst" (a correlated crash burst with optional recovery). Empty
+	// disables injection.
+	Kind string
+	// Prob is the probability a given trial receives a schedule at all
+	// (default 1: every trial).
+	Prob float64
+	// Events sizes the schedule: flap count for churn, victim count for
+	// burst (default max(1, F)); ignored by partition.
+	Events int
+	// Start is the first round events may land on (default 0).
+	Start int
+	// Span is the window length in rounds: churn flaps land in
+	// [Start, Start+Span) and heal at Start+Span, a partition heals at
+	// Start+Span, a burst recovers after Span rounds (0 means no
+	// recovery). Default: one phase length for churn and partition.
+	Span int
+}
+
+// active reports whether the profile injects schedules.
+func (p ChurnProfile) active() bool { return p.Kind != "" }
+
+// MonteCarloResult tallies a sweep. Trials = OK + Degraded +
+// len(Violations): a failed trial whose injected world dropped below the
+// paper's thresholds lands in Degraded — the expected behavior of an
+// infeasible world — and only failures of above-threshold worlds are
+// Violations.
 type MonteCarloResult struct {
-	Trials     int
-	OK         int
+	Trials int
+	OK     int
+	// Degraded counts failed trials excused by a DegradedConnectivity
+	// verdict (fault injection pushed the world below the thresholds).
+	Degraded   int
 	Violations []MonteCarloViolation
 }
 
@@ -101,7 +144,9 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 	}
 	for _, s := range cfg.Strategies {
 		switch s {
-		case "silent", "tamper", "equivocate", "forge":
+		// "adaptive" is opt-in only: listing it in the defaults would
+		// shift every existing sweep's strategy draws.
+		case "silent", "tamper", "equivocate", "forge", "adaptive":
 		default:
 			return MonteCarloResult{}, fmt.Errorf("eval: unknown strategy %q", s)
 		}
@@ -111,6 +156,22 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 	}
 	if cfg.FaultProb < 0 || cfg.FaultProb > 1 {
 		return MonteCarloResult{}, fmt.Errorf("eval: fault probability %v outside [0, 1]", cfg.FaultProb)
+	}
+	if cfg.ChurnProfile.active() {
+		switch cfg.ChurnProfile.Kind {
+		case "churn", "partition", "burst":
+		default:
+			return MonteCarloResult{}, fmt.Errorf("eval: unknown churn profile kind %q", cfg.ChurnProfile.Kind)
+		}
+		if p := cfg.ChurnProfile.Prob; p < 0 || p > 1 {
+			return MonteCarloResult{}, fmt.Errorf("eval: churn probability %v outside [0, 1]", p)
+		}
+		if cfg.ChurnProfile.Start < 0 || cfg.ChurnProfile.Span < 0 || cfg.ChurnProfile.Events < 0 {
+			return MonteCarloResult{}, fmt.Errorf("eval: negative churn profile parameter")
+		}
+		if cfg.Batch > 1 {
+			return MonteCarloResult{}, fmt.Errorf("eval: churn profile is incompatible with batched trials (batch %d)", cfg.Batch)
+		}
 	}
 	// One shared topology analysis for the whole sweep — and across sweeps:
 	// every trial (and every batched trial group) draws its memoized BFS
@@ -140,6 +201,10 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 		if r.err != nil {
 			return res, r.err
 		}
+		if r.degraded {
+			res.Degraded++
+			continue
+		}
 		if r.violation == nil {
 			res.OK++
 			continue
@@ -152,7 +217,10 @@ func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (MonteCarloRes
 // mcTrialResult is one trial's slot in the result table.
 type mcTrialResult struct {
 	violation *MonteCarloViolation
-	err       error
+	// degraded marks a failed trial excused by its injected world dropping
+	// below the paper's thresholds.
+	degraded bool
+	err      error
 }
 
 // mcScratch is the pooled per-worker trial scaffolding: the RNG, the
@@ -300,6 +368,8 @@ func (sc *mcScratch) setup(cfg MonteCarloConfig, trial, slot int) (slab []sim.Va
 			nd = adversary.AcquireEquivocator(cfg.G, u, phaseLen)
 		case "forge":
 			nd = adversary.AcquireForger(cfg.G, u, phaseLen, rng.Int63())
+		case "adaptive":
+			nd = adversary.AcquireAdaptive(cfg.G, u, phaseLen, rng.Int63())
 		}
 		byz[u] = nd
 		sc.acquired = append(sc.acquired, nd)
@@ -347,6 +417,8 @@ func mcTrialSetup(cfg MonteCarloConfig, trial int) (inputs map[graph.NodeID]sim.
 			byz[u] = &adversary.EquivocatorNode{G: cfg.G, Me: u, PhaseLen: phaseLen}
 		case "forge":
 			byz[u] = adversary.NewFastForger(cfg.G, u, phaseLen, rng.Int63())
+		case "adaptive":
+			byz[u] = adversary.NewAdaptive(cfg.G, u, phaseLen, rng.Int63())
 		}
 	}
 	return inputs, faulty, strat, byz
@@ -354,10 +426,15 @@ func mcTrialSetup(cfg MonteCarloConfig, trial int) (inputs map[graph.NodeID]sim.
 
 // mcVerdict converts one judged outcome into the trial's result slot. A
 // violation outlives the (possibly recycled) trial scaffolding, so the
-// faulty slice is copied out of it; OK trials keep nothing.
+// faulty slice is copied out of it; OK trials keep nothing. A failed trial
+// whose injected world dropped below the thresholds is degraded, never a
+// violation — the protocol owes nothing to an infeasible world.
 func mcVerdict(trial int, faulty []graph.NodeID, strat string, run Outcome) mcTrialResult {
 	if run.OK() {
 		return mcTrialResult{}
+	}
+	if run.DegradedConnectivity {
+		return mcTrialResult{degraded: true}
 	}
 	return mcTrialResult{violation: &MonteCarloViolation{
 		Trial:    trial,
@@ -365,6 +442,42 @@ func mcVerdict(trial int, faulty []graph.NodeID, strat string, run Outcome) mcTr
 		Strategy: strat,
 		Outcome:  run,
 	}}
+}
+
+// mcChurnSeedSalt decorrelates the schedule stream from the trial stream:
+// schedules derive from cellSeed(Seed^salt, trial), so an active profile
+// never consumes (or shifts) a draw of the trial's own seeded stream.
+const mcChurnSeedSalt = 0x43485552 // "CHUR"
+
+// mcChurnSchedule derives trial's fault-injection schedule from the
+// profile, or nil when the profile is inactive or the trial's probability
+// draw passes on injection. Deterministic in (cfg.Seed, trial).
+func mcChurnSchedule(cfg MonteCarloConfig, trial int) *faultinject.Schedule {
+	p := cfg.ChurnProfile
+	if !p.active() {
+		return nil
+	}
+	rng := rand.New(adversary.NewFastSource(cellSeed(cfg.Seed^mcChurnSeedSalt, trial)))
+	if p.Prob > 0 && p.Prob < 1 && rng.Float64() >= p.Prob {
+		return nil
+	}
+	n := cfg.G.N()
+	events := p.Events
+	if events == 0 {
+		events = max(1, cfg.F)
+	}
+	span := p.Span
+	if span == 0 && p.Kind != "burst" {
+		span = core.PhaseRounds(n)
+	}
+	switch p.Kind {
+	case "partition":
+		return faultinject.Partition(cfg.G, rng, p.Start, p.Start+span)
+	case "burst":
+		return faultinject.Burst(cfg.G, rng, events, p.Start, span)
+	default:
+		return faultinject.Churn(cfg.G, rng, events, p.Start, span, p.Start+span)
+	}
 }
 
 // runMonteCarloTrial executes one trial; all randomness derives from the
@@ -378,6 +491,7 @@ func runMonteCarloTrial(ctx context.Context, cfg MonteCarloConfig, topo *graph.A
 		G:         cfg.G,
 		F:         cfg.F,
 		Algorithm: cfg.Algorithm,
+		Churn:     mcChurnSchedule(cfg, trial),
 		// When trials run in parallel, stepping each trial's nodes
 		// sequentially avoids oversubscription; a single-worker sweep
 		// keeps node-level parallelism. Never affects results.

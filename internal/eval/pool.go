@@ -60,6 +60,12 @@ type runShape struct {
 	// Distinct placements build distinct lane groupings, adversary slots,
 	// and replay wiring, so each keys its own pool.
 	pattern string
+	// churn marks runs carrying a fault-injection schedule. Churn runs
+	// route through a masked topology and replay only to the taint
+	// frontier, so their state must never cross into (or be drawn from) a
+	// static-world pool; the schedule contents themselves are re-armed per
+	// reset, like inputs.
+	churn bool
 }
 
 // runPoolsKey anchors the pool registry in Analysis.Memo.
@@ -121,6 +127,7 @@ func sessionShape(spec Spec) runShape {
 		fullBudget: spec.FullBudget,
 		sequential: spec.Sequential,
 		pattern:    byzKindPattern(spec.Byzantine),
+		churn:      !spec.Churn.Empty(),
 	}
 }
 
@@ -182,6 +189,12 @@ type sessionRun struct {
 	rs           *core.ReplayShared
 	honest       graph.Set
 	honestInputs map[graph.NodeID]sim.Value
+	// masked and churn carry the fault-injection wiring of churn runs
+	// (mode == replayChurn): the engine routes through masked, and churn
+	// drives the schedule at round boundaries. Both re-arm per reset —
+	// pooled runs of the same shape may carry different schedules.
+	masked *sim.MaskedTopology
+	churn  *churnRun
 }
 
 // sessionPhantomOK decides the phantom-transmission toggle of a pooled
@@ -220,10 +233,18 @@ func newSessionRun(topo *graph.Analysis, spec Spec, mode replayMode) (*sessionRu
 	case replayDelta:
 		dp = flood.DeltaPlanFor(topo, byzSet(spec.Byzantine))
 	default:
+		// Benign and churn runs share the benign compiled plan; a churn
+		// run replays it only up to the taint frontier (set below).
 		run.rs = core.NewReplayShared(flood.PlanFor(topo))
 	}
 	if run.rs != nil {
 		run.rs.SetPhantom(sessionPhantomOK(mode, spec))
+	}
+	frontier := 0
+	if mode == replayChurn {
+		run.masked = sim.NewMaskedTopology(g)
+		run.churn = newChurnRun(topo, run.masked, spec.Churn)
+		frontier = churnFrontierPhase(g, spec.Churn)
 	}
 	for _, u := range g.Nodes() {
 		if b, ok := spec.Byzantine[u]; ok {
@@ -240,13 +261,20 @@ func newSessionRun(topo *graph.Analysis, spec Spec, mode replayMode) (*sessionRu
 		} else {
 			pn.UseDeltaReplay(dp)
 		}
+		if mode == replayChurn {
+			pn.SetReplayFrontier(frontier)
+		}
 		run.nodes[u] = pn
 		run.pnodes[u] = pn
 		run.honest.Add(u)
 		run.honestInputs[u] = in
 	}
+	engTopo := sim.Topology(sim.GraphTopology{G: g})
+	if run.masked != nil {
+		engTopo = run.masked
+	}
 	eng, err := sim.NewEngine(sim.Config{
-		Topology:     sim.GraphTopology{G: g},
+		Topology:     engTopo,
 		Model:        spec.Model,
 		Equivocators: spec.Equivocators,
 		Observer:     spec.Observer,
@@ -270,6 +298,15 @@ func (r *sessionRun) reset(spec Spec) error {
 	if r.rs != nil {
 		r.rs.SetPhantom(sessionPhantomOK(r.mode, spec))
 	}
+	frontier := 0
+	if r.churn != nil {
+		// Re-arm the fault injection for this run's schedule: the pool key
+		// marks churn presence, not schedule contents, so a recycled run
+		// may carry a different event list — and therefore a different
+		// taint frontier — than the run it was built for.
+		r.churn.reset(spec.Churn)
+		frontier = churnFrontierPhase(spec.G, spec.Churn)
+	}
 	clear(r.honestInputs)
 	for u, pn := range r.pnodes {
 		if pn == nil {
@@ -277,6 +314,9 @@ func (r *sessionRun) reset(spec Spec) error {
 		}
 		in := spec.InputSlab[u]
 		pn.Reset(in)
+		if r.churn != nil {
+			pn.SetReplayFrontier(frontier)
+		}
 		r.honestInputs[graph.NodeID(u)] = in
 	}
 	for _, u := range r.byz {

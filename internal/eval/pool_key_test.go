@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lbcast/internal/adversary"
+	"lbcast/internal/faultinject"
 	"lbcast/internal/graph"
 	"lbcast/internal/graph/gen"
 	"lbcast/internal/sim"
@@ -48,6 +49,45 @@ func TestPoolKeySeparatesFaultShapes(t *testing.T) {
 	reseed := sessionShape(withByz(map[graph.NodeID]sim.Node{2: adversary.NewTamper(g, 2, phaseLen, 99)}))
 	if reseed != shapes["tamper@2"] {
 		t.Errorf("re-seeded tamper at the same vertex must share the pool key: %+v vs %+v", reseed, shapes["tamper@2"])
+	}
+}
+
+// TestPoolKeySeparatesChurn extends the matrix with the churn mark this PR
+// added: an injected world routes through a masked topology and frontier
+// replay, wiring a static-world reset cannot convert, so benign and
+// benign-plus-churn must never share a key. Two different non-empty
+// schedules DO share a key — only the mark is in the shape; the schedule
+// contents (and hence the frontier) are re-armed on every reset.
+func TestPoolKeySeparatesChurn(t *testing.T) {
+	g := gen.Figure1b()
+	base := Spec{G: g, F: 2, Algorithm: Algo1}
+	withChurn := func(sched *faultinject.Schedule) Spec {
+		s := base
+		s.Churn = sched
+		return s
+	}
+	early := &faultinject.Schedule{Events: []faultinject.Event{
+		{Round: 0, Kind: faultinject.EdgeDown, U: 0, V: 1},
+	}}
+	late := &faultinject.Schedule{Events: []faultinject.Event{
+		{Round: 9, Kind: faultinject.NodeDown, Node: 6},
+	}}
+	static := sessionShape(base)
+	if sessionShape(withChurn(early)) == static {
+		t.Error("injected world shares the static world's pool key")
+	}
+	// Empty schedules are the static world — Empty() gates the whole layer.
+	if sessionShape(withChurn(nil)) != static || sessionShape(withChurn(&faultinject.Schedule{})) != static {
+		t.Error("zero-event schedule must share the static world's pool key")
+	}
+	if sessionShape(withChurn(early)) != sessionShape(withChurn(late)) {
+		t.Error("two injected worlds with different schedules must share a pool key (contents re-arm on reset)")
+	}
+	// The churn mark composes with the fault-kind marks.
+	crash := withChurn(early)
+	crash.Byzantine = map[graph.NodeID]sim.Node{2: &adversary.SilentNode{Me: 2}}
+	if sessionShape(crash) == sessionShape(withChurn(early)) {
+		t.Error("churn+crash shares churn-only pool key")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"lbcast/internal/adversary"
 	"lbcast/internal/core"
+	"lbcast/internal/faultinject"
 	"lbcast/internal/graph"
 	"lbcast/internal/sim"
 )
@@ -100,6 +101,18 @@ type Spec struct {
 	// the public option layer sets it here and NewBatch carries it over.
 	// Single-Session runs have exactly one round loop and ignore it.
 	Workers int
+	// Churn, when non-empty, injects the topology-fault schedule into the
+	// run: the round loop applies each boundary's events (node crash/
+	// recover, link down/up, partition open/heal) to a mutable link-mask
+	// view of the graph before routing that round's transmissions, tracks
+	// the masked world's connectivity, and annotates the outcome
+	// (ChurnEvents, MinConnectivity, DegradedConnectivity). Replay-qualified
+	// benign runs keep replaying their compiled plan for the clean phase
+	// prefix before the first event (the taint frontier) and run dynamically
+	// from there, byte-identical to a forced-dynamic execution of the same
+	// injected world. A nil or zero-event schedule is byte-identical to no
+	// schedule at all.
+	Churn *faultinject.Schedule
 	// Observer, when set, receives the execution's round, transmission,
 	// decision and completion events.
 	Observer sim.Observer
@@ -166,7 +179,7 @@ func (s *Spec) normalize() error {
 			return fmt.Errorf("eval: equivocator out of range: node %d (n=%d)", u, n)
 		}
 	}
-	return nil
+	return validateChurn(s)
 }
 
 // Outcome is the judged result of one execution.
@@ -186,6 +199,19 @@ type Outcome struct {
 	Budget int `json:"budget"`
 	// Metrics are the engine counters.
 	Metrics sim.Metrics `json:"metrics"`
+	// ChurnEvents is the number of topology events the run's fault-injection
+	// schedule applied (0 and omitted without a schedule).
+	ChurnEvents int `json:"churn_events,omitempty"`
+	// MinConnectivity is the minimum vertex connectivity of the masked
+	// topology observed across the run's event boundaries; set only on
+	// injected runs (omitted otherwise).
+	MinConnectivity int `json:"min_connectivity,omitempty"`
+	// DegradedConnectivity marks an injected run whose masked topology
+	// dropped below the paper's thresholds for this spec (connectivity or
+	// minimum degree). In that regime the protocol has no guarantee, so a
+	// failed outcome is classified as expected degradation — Monte Carlo
+	// sweeps count such trials as degraded, never as violations.
+	DegradedConnectivity bool `json:"degraded_connectivity,omitempty"`
 }
 
 // OK reports whether all three consensus properties hold.
@@ -329,6 +355,12 @@ const (
 	// tamper/equivocation worlds, and crash mixes that are not silent from
 	// round zero.
 	replayDelta
+	// replayChurn is the fault-injection tier: a benign run with a topology
+	// schedule replays the benign plan for the clean phase prefix before the
+	// first event (the taint frontier) and runs dynamically over the masked
+	// topology from there. Pooled like the other replay tiers, with a
+	// churn-marked pool key.
+	replayChurn
 )
 
 // crashedFromStart is the optional adversary capability that admits an
@@ -386,6 +418,17 @@ func (s Spec) replayMode() replayMode {
 	if s.DisableReplay || (s.Algorithm != Algo1 && s.Algorithm != Algo3) {
 		return replayOff
 	}
+	if !s.Churn.Empty() {
+		// A topology schedule invalidates the compiled plans from its first
+		// event onward. Benign injected worlds keep the clean prefix via
+		// the frontier tier; worlds mixing Byzantine overrides with churn
+		// run fully dynamic (the masked and delta plans both assume the
+		// static adjacency).
+		if len(s.Byzantine) == 0 {
+			return replayChurn
+		}
+		return replayOff
+	}
 	if len(s.Byzantine) == 0 {
 		return replayFull
 	}
@@ -428,8 +471,19 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 		honest.Add(u)
 		honestInputs[u] = in
 	}
+	// An injected world routes through the mutable link-mask view; the mask
+	// mutates only between engine steps (the round loop below is the sole
+	// writer, and the engine routes in its own goroutine after node steps
+	// complete). Without a schedule the static topology is used unchanged.
+	topo := sim.Topology(sim.GraphTopology{G: g})
+	var churn *churnRun
+	if !spec.Churn.Empty() {
+		masked := sim.NewMaskedTopology(g)
+		churn = newChurnRun(s.topo, masked, spec.Churn)
+		topo = masked
+	}
 	eng, err := sim.NewEngine(sim.Config{
-		Topology:     sim.GraphTopology{G: g},
+		Topology:     topo,
 		Model:        spec.Model,
 		Equivocators: spec.Equivocators,
 		Observer:     spec.Observer,
@@ -443,10 +497,16 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 	if budget == 0 {
 		budget = spec.DefaultRounds()
 	}
+	if churn != nil {
+		noteChurnInvalidation(spec, budget)
+	}
 	for r := 0; r < budget; r++ {
 		if err := ctx.Err(); err != nil {
 			return Outcome{}, fmt.Errorf("eval: run canceled after %d of %d rounds: %w",
 				eng.Metrics().Rounds, budget, err)
+		}
+		if churn != nil {
+			churn.boundary(r)
 		}
 		eng.Step()
 		if !spec.FullBudget && eng.AllDecided(honest) {
@@ -454,6 +514,9 @@ func (s *Session) Run(ctx context.Context) (Outcome, error) {
 		}
 	}
 	out := Judge(eng, honest, honestInputs, budget)
+	if churn != nil {
+		churn.finish(spec, &out)
+	}
 	if spec.Observer != nil {
 		spec.Observer.Done(eng.Metrics())
 	}
@@ -490,10 +553,16 @@ func (s *Session) runPooled(ctx context.Context, mode replayMode) (Outcome, erro
 	if budget == 0 {
 		budget = spec.DefaultRounds()
 	}
+	if run.churn != nil {
+		noteChurnInvalidation(spec, budget)
+	}
 	for r := 0; r < budget; r++ {
 		if err := ctx.Err(); err != nil {
 			return Outcome{}, fmt.Errorf("eval: run canceled after %d of %d rounds: %w",
 				run.eng.Metrics().Rounds, budget, err)
+		}
+		if run.churn != nil {
+			run.churn.boundary(r)
 		}
 		run.eng.Step()
 		if !spec.FullBudget && run.eng.AllDecided(run.honest) {
@@ -501,6 +570,9 @@ func (s *Session) runPooled(ctx context.Context, mode replayMode) (Outcome, erro
 		}
 	}
 	out := Judge(run.eng, run.honest, run.honestInputs, budget)
+	if run.churn != nil {
+		run.churn.finish(spec, &out)
+	}
 	if spec.Observer != nil {
 		spec.Observer.Done(run.eng.Metrics())
 	}

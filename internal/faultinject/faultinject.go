@@ -1,0 +1,238 @@
+// Package faultinject defines deterministic topology-fault schedules: ordered
+// event lists — node crash/recover, link down/up, partition open/heal — that a
+// round loop applies to a mutable link-mask view of the static graph at round
+// boundaries. A schedule is pure data derived from a seed, so an injected
+// world is exactly reproducible: the same schedule against the same spec
+// yields the same execution, whatever the worker count.
+//
+// The event model is a mask over the static adjacency, never a rewrite of the
+// graph itself: a "down" node keeps executing its protocol but none of its
+// transmissions are delivered and it hears nothing (the paper's local
+// broadcast guarantee holds over the masked topology), and a healed element
+// restores exactly the static adjacency. Events take effect at the round
+// boundary BEFORE the named round's transmissions are routed; a message sent
+// in round r-1 over a link that fails at round r was already delivered —
+// routing is resolved at transmission time.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+
+	"lbcast/internal/graph"
+)
+
+// Kind enumerates the topology event types.
+type Kind uint8
+
+// The event kinds. Down/Open events mask elements; Up/Heal events unmask
+// them. Masking is idempotent set semantics: downing a down element or
+// healing a healthy one is a no-op, which lets generated schedules overlap
+// windows without bookkeeping.
+const (
+	// NodeDown isolates Node: all its incident links are masked.
+	NodeDown Kind = iota + 1
+	// NodeUp restores Node's incident links (except any masked edge-wise).
+	NodeUp
+	// EdgeDown masks the single link {U, V}.
+	EdgeDown
+	// EdgeUp restores the link {U, V}.
+	EdgeUp
+	// PartitionOpen masks every link with exactly one endpoint in Side.
+	PartitionOpen
+	// PartitionHeal restores every link with exactly one endpoint in Side.
+	PartitionHeal
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeDown:
+		return "node-down"
+	case NodeUp:
+		return "node-up"
+	case EdgeDown:
+		return "edge-down"
+	case EdgeUp:
+		return "edge-up"
+	case PartitionOpen:
+		return "partition-open"
+	case PartitionHeal:
+		return "partition-heal"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled topology change, applied at the boundary before
+// round Round's transmissions. Node is set for the Node* kinds, U/V for the
+// Edge* kinds, and Side for the Partition* kinds.
+type Event struct {
+	Round int          `json:"round"`
+	Kind  Kind         `json:"kind"`
+	Node  graph.NodeID `json:"node,omitempty"`
+	U     graph.NodeID `json:"u,omitempty"`
+	V     graph.NodeID `json:"v,omitempty"`
+	// Side is one side of a partition cut, in ascending order. The heal
+	// event must name the same side it opened.
+	Side []graph.NodeID `json:"side,omitempty"`
+}
+
+// Schedule is an ordered event list. Build one with literal events plus
+// Normalize, or with the seed-driven generators in generate.go. The zero
+// Schedule (and a nil *Schedule) is the empty schedule: no events, and a run
+// consulting it is byte-identical to a run without fault injection.
+type Schedule struct {
+	// Events in nondecreasing Round order (Normalize sorts; generators
+	// emit sorted).
+	Events []Event
+}
+
+// Empty reports whether the schedule holds no events. Safe on nil.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Len returns the event count. Safe on nil.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Events)
+}
+
+// FirstRound returns the round of the earliest event, or -1 when empty. The
+// rounds strictly before it are the clean prefix: every transmission there
+// is routed by the unmasked topology, which is what lets replay-qualified
+// runs keep replaying their compiled plan up to the taint frontier.
+func (s *Schedule) FirstRound() int {
+	if s.Empty() {
+		return -1
+	}
+	return s.Events[0].Round
+}
+
+// Normalize sorts the events by round (stably, preserving the relative order
+// of same-round events: within one boundary they apply in list order).
+func (s *Schedule) Normalize() {
+	if s == nil {
+		return
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Round < s.Events[j].Round })
+}
+
+// Validate checks every event against g: rounds nonnegative, nodes in range,
+// edges present in the static graph, partition sides nonempty proper subsets.
+// A schedule that validates applies cleanly to any mask over g.
+func (s *Schedule) Validate(g *graph.Graph) error {
+	if s == nil {
+		return nil
+	}
+	n := g.N()
+	valid := func(u graph.NodeID) bool { return int(u) >= 0 && int(u) < n }
+	for i, ev := range s.Events {
+		if ev.Round < 0 {
+			return fmt.Errorf("faultinject: event %d: negative round %d", i, ev.Round)
+		}
+		if i > 0 && ev.Round < s.Events[i-1].Round {
+			return fmt.Errorf("faultinject: event %d: round %d before predecessor %d (call Normalize)",
+				i, ev.Round, s.Events[i-1].Round)
+		}
+		switch ev.Kind {
+		case NodeDown, NodeUp:
+			if !valid(ev.Node) {
+				return fmt.Errorf("faultinject: event %d: node %d out of range (n=%d)", i, ev.Node, n)
+			}
+		case EdgeDown, EdgeUp:
+			if !valid(ev.U) || !valid(ev.V) {
+				return fmt.Errorf("faultinject: event %d: edge {%d,%d} out of range (n=%d)", i, ev.U, ev.V, n)
+			}
+			if !g.HasEdge(ev.U, ev.V) {
+				return fmt.Errorf("faultinject: event %d: edge {%d,%d} not in graph", i, ev.U, ev.V)
+			}
+		case PartitionOpen, PartitionHeal:
+			if len(ev.Side) == 0 || len(ev.Side) >= n {
+				return fmt.Errorf("faultinject: event %d: partition side of %d nodes is not a proper subset (n=%d)",
+					i, len(ev.Side), n)
+			}
+			for _, u := range ev.Side {
+				if !valid(u) {
+					return fmt.Errorf("faultinject: event %d: partition node %d out of range (n=%d)", i, u, n)
+				}
+			}
+		default:
+			return fmt.Errorf("faultinject: event %d: unknown kind %d", i, uint8(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// Mask is the mutable link-mask a schedule applies to. sim.MaskedTopology
+// implements it (the routing view); graph.MaskedView implements it too (the
+// connectivity re-analysis view), so one cursor can drive both.
+type Mask interface {
+	// SetNodeDown masks (true) or restores (false) every link incident to u.
+	SetNodeDown(u graph.NodeID, down bool)
+	// SetEdgeDown masks (true) or restores (false) the link {u, v}.
+	SetEdgeDown(u, v graph.NodeID, down bool)
+}
+
+// Cursor walks a schedule round by round, applying each boundary's events
+// exactly once. It assumes monotonically nondecreasing round arguments —
+// exactly how a round loop calls it.
+type Cursor struct {
+	s   *Schedule
+	idx int
+}
+
+// Cursor returns a fresh cursor positioned before the first event. Safe on
+// nil (yields an exhausted cursor).
+func (s *Schedule) Cursor() Cursor { return Cursor{s: s} }
+
+// Reset rewinds the cursor to the schedule start (for recycled run state).
+func (c *Cursor) Reset() { c.idx = 0 }
+
+// Apply applies every event scheduled for the boundary before round to the
+// masks (all non-nil masks receive every event) and returns the number of
+// events applied. Partition events expand against g's static adjacency.
+func (c *Cursor) Apply(g *graph.Graph, round int, masks ...Mask) int {
+	if c.s == nil {
+		return 0
+	}
+	applied := 0
+	// Events at earlier rounds than asked (a skipped boundary) still apply:
+	// masking is cumulative state.
+	for c.idx < len(c.s.Events) && c.s.Events[c.idx].Round <= round {
+		applied += applyEvent(g, c.s.Events[c.idx], masks)
+		c.idx++
+	}
+	return applied
+}
+
+// applyEvent applies one event to every mask; returns 1 (the event count).
+func applyEvent(g *graph.Graph, ev Event, masks []Mask) int {
+	switch ev.Kind {
+	case NodeDown, NodeUp:
+		down := ev.Kind == NodeDown
+		for _, m := range masks {
+			m.SetNodeDown(ev.Node, down)
+		}
+	case EdgeDown, EdgeUp:
+		down := ev.Kind == EdgeDown
+		for _, m := range masks {
+			m.SetEdgeDown(ev.U, ev.V, down)
+		}
+	case PartitionOpen, PartitionHeal:
+		down := ev.Kind == PartitionOpen
+		inSide := graph.NewSet(ev.Side...)
+		for _, u := range ev.Side {
+			for _, v := range g.AdjList(u) {
+				if inSide.Contains(v) {
+					continue
+				}
+				for _, m := range masks {
+					m.SetEdgeDown(u, v, down)
+				}
+			}
+		}
+	}
+	return 1
+}

@@ -1,0 +1,239 @@
+package faultinject
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lbcast/internal/graph"
+)
+
+// testGraph is C8(1,2) — the Figure 1(b) stand-in used across the repo's
+// unit suites (connectivity 4, every vertex degree 4).
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		for _, d := range []int{1, 2} {
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+d)%8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// recordingMask records every mask call in order, as a cheap structural
+// stand-in for the sim and graph views.
+type recordingMask struct {
+	calls []string
+}
+
+func (m *recordingMask) SetNodeDown(u graph.NodeID, down bool) {
+	m.calls = append(m.calls, event("node", int(u), -1, down))
+}
+
+func (m *recordingMask) SetEdgeDown(u, v graph.NodeID, down bool) {
+	m.calls = append(m.calls, event("edge", int(u), int(v), down))
+}
+
+func event(kind string, a, b int, down bool) string {
+	s := kind
+	if down {
+		s += "-down"
+	} else {
+		s += "-up"
+	}
+	return s + string(rune('0'+a)) + string(rune('0'+b+1))
+}
+
+func TestScheduleEmptyFirstRound(t *testing.T) {
+	var nilSched *Schedule
+	if !nilSched.Empty() || nilSched.Len() != 0 || nilSched.FirstRound() != -1 {
+		t.Error("nil schedule must be empty with FirstRound -1")
+	}
+	if err := nilSched.Validate(testGraph(t)); err != nil {
+		t.Errorf("nil schedule failed validation: %v", err)
+	}
+	zero := &Schedule{}
+	if !zero.Empty() || zero.FirstRound() != -1 {
+		t.Error("zero schedule must be empty with FirstRound -1")
+	}
+	s := &Schedule{Events: []Event{
+		{Round: 7, Kind: NodeDown, Node: 1},
+		{Round: 3, Kind: EdgeDown, U: 0, V: 1},
+	}}
+	s.Normalize()
+	if s.FirstRound() != 3 {
+		t.Errorf("FirstRound = %d after Normalize, want 3", s.FirstRound())
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestNormalizeStable: same-round events keep their list order, so a
+// boundary's down/up pairing is preserved across Normalize.
+func TestNormalizeStable(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Round: 5, Kind: EdgeDown, U: 0, V: 1},
+		{Round: 2, Kind: NodeDown, Node: 3},
+		{Round: 5, Kind: EdgeUp, U: 0, V: 1},
+		{Round: 2, Kind: NodeUp, Node: 3},
+	}}
+	s.Normalize()
+	want := []Event{
+		{Round: 2, Kind: NodeDown, Node: 3},
+		{Round: 2, Kind: NodeUp, Node: 3},
+		{Round: 5, Kind: EdgeDown, U: 0, V: 1},
+		{Round: 5, Kind: EdgeUp, U: 0, V: 1},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Errorf("Normalize not stable:\ngot:  %+v\nwant: %+v", s.Events, want)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g := testGraph(t)
+	cases := map[string]*Schedule{
+		"negative round":    {Events: []Event{{Round: -1, Kind: NodeDown, Node: 0}}},
+		"node out of range": {Events: []Event{{Round: 0, Kind: NodeDown, Node: 8}}},
+		"edge out of range": {Events: []Event{{Round: 0, Kind: EdgeDown, U: 0, V: 9}}},
+		"edge not in graph": {Events: []Event{{Round: 0, Kind: EdgeDown, U: 0, V: 4}}},
+		"empty side":        {Events: []Event{{Round: 0, Kind: PartitionOpen}}},
+		"full side":         {Events: []Event{{Round: 0, Kind: PartitionOpen, Side: []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7}}}},
+		"side out of range": {Events: []Event{{Round: 0, Kind: PartitionOpen, Side: []graph.NodeID{0, 12}}}},
+		"unknown kind":      {Events: []Event{{Round: 0, Kind: Kind(99)}}},
+		"unsorted (no Normalize)": {Events: []Event{
+			{Round: 5, Kind: NodeDown, Node: 0},
+			{Round: 2, Kind: NodeUp, Node: 0},
+		}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(g); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestCursorCumulativeApply pins the cursor contract: each boundary's
+// events apply exactly once, skipped boundaries still apply (masking is
+// cumulative state), every mask receives every event, and partition
+// events expand to exactly the cut's cross edges.
+func TestCursorCumulativeApply(t *testing.T) {
+	g := testGraph(t)
+	s := &Schedule{Events: []Event{
+		{Round: 0, Kind: NodeDown, Node: 2},
+		{Round: 3, Kind: EdgeDown, U: 0, V: 1},
+		{Round: 5, Kind: PartitionOpen, Side: []graph.NodeID{0, 1}},
+	}}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	var a, b recordingMask
+	c := s.Cursor()
+	if got := c.Apply(g, 0, &a, &b); got != 1 {
+		t.Fatalf("round 0 applied %d events, want 1", got)
+	}
+	if got := c.Apply(g, 1, &a, &b); got != 0 {
+		t.Fatalf("round 1 applied %d events, want 0", got)
+	}
+	// Jump past rounds 3 AND 5: both boundaries' events must apply.
+	if got := c.Apply(g, 6, &a, &b); got != 2 {
+		t.Fatalf("skipped boundaries applied %d events, want 2", got)
+	}
+	if got := c.Apply(g, 7, &a, &b); got != 0 {
+		t.Fatalf("exhausted cursor applied %d events, want 0", got)
+	}
+	if !reflect.DeepEqual(a.calls, b.calls) {
+		t.Errorf("masks diverged:\na: %v\nb: %v", a.calls, b.calls)
+	}
+	// Side {0,1} of C8(1,2): cross edges are 0-2 (wait: 2 is also adjacent),
+	// exactly the static links with one endpoint inside. Count instead of
+	// enumerating: node-down(2) is 1 call, edge-down(0,1) is 1, and the cut
+	// {0,1} has |adj(0)\{1}| + |adj(1)\{0}| = 3 + 3 = 6 cross links.
+	if want := 1 + 1 + 6; len(a.calls) != want {
+		t.Errorf("mask received %d calls, want %d: %v", len(a.calls), want, a.calls)
+	}
+	c.Reset()
+	var fresh recordingMask
+	c.Apply(g, 100, &fresh)
+	if len(fresh.calls) != len(a.calls) {
+		t.Errorf("reset cursor replayed %d calls, want %d", len(fresh.calls), len(a.calls))
+	}
+}
+
+// TestGeneratorsDeterministic: each generator is a pure function of the
+// rng stream — same seed, same schedule — and emits a sorted schedule that
+// validates against its graph.
+func TestGeneratorsDeterministic(t *testing.T) {
+	g := testGraph(t)
+	gens := map[string]func(rng *rand.Rand) *Schedule{
+		"churn":     func(rng *rand.Rand) *Schedule { return Churn(g, rng, 4, 2, 6, 3) },
+		"partition": func(rng *rand.Rand) *Schedule { return Partition(g, rng, 3, 9) },
+		"burst":     func(rng *rand.Rand) *Schedule { return Burst(g, rng, 3, 1, 4) },
+	}
+	for name, mk := range gens {
+		a := mk(rand.New(rand.NewSource(7)))
+		b := mk(rand.New(rand.NewSource(7)))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different schedules", name)
+		}
+		c := mk(rand.New(rand.NewSource(8)))
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical schedules", name)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Errorf("%s: generated schedule fails validation: %v", name, err)
+		}
+		if a.Empty() {
+			t.Errorf("%s: generated schedule is empty", name)
+		}
+	}
+}
+
+func TestGeneratorEdgeCases(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	if s := Churn(g, rng, 0, 0, 5, 1); !s.Empty() {
+		t.Error("zero-flap churn not empty")
+	}
+	// Churn pairs every down with an up exactly heal rounds later.
+	s := Churn(g, rng, 3, 0, 4, 2)
+	downs, ups := 0, 0
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EdgeDown:
+			downs++
+		case EdgeUp:
+			ups++
+		}
+	}
+	if downs != 3 || ups != 3 {
+		t.Errorf("churn emitted %d downs / %d ups, want 3/3", downs, ups)
+	}
+	// Partition without a heal round: one open event, never healed.
+	p := Partition(g, rng, 5, 5)
+	if p.Len() != 1 || p.Events[0].Kind != PartitionOpen {
+		t.Errorf("unhealed partition = %+v, want single open event", p.Events)
+	}
+	// Burst with no recovery: only down events; victims distinct and sorted.
+	b := Burst(g, rng, 3, 2, 0)
+	if b.Len() != 3 {
+		t.Fatalf("no-recovery burst emitted %d events, want 3", b.Len())
+	}
+	seen := map[graph.NodeID]bool{}
+	for i, ev := range b.Events {
+		if ev.Kind != NodeDown || ev.Round != 2 {
+			t.Errorf("burst event %d = %+v, want round-2 node-down", i, ev)
+		}
+		if seen[ev.Node] {
+			t.Errorf("burst repeated victim %d", ev.Node)
+		}
+		seen[ev.Node] = true
+	}
+	// Victims clamp at n.
+	if all := Burst(g, rng, 99, 0, 1); all.Len() != 2*g.N() {
+		t.Errorf("clamped burst emitted %d events, want %d", all.Len(), 2*g.N())
+	}
+}

@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"math/rand"
+
+	"lbcast/internal/graph"
+)
+
+// This file holds the seed-driven schedule generators behind the Monte Carlo
+// churn profiles: random link churn, a random partition window, and a
+// correlated node-crash burst. Each generator draws all of its randomness
+// from the caller's rng, so a profile's per-trial schedules are exactly
+// reproducible from the trial seed — and the caller controls the stream kind
+// (the trial pool passes its O(1)-seed fast source).
+
+// Churn emits `flaps` link-down events at random rounds in [start, start+
+// span) over random edges of g, each paired with a recovery `heal` rounds
+// later. Edges may flap more than once; overlapping windows compose under
+// the mask's idempotent set semantics. The schedule is sorted and validates
+// against g by construction.
+func Churn(g *graph.Graph, rng *rand.Rand, flaps, start, span, heal int) *Schedule {
+	edges := g.Edges()
+	if len(edges) == 0 || flaps <= 0 {
+		return &Schedule{}
+	}
+	if span < 1 {
+		span = 1
+	}
+	if heal < 1 {
+		heal = 1
+	}
+	s := &Schedule{Events: make([]Event, 0, 2*flaps)}
+	for i := 0; i < flaps; i++ {
+		e := edges[rng.Intn(len(edges))]
+		r := start + rng.Intn(span)
+		s.Events = append(s.Events,
+			Event{Round: r, Kind: EdgeDown, U: e.U, V: e.V},
+			Event{Round: r + heal, Kind: EdgeUp, U: e.U, V: e.V},
+		)
+	}
+	s.Normalize()
+	return s
+}
+
+// Partition emits one partition window: a random nonempty proper side opens
+// at openRound and heals at healRound (no heal event when healRound <=
+// openRound — the partition lasts for the rest of the run). The side size is
+// uniform in [1, n-1], so sweeps exercise both pathological near-isolation
+// cuts and balanced splits.
+func Partition(g *graph.Graph, rng *rand.Rand, openRound, healRound int) *Schedule {
+	n := g.N()
+	if n < 2 {
+		return &Schedule{}
+	}
+	size := 1 + rng.Intn(n-1)
+	perm := rng.Perm(n)
+	side := make([]graph.NodeID, 0, size)
+	for _, p := range perm[:size] {
+		side = append(side, graph.NodeID(p))
+	}
+	graph.SortNodes(side)
+	s := &Schedule{Events: []Event{{Round: openRound, Kind: PartitionOpen, Side: side}}}
+	if healRound > openRound {
+		healed := append([]graph.NodeID(nil), side...)
+		s.Events = append(s.Events, Event{Round: healRound, Kind: PartitionHeal, Side: healed})
+	}
+	return s
+}
+
+// Burst emits a correlated crash burst: `victims` distinct random nodes all
+// go down at startRound and all recover `duration` rounds later (no recovery
+// when duration <= 0). Correlated bursts model rack or zone failures —
+// several simultaneous losses, unlike independent churn.
+func Burst(g *graph.Graph, rng *rand.Rand, victims, startRound, duration int) *Schedule {
+	n := g.N()
+	if victims <= 0 {
+		return &Schedule{}
+	}
+	if victims > n {
+		victims = n
+	}
+	perm := rng.Perm(n)
+	down := make([]graph.NodeID, 0, victims)
+	for _, p := range perm[:victims] {
+		down = append(down, graph.NodeID(p))
+	}
+	graph.SortNodes(down)
+	s := &Schedule{Events: make([]Event, 0, 2*victims)}
+	for _, u := range down {
+		s.Events = append(s.Events, Event{Round: startRound, Kind: NodeDown, Node: u})
+	}
+	if duration > 0 {
+		for _, u := range down {
+			s.Events = append(s.Events, Event{Round: startRound + duration, Kind: NodeUp, Node: u})
+		}
+	}
+	return s
+}

@@ -233,6 +233,18 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, graphs int) {
 		p("lbcastd_replay_hit_rate %.6f\n", float64(served)/float64(total))
 	}
 
+	// Fault-injection statistics: applied topology events and the runs
+	// whose compiled-plan replay a schedule invalidated (cut back to the
+	// taint frontier or abandoned). A climbing invalidation counter under
+	// steady traffic means churned worlds are eating the replay hit rate.
+	churnEvents, invalidations := eval.ReadChurnStats()
+	p("# HELP lbcastd_churn_events_total Fault-injection topology events applied at round boundaries (process-wide).\n")
+	p("# TYPE lbcastd_churn_events_total counter\n")
+	p("lbcastd_churn_events_total %d\n", churnEvents)
+	p("# HELP lbcastd_plan_invalidations_total Runs whose compiled-plan replay a fault-injection schedule invalidated.\n")
+	p("# TYPE lbcastd_plan_invalidations_total counter\n")
+	p("lbcastd_plan_invalidations_total %d\n", invalidations)
+
 	// Run-pool statistics: a hit means a decision ran entirely on recycled
 	// state (engine, nodes, receipt stores, replay blackboards); misses
 	// past warm-up mean new batch shapes or GC-drained pools.

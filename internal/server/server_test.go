@@ -222,6 +222,8 @@ func TestDecideParityConcurrentClients(t *testing.T) {
 		"lbcastd_plan_masked_compiles_total",
 		"lbcastd_plan_delta_replay_sessions_total",
 		"lbcastd_replay_hit_rate",
+		"lbcastd_churn_events_total",
+		"lbcastd_plan_invalidations_total",
 		"lbcastd_run_pool_hits_total",
 		"lbcastd_run_pool_misses_total",
 		"lbcastd_allocs_per_decision",

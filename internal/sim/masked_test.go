@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lbcast/internal/graph"
+)
+
+// maskedTestGraph is C8(1,2), the repo's standard unit-test topology.
+func maskedTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		for _, d := range []int{1, 2} {
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID((i+d)%8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// sameBacking reports whether two slices share a backing array start.
+func sameBacking(a, b []graph.NodeID) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// TestMaskedTopologyUnmaskedFastPath: with nothing masked, Receivers must
+// be GraphTopology's answer — the very same shared adjacency slice, not a
+// copy — so the zero-event schedule is byte-identical and allocation-free.
+func TestMaskedTopologyUnmaskedFastPath(t *testing.T) {
+	g := maskedTestGraph(t)
+	mt := NewMaskedTopology(g)
+	gt := GraphTopology{G: g}
+	if mt.N() != gt.N() || mt.Graph() != g || mt.Masked() {
+		t.Fatal("fresh masked topology misreports shape")
+	}
+	for u := 0; u < g.N(); u++ {
+		got, want := mt.Receivers(graph.NodeID(u)), gt.Receivers(graph.NodeID(u))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d: Receivers = %v, want %v", u, got, want)
+		}
+		if !sameBacking(got, g.AdjList(graph.NodeID(u))) {
+			t.Errorf("node %d: unmasked Receivers copied the adjacency instead of sharing it", u)
+		}
+	}
+}
+
+// TestMaskedTopologyNodeDown: a down node hears nothing, transmits to
+// nobody, and vanishes from every other sender's receiver list; restoring
+// it returns the exact static adjacency (and the shared-slice fast path).
+func TestMaskedTopologyNodeDown(t *testing.T) {
+	g := maskedTestGraph(t)
+	mt := NewMaskedTopology(g)
+	mt.SetNodeDown(2, true)
+	if !mt.Masked() {
+		t.Fatal("mask not engaged")
+	}
+	if got := mt.Receivers(2); len(got) != 0 {
+		t.Errorf("down node transmits to %v", got)
+	}
+	for u := 0; u < g.N(); u++ {
+		if u == 2 {
+			continue
+		}
+		for _, v := range mt.Receivers(graph.NodeID(u)) {
+			if v == 2 {
+				t.Fatalf("down node 2 still receives from %d", u)
+			}
+		}
+		// Every static receiver other than 2 survives.
+		want := 0
+		for _, v := range g.AdjList(graph.NodeID(u)) {
+			if v != 2 {
+				want++
+			}
+		}
+		if got := len(mt.Receivers(graph.NodeID(u))); got != want {
+			t.Errorf("node %d: %d receivers under mask, want %d", u, got, want)
+		}
+	}
+	// Idempotent re-down is a no-op (no epoch churn, same cached rows).
+	r0 := mt.Receivers(0)
+	mt.SetNodeDown(2, true)
+	if r1 := mt.Receivers(0); !sameBacking(r0, r1) {
+		t.Error("idempotent SetNodeDown invalidated the row cache")
+	}
+	mt.SetNodeDown(2, false)
+	if mt.Masked() {
+		t.Fatal("restore left the mask engaged")
+	}
+	if !sameBacking(mt.Receivers(0), g.AdjList(0)) {
+		t.Error("restored topology did not return to the shared-slice fast path")
+	}
+}
+
+// TestMaskedTopologyEdgeDown: a down edge is removed in both directions
+// and only that link; edges absent from the static graph are ignored.
+func TestMaskedTopologyEdgeDown(t *testing.T) {
+	g := maskedTestGraph(t)
+	mt := NewMaskedTopology(g)
+	mt.SetEdgeDown(1, 0, true) // reversed orientation must normalize
+	for _, pair := range [][2]graph.NodeID{{0, 1}, {1, 0}} {
+		for _, v := range mt.Receivers(pair[0]) {
+			if v == pair[1] {
+				t.Fatalf("downed edge still delivers %d->%d", pair[0], pair[1])
+			}
+		}
+	}
+	if got, want := len(mt.Receivers(0)), len(g.AdjList(0))-1; got != want {
+		t.Errorf("sender 0 has %d receivers, want %d", got, want)
+	}
+	// A non-edge must not mask anything (the mask can never add or remove
+	// what the static graph doesn't have).
+	mt.SetEdgeDown(0, 4, true)
+	if got, want := len(mt.Receivers(0)), len(g.AdjList(0))-1; got != want {
+		t.Errorf("masking a non-edge changed receiver count to %d, want %d", got, want)
+	}
+	mt.SetEdgeDown(0, 1, false)
+	if mt.Masked() {
+		t.Error("edge restore left the mask engaged")
+	}
+}
+
+// TestMaskedTopologyMatchesBruteForce drives random mask mutations and
+// checks every row against a direct filter of the static adjacency.
+func TestMaskedTopologyMatchesBruteForce(t *testing.T) {
+	g := maskedTestGraph(t)
+	mt := NewMaskedTopology(g)
+	rng := rand.New(rand.NewSource(5))
+	nodeDown := make([]bool, g.N())
+	edgeDown := map[graph.Edge]bool{}
+	edges := g.Edges()
+	for step := 0; step < 200; step++ {
+		if rng.Intn(2) == 0 {
+			u := graph.NodeID(rng.Intn(g.N()))
+			down := rng.Intn(2) == 0
+			nodeDown[u] = down
+			mt.SetNodeDown(u, down)
+		} else {
+			e := edges[rng.Intn(len(edges))].Normalize()
+			down := rng.Intn(2) == 0
+			if down {
+				edgeDown[e] = true
+			} else {
+				delete(edgeDown, e)
+			}
+			mt.SetEdgeDown(e.U, e.V, down)
+		}
+		for u := 0; u < g.N(); u++ {
+			var want []graph.NodeID
+			if !nodeDown[u] {
+				for _, v := range g.AdjList(graph.NodeID(u)) {
+					if !nodeDown[v] && !edgeDown[(graph.Edge{U: graph.NodeID(u), V: v}).Normalize()] {
+						want = append(want, v)
+					}
+				}
+			}
+			got := mt.Receivers(graph.NodeID(u))
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d node %d: Receivers = %v, want %v", step, u, got, want)
+			}
+		}
+	}
+	mt.ResetMask()
+	if mt.Masked() {
+		t.Fatal("ResetMask left elements masked")
+	}
+	for u := 0; u < g.N(); u++ {
+		if !sameBacking(mt.Receivers(graph.NodeID(u)), g.AdjList(graph.NodeID(u))) {
+			t.Fatalf("node %d: post-reset Receivers is not the shared adjacency", u)
+		}
+	}
+}
+
+// TestMaskedTopologyRowCacheStable: between mutations, repeated Receivers
+// calls return the identical cached slice (no per-round rebuild).
+func TestMaskedTopologyRowCacheStable(t *testing.T) {
+	g := maskedTestGraph(t)
+	mt := NewMaskedTopology(g)
+	mt.SetEdgeDown(0, 1, true)
+	a := mt.Receivers(0)
+	b := mt.Receivers(0)
+	if !sameBacking(a, b) {
+		t.Error("cached row rebuilt between mutations")
+	}
+	mt.SetEdgeDown(0, 2, true)
+	c := mt.Receivers(0)
+	if len(c) != len(g.AdjList(0))-2 {
+		t.Errorf("row after second mutation has %d receivers, want %d", len(c), len(g.AdjList(0))-2)
+	}
+}
